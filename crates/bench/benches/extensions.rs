@@ -1,0 +1,79 @@
+//! **Bench E8/E9/E10 — extension experiments**: shot-allocation ablation,
+//! multi-cut scaling and Werner mixed resources, with artefact
+//! regeneration at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{allocation, multicut, werner};
+
+fn allocation_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/allocation");
+    group.sample_size(10);
+    let cfg = allocation::AllocationConfig {
+        overlaps: vec![0.6],
+        shots: 1000,
+        num_states: 8,
+        repetitions: 10,
+        seed: 1,
+        threads: 1,
+    };
+    group.bench_function("ablation_kernel", |b| b.iter(|| allocation::run(&cfg)));
+    group.finish();
+    let table = allocation::run(&allocation::AllocationConfig {
+        num_states: 16,
+        repetitions: 16,
+        ..Default::default()
+    });
+    table
+        .write_csv(&experiments::results_dir().join("bench_allocation_ablation.csv"))
+        .unwrap();
+}
+
+fn multicut_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/multicut");
+    group.sample_size(10);
+    let cfg = multicut::MultiCutConfig {
+        wire_counts: vec![1, 2],
+        overlaps: vec![0.5, 1.0],
+        shots: 1000,
+        num_states: 3,
+        repetitions: 4,
+        seed: 1,
+        threads: 1,
+    };
+    group.bench_function("double_cut_kernel", |b| b.iter(|| multicut::run(&cfg)));
+    group.finish();
+    let table = multicut::run(&multicut::MultiCutConfig {
+        num_states: 4,
+        repetitions: 6,
+        ..Default::default()
+    });
+    table
+        .write_csv(&experiments::results_dir().join("bench_multicut_scaling.csv"))
+        .unwrap();
+}
+
+fn werner_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/werner");
+    group.sample_size(10);
+    let cfg = werner::WernerConfig {
+        p_values: vec![0.6, 1.0],
+        shots: 1000,
+        num_states: 4,
+        repetitions: 6,
+        seed: 1,
+        threads: 1,
+    };
+    group.bench_function("werner_kernel", |b| b.iter(|| werner::run(&cfg)));
+    group.finish();
+    let table = werner::run(&werner::WernerConfig {
+        num_states: 8,
+        repetitions: 10,
+        ..Default::default()
+    });
+    table
+        .write_csv(&experiments::results_dir().join("bench_werner_resources.csv"))
+        .unwrap();
+}
+
+criterion_group!(benches, allocation_bench, multicut_bench, werner_bench);
+criterion_main!(benches);

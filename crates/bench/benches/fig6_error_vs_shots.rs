@@ -1,0 +1,48 @@
+//! **Bench E1 — Figure 6**: times the full error-vs-shots pipeline at
+//! several scales and, once per run, regenerates a reduced-scale Figure 6
+//! table so `cargo bench` leaves a fresh artefact in `results/`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::fig6::{run, Fig6Config};
+
+fn per_state_kernel(c: &mut Criterion) {
+    // One Haar state through all six entanglement levels with the paper's
+    // 20 checkpoints — the unit of work Figure 6 parallelises over.
+    let mut group = c.benchmark_group("fig6/per_state");
+    group.sample_size(20);
+    for &states in &[1usize, 8, 32] {
+        let cfg = Fig6Config { num_states: states, threads: 1, ..Fig6Config::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(states), &cfg, |b, cfg| {
+            b.iter(|| run(cfg));
+        });
+    }
+    group.finish();
+}
+
+fn parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        let cfg = Fig6Config { num_states: 128, threads, ..Fig6Config::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &cfg, |b, cfg| {
+            b.iter(|| run(cfg));
+        });
+    }
+    group.finish();
+}
+
+fn regenerate_artifact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/full_table");
+    group.sample_size(10);
+    let cfg = Fig6Config { num_states: 200, ..Fig6Config::default() };
+    group.bench_function("200_states", |b| b.iter(|| run(&cfg)));
+    group.finish();
+    // Leave a fresh artefact behind.
+    let res = run(&Fig6Config { num_states: 200, ..Fig6Config::default() });
+    let path = experiments::results_dir().join("bench_fig6_error_vs_shots.csv");
+    res.to_table().write_csv(&path).expect("write csv");
+    assert!(res.final_errors_ordered_by_entanglement());
+}
+
+criterion_group!(benches, per_state_kernel, parallel_scaling, regenerate_artifact);
+criterion_main!(benches);

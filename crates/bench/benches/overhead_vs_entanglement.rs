@@ -1,0 +1,34 @@
+//! **Bench E2 — Theorem 1/Corollary 1**: times the overhead-measurement
+//! pipeline and regenerates the comparison artefact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::overhead::{run, to_table, OverheadConfig};
+
+fn overhead_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead/pipeline");
+    group.sample_size(10);
+    for &shots in &[500u64, 2000] {
+        let cfg = OverheadConfig {
+            k_values: vec![0.0, 0.5, 1.0],
+            shots,
+            repetitions: 30,
+            num_states: 4,
+            seed: 1,
+            threads: 1,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(shots), &cfg, |b, cfg| {
+            b.iter(|| run(cfg));
+        });
+    }
+    group.finish();
+    let rows = run(&OverheadConfig {
+        repetitions: 60,
+        num_states: 8,
+        ..OverheadConfig::default()
+    });
+    let path = experiments::results_dir().join("bench_overhead_vs_entanglement.csv");
+    to_table(&rows).write_csv(&path).expect("write csv");
+}
+
+criterion_group!(benches, overhead_pipeline);
+criterion_main!(benches);

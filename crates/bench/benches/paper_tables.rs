@@ -1,0 +1,25 @@
+//! **Bench E3/E4/E6/E7**: times the closed-form verification tables
+//! (Eq. 10 / Appendix A, Eq. 55–58, pair consumption, endpoints) and
+//! regenerates all four artefacts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::tables::{bell_overlap_table, consumption_table, endpoints_table, overlap_table};
+
+fn tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(20);
+    group.bench_function("overlap_eq10_appendixA", |b| b.iter(|| overlap_table(21)));
+    group.bench_function("bell_overlaps_eq55_58", |b| b.iter(|| bell_overlap_table(21)));
+    group.bench_function("pair_consumption", |b| b.iter(|| consumption_table(21)));
+    group.bench_function("endpoints_channel_checks", |b| b.iter(endpoints_table));
+    group.finish();
+
+    let dir = experiments::results_dir();
+    overlap_table(21).write_csv(&dir.join("bench_overlap_formulas.csv")).unwrap();
+    bell_overlap_table(21).write_csv(&dir.join("bench_bell_overlaps.csv")).unwrap();
+    consumption_table(21).write_csv(&dir.join("bench_pair_consumption.csv")).unwrap();
+    endpoints_table().write_csv(&dir.join("bench_endpoints.csv")).unwrap();
+}
+
+criterion_group!(benches, tables);
+criterion_main!(benches);

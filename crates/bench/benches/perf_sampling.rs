@@ -1,0 +1,86 @@
+//! Performance microbenches for the QPD sampling stack: compiled
+//! branch-tree shot sampling, the estimators, the checkpointed sweep and
+//! the parallel experiment runner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qpd::{estimate_allocated, estimate_stochastic, proportional_sweep, Allocator};
+use qsim::Pauli;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wirecut::{NmeCut, PreparedCut};
+
+fn prepared_cut() -> PreparedCut {
+    let mut rng = StdRng::seed_from_u64(3);
+    let w = qsim::haar_unitary(2, &mut rng);
+    PreparedCut::new(&NmeCut::new(0.5), &w, Pauli::Z)
+}
+
+fn shot_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qpd/shots");
+    let prepared = prepared_cut();
+    let samplers = prepared.samplers();
+    for &shots in &[1000u64, 10_000] {
+        group.throughput(Throughput::Elements(shots));
+        group.bench_with_input(BenchmarkId::new("proportional", shots), &shots, |b, &shots| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                estimate_allocated(&prepared.spec, &samplers, shots, Allocator::Proportional, &mut rng)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("stochastic", shots), &shots, |b, &shots| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| estimate_stochastic(&prepared.spec, &samplers, shots, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qpd/sweep");
+    let prepared = prepared_cut();
+    let samplers = prepared.samplers();
+    let checkpoints: Vec<u64> = (1..=20).map(|i| i * 250).collect();
+    group.throughput(Throughput::Elements(5000));
+    group.bench_function("20_checkpoints_to_5000", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| proportional_sweep(&prepared.spec, &samplers, &checkpoints, &mut rng));
+    });
+    group.finish();
+}
+
+fn cut_compilation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qpd/compile");
+    let mut rng = StdRng::seed_from_u64(13);
+    let w = qsim::haar_unitary(2, &mut rng);
+    group.bench_function("prepare_nme_cut", |b| {
+        b.iter(|| PreparedCut::new(&NmeCut::new(0.5), &w, Pauli::Z));
+    });
+    group.bench_function("prepare_harada_cut", |b| {
+        b.iter(|| PreparedCut::new(&wirecut::HaradaCut, &w, Pauli::Z));
+    });
+    group.bench_function("prepare_peng_cut", |b| {
+        b.iter(|| PreparedCut::new(&wirecut::PengCut, &w, Pauli::Z));
+    });
+    group.finish();
+}
+
+fn parallel_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qpd/parallel_map");
+    group.sample_size(10);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                experiments::parallel_map_indexed(64, threads, |i| {
+                    let mut rng = StdRng::seed_from_u64(experiments::item_seed(1, i as u64));
+                    let w = qsim::haar_unitary(2, &mut rng);
+                    let p = PreparedCut::new(&NmeCut::new(0.5), &w, Pauli::Z);
+                    estimate_allocated(&p.spec, &p.samplers(), 500, Allocator::Proportional, &mut rng)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, shot_sampling, sweep, cut_compilation, parallel_runner);
+criterion_main!(benches);

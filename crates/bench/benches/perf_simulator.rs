@@ -1,0 +1,97 @@
+//! Performance microbenches for the `qsim` substrate: strided gate
+//! kernels, circuit execution, measurement branching and density-matrix
+//! tomography — the hot paths every experiment sits on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qsim::{haar_unitary, Circuit, CompiledSampler, DensityMatrix, Gate, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gate_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/gate_kernels");
+    for &n in &[8usize, 12, 16] {
+        let dim = 1u64 << n;
+        group.throughput(Throughput::Elements(dim));
+        group.bench_with_input(BenchmarkId::new("h_mid_qubit", n), &n, |b, &n| {
+            let mut sv = StateVector::new(n);
+            b.iter(|| sv.apply_gate(&Gate::H, &[n / 2]));
+        });
+        group.bench_with_input(BenchmarkId::new("x_fast_path", n), &n, |b, &n| {
+            let mut sv = StateVector::new(n);
+            b.iter(|| sv.apply_gate(&Gate::X, &[n / 2]));
+        });
+        group.bench_with_input(BenchmarkId::new("cx", n), &n, |b, &n| {
+            let mut sv = StateVector::new(n);
+            b.iter(|| sv.apply_gate(&Gate::CX, &[0, n - 1]));
+        });
+        group.bench_with_input(BenchmarkId::new("dense_2q_unitary", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let u = haar_unitary(4, &mut rng);
+            let mut sv = StateVector::new(n);
+            b.iter(|| sv.apply_matrix2(&u, 1, n - 2));
+        });
+    }
+    group.finish();
+}
+
+fn circuit_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/circuits");
+    group.bench_function("ghz_12q", |b| {
+        let mut circ = Circuit::new(12, 0);
+        circ.h(0);
+        for q in 0..11 {
+            circ.cx(q, q + 1);
+        }
+        b.iter(|| {
+            let mut sv = StateVector::new(12);
+            sv.apply_circuit(&circ);
+            sv
+        });
+    });
+    group.bench_function("teleport_compile", |b| {
+        let mut circ = Circuit::new(3, 2);
+        circ.ry(0.9, 0);
+        circ.ry(1.1, 1).cx(1, 2);
+        circ.cx(0, 1).h(0);
+        circ.measure(0, 0).measure(1, 1);
+        circ.x_if(2, 1).z_if(2, 0);
+        b.iter(|| CompiledSampler::compile(&circ, None));
+    });
+    group.finish();
+}
+
+fn density_tomography(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/density");
+    group.sample_size(20);
+    group.bench_function("nme_term_channel_tomography", |b| {
+        use wirecut::WireCut;
+        let cut = wirecut::NmeCut::new(0.5);
+        let terms = cut.terms();
+        b.iter(|| wirecut::term_channel(&terms[0]));
+    });
+    group.bench_function("density_execute_3q_branching", |b| {
+        let mut circ = Circuit::new(3, 2);
+        circ.ry(0.9, 0);
+        circ.h(1).cx(1, 2);
+        circ.cx(0, 1).h(0);
+        circ.measure(0, 0).measure(1, 1);
+        circ.x_if(2, 1).z_if(2, 0);
+        let rho = DensityMatrix::new(3);
+        b.iter(|| qsim::execute_density(&circ, &rho));
+    });
+    group.finish();
+}
+
+fn haar_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/haar");
+    for &n in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("unitary", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| haar_unitary(n, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gate_kernels, circuit_execution, density_tomography, haar_sampling);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! **Bench E5 — Eq. 22/59 tomography**: times full process tomography of
+//! the teleportation circuit (measurement branching included) and the
+//! closed-form construction, regenerating the comparison artefact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use entangle::PhiK;
+use wirecut::teleport::{
+    phi_k_resource_prep, teleportation_channel_closed_form, teleportation_channel_simulated,
+};
+
+fn tomography(c: &mut Criterion) {
+    let mut group = c.benchmark_group("teleport_channel");
+    group.sample_size(20);
+    group.bench_function("simulated_tomography_k0.5", |b| {
+        let prep = phi_k_resource_prep(0.5);
+        b.iter(|| teleportation_channel_simulated(&prep));
+    });
+    group.bench_function("closed_form_k0.5", |b| {
+        let rho = PhiK::new(0.5).density();
+        b.iter(|| teleportation_channel_closed_form(&rho));
+    });
+    group.bench_function("full_k_grid_comparison", |b| {
+        b.iter(|| experiments::teleport_channel::run(9));
+    });
+    group.finish();
+
+    let rows = experiments::teleport_channel::run(21);
+    let path = experiments::results_dir().join("bench_teleport_channel.csv");
+    experiments::teleport_channel::to_table(&rows).write_csv(&path).unwrap();
+}
+
+criterion_group!(benches, tomography);
+criterion_main!(benches);

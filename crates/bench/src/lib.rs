@@ -1,0 +1,1 @@
+//! Bench-only crate: all content lives in `benches/`.

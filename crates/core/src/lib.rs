@@ -1,0 +1,43 @@
+//! # wirecut — wire cutting with non-maximally entangled states
+//!
+//! The primary contribution of Bechtold, Barzen, Leymann & Mandl,
+//! *Cutting a Wire with Non-Maximally Entangled States* (IPPS 2024,
+//! arXiv:2403.09690), implemented end to end:
+//!
+//! * [`theory`] — Theorem 1 (`γ^ρ(I) = 2/f(ρ) − 1`), Corollary 1 and the
+//!   Theorem 2 coefficients in closed form.
+//! * [`teleport`] — the teleportation protocol with arbitrary resource
+//!   states and its induced Pauli channel (Eq. 21–22, 59).
+//! * [`nme`] — **the Theorem 2 cut** attaining the optimal overhead with
+//!   pure `|Φ_k⟩` resources, plus the teleportation passthrough baseline.
+//! * [`harada`] / [`peng`] — the entanglement-free baselines (γ = 3 and
+//!   κ = 4).
+//! * [`term`] / [`executor`] — the cut abstraction, exact channel-level
+//!   verification, and compilation into `qpd` estimators.
+//! * [`mixed`] — extension (paper §VI future work): Bell-diagonal/Werner
+//!   resource states via Pauli-channel inversion.
+//! * [`multi`] — extension: cutting several parallel wires.
+//! * [`joint`] — extension: joint multi-wire cutting via mutually
+//!   unbiased bases (κ = 2^{n+1} − 1, reference \[26\]).
+//! * [`gatecut`] — context: a CZ gate-cutting baseline (γ = 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod gatecut;
+pub mod harada;
+pub mod joint;
+pub mod mixed;
+pub mod multi;
+pub mod nme;
+pub mod peng;
+pub mod teleport;
+pub mod term;
+pub mod theory;
+
+pub use executor::{uncut_expectation, PreparedCut, PreparedTerm};
+pub use harada::HaradaCut;
+pub use nme::{NmeCut, TeleportationPassthrough};
+pub use peng::PengCut;
+pub use term::{identity_distance, reconstructed_channel, term_channel, CutTerm, WireCut};

@@ -1,0 +1,346 @@
+//! Extension (paper §VI, future work): wire cutting with **mixed** NME
+//! resource states.
+//!
+//! For a Bell-diagonal resource `ρ = Σ_σ q_σ |Φ_σ⟩⟨Φ_σ|` the teleportation
+//! channel (Eq. 22) is the Pauli channel `E(φ) = Σ_σ q_σ σφσ`. Because a
+//! Pauli channel is diagonal in the Pauli transfer basis with eigenvalues
+//!
+//! `λ_P = Σ_σ q_σ·χ(P, σ)`, `χ(P,σ) = ±1` (commute/anticommute),
+//!
+//! its inverse is the quasi-Pauli map `D = Σ_σ d_σ σ·σ` with
+//! `d = ¼·X·(1/λ)` for the character matrix `X[P][σ] = χ(P,σ)` (which
+//! satisfies `X² = 4I`). Composing `D ∘ E = I` yields a wire cut whose
+//! terms are *teleport, then apply a Pauli correction* — each LOCC — with
+//! sampling overhead `κ = Σ_σ|d_σ|`.
+//!
+//! This probabilistic-error-cancellation construction is valid for every
+//! Bell-diagonal state with non-vanishing channel eigenvalues, but it is
+//! generally **not optimal**: Theorem 1 lower-bounds the overhead by
+//! `γ = 2/f(ρ) − 1` with `f` the LOCC-maximal overlap. Experiment E10
+//! quantifies the gap on Werner states.
+
+use crate::teleport::append_teleportation;
+use crate::term::{CutTerm, WireCut};
+use entangle::bell_state;
+use qlinalg::{unitary_with_first_column, Complex64, Matrix};
+use qsim::{Circuit, Gate, Pauli};
+
+/// Character table `χ(P, σ)`: +1 if the Paulis commute, −1 otherwise,
+/// rows/columns ordered `I, X, Y, Z`.
+pub fn pauli_character_matrix() -> [[f64; 4]; 4] {
+    let mut x = [[0.0f64; 4]; 4];
+    for (i, &p) in Pauli::ALL.iter().enumerate() {
+        for (j, &s) in Pauli::ALL.iter().enumerate() {
+            x[i][j] = if p.commutes_with(s) { 1.0 } else { -1.0 };
+        }
+    }
+    x
+}
+
+/// Pauli-transfer eigenvalues `λ_P` of the Pauli channel with error
+/// weights `q` (ordered `I, X, Y, Z`).
+pub fn pauli_channel_eigenvalues(q: [f64; 4]) -> [f64; 4] {
+    let x = pauli_character_matrix();
+    let mut lam = [0.0f64; 4];
+    for p in 0..4 {
+        for s in 0..4 {
+            lam[p] += q[s] * x[p][s];
+        }
+    }
+    lam
+}
+
+/// Quasi-probability weights `d_σ` of the inverse Pauli map:
+/// `d = ¼ X (1/λ)`.
+///
+/// # Panics
+/// Panics if any eigenvalue magnitude is below `1e-9` (the channel is not
+/// invertible; the resource is useless for this construction).
+pub fn inverse_pauli_weights(q: [f64; 4]) -> [f64; 4] {
+    let lam = pauli_channel_eigenvalues(q);
+    for &l in &lam {
+        assert!(l.abs() > 1e-9, "Pauli channel not invertible: eigenvalue {l}");
+    }
+    let x = pauli_character_matrix();
+    let mut d = [0.0f64; 4];
+    for s in 0..4 {
+        for p in 0..4 {
+            d[s] += x[p][s] / lam[p];
+        }
+        d[s] *= 0.25;
+    }
+    d
+}
+
+/// The sampling overhead `κ = Σ_σ|d_σ|` of the inversion construction.
+pub fn inversion_kappa(q: [f64; 4]) -> f64 {
+    inverse_pauli_weights(q).iter().map(|d| d.abs()).sum()
+}
+
+/// The Theorem 1 **optimal** overhead for a Bell-diagonal resource:
+/// `γ = 2/f − 1` with `f = max(max_σ q_σ, ½)` (the LOCC-maximal overlap
+/// of a Bell-diagonal state is its largest Bell weight, floored at ½).
+pub fn optimal_gamma_bell_diagonal(q: [f64; 4]) -> f64 {
+    let f = q.iter().fold(0.5f64, |a, &b| a.max(b));
+    crate::theory::gamma_from_overlap(f.min(1.0))
+}
+
+/// Wire cut with a Bell-diagonal resource state via Pauli-channel
+/// inversion. Term σ: teleport through the (purified) resource, then
+/// apply σ on the receiver; coefficient `d_σ`.
+#[derive(Clone, Copy, Debug)]
+pub struct BellDiagonalCut {
+    /// Bell weights `(q_I, q_X, q_Y, q_Z)`.
+    pub weights: [f64; 4],
+}
+
+impl BellDiagonalCut {
+    /// Creates the cut for the given Bell weights (non-negative, summing
+    /// to 1, channel invertible).
+    pub fn new(weights: [f64; 4]) -> Self {
+        let total: f64 = weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "Bell weights sum to {total}");
+        assert!(weights.iter().all(|&w| w >= -1e-12));
+        // Fail fast if not invertible.
+        let _ = inverse_pauli_weights(weights);
+        Self { weights }
+    }
+
+    /// The Werner-state cut: `ρ_W = p·Φ + (1−p)·I/4`.
+    pub fn werner(p: f64) -> Self {
+        let rest = (1.0 - p) / 4.0;
+        Self::new([p + rest, rest, rest, rest])
+    }
+
+    /// Builds the term circuit for correction Pauli σ. Register layout:
+    /// 0 = data, 1 = resource sender half, 2 = receiver, 3–4 = purifying
+    /// environment qubits (part of the pre-shared resource preparation,
+    /// never touched afterwards).
+    ///
+    /// The environment pair is prepared in `Σ_j √w_j |j⟩` with the index
+    /// encoding `0 → I, 1 → X (bit0), 2 → Z (bit1), 3 → XZ ≅ Y`; the
+    /// weights are permuted accordingly by the caller. Tracing the
+    /// environment then leaves exactly the Bell-diagonal resource on
+    /// qubits (1, 2) — relative phases between environment branches never
+    /// matter because the branches stay orthogonal.
+    fn term_circuit_with_encoding(weights_ixzy: [f64; 4], sigma: Pauli) -> Circuit {
+        let mut c = Circuit::new(5, 2);
+        // --- pre-shared resource preparation (exempt from LOCC checks) ---
+        let amps: Vec<Complex64> = weights_ixzy
+            .iter()
+            .map(|&q| qlinalg::c64(q.max(0.0).sqrt(), 0.0))
+            .collect();
+        let prep = unitary_with_first_column(&amps);
+        c.gate(Gate::Unitary2(prep), &[3, 4]);
+        c.h(1);
+        c.cx(1, 2);
+        c.cx(3, 1); // X on the sender half when bit0 of the index is set
+        c.cz(4, 1); // Z when bit1 is set
+        let prep_len = c.len();
+        debug_assert_eq!(prep_len, 5);
+        // --- LOCC protocol ---
+        append_teleportation(&mut c, 0, 1, 2, 0, 1);
+        if sigma != Pauli::I {
+            c.gate(Gate::from_pauli(sigma), &[2]);
+        }
+        c
+    }
+
+    /// The resource density operator this cut assumes.
+    pub fn resource_density(&self) -> Matrix {
+        let mut rho = Matrix::zeros(4, 4);
+        for (i, &sigma) in Pauli::ALL.iter().enumerate() {
+            let b = bell_state(sigma).to_density();
+            rho.axpy(qlinalg::c64(self.weights[i], 0.0), &b);
+        }
+        rho
+    }
+}
+
+impl WireCut for BellDiagonalCut {
+    fn name(&self) -> String {
+        format!(
+            "bell-diagonal-inversion(q=[{:.3},{:.3},{:.3},{:.3}])",
+            self.weights[0], self.weights[1], self.weights[2], self.weights[3]
+        )
+    }
+
+    fn terms(&self) -> Vec<CutTerm> {
+        let d = inverse_pauli_weights(self.weights);
+        // Circuit encoding order is (I, X, Z, Y).
+        let weights_ixzy = [
+            self.weights[0],
+            self.weights[1],
+            self.weights[3],
+            self.weights[2],
+        ];
+        Pauli::ALL
+            .iter()
+            .zip(d.iter())
+            .filter(|(_, &coeff)| coeff.abs() > 1e-14)
+            .map(|(&sigma, &coeff)| CutTerm {
+                coefficient: coeff,
+                label: format!("tel-then-{sigma}"),
+                pairs_consumed: 1.0,
+                circuit: Self::term_circuit_with_encoding(weights_ixzy, sigma),
+                input_qubit: 0,
+                output_qubit: 2,
+                resource_prep_len: 5,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{identity_distance, term_channel, verify_locc_structure};
+    use qsim::Superoperator;
+
+    #[test]
+    fn character_matrix_squares_to_four_identity() {
+        let x = pauli_character_matrix();
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut acc = 0.0;
+                for k in 0..4 {
+                    acc += x[i][k] * x[k][j];
+                }
+                let expect = if i == j { 4.0 } else { 0.0 };
+                assert!((acc - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_of_pure_bell_channel_are_unity() {
+        let lam = pauli_channel_eigenvalues([1.0, 0.0, 0.0, 0.0]);
+        for l in lam {
+            assert!((l - 1.0).abs() < 1e-12);
+        }
+        assert!((inversion_kappa([1.0, 0.0, 0.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn werner_eigenvalues_and_kappa() {
+        let p = 0.8;
+        let cut = BellDiagonalCut::werner(p);
+        let lam = pauli_channel_eigenvalues(cut.weights);
+        assert!((lam[0] - 1.0).abs() < 1e-12);
+        for i in 1..4 {
+            assert!((lam[i] - p).abs() < 1e-12, "λ_{i} = {}", lam[i]);
+        }
+        // κ = (3/p − 1)/2 for Werner.
+        let expect = (3.0 / p - 1.0) / 2.0;
+        assert!((inversion_kappa(cut.weights) - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inversion_never_beats_theorem1_bound() {
+        for &p in &[0.5, 0.6, 0.75, 0.9, 1.0] {
+            let cut = BellDiagonalCut::werner(p);
+            let kappa = inversion_kappa(cut.weights);
+            let gamma = optimal_gamma_bell_diagonal(cut.weights);
+            assert!(
+                kappa >= gamma - 1e-9,
+                "inversion κ={kappa} beats Theorem 1 γ={gamma} at p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn dephased_phi_k_resource_is_costlier_than_pure() {
+        // Mixing Φk's Bell overlaps as a classical mixture destroys the
+        // coherence Theorem 2 exploits: the inversion overhead exceeds the
+        // pure-state optimum of Corollary 1.
+        let k: f64 = 0.5;
+        let d = 2.0 * (k * k + 1.0);
+        let qi = (k + 1.0) * (k + 1.0) / d;
+        let qz = (k - 1.0) * (k - 1.0) / d;
+        let kappa = inversion_kappa([qi, 0.0, 0.0, qz]);
+        let gamma_pure = crate::theory::gamma_phi_k(k);
+        assert!(kappa > gamma_pure + 1e-6, "κ={kappa} vs pure γ={gamma_pure}");
+        let gamma_mixed = optimal_gamma_bell_diagonal([qi, 0.0, 0.0, qz]);
+        assert!(kappa >= gamma_mixed - 1e-9);
+    }
+
+    #[test]
+    fn bell_diagonal_cut_reconstructs_identity() {
+        for weights in [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.85, 0.05, 0.04, 0.06],
+            [0.7, 0.1, 0.1, 0.1],
+        ] {
+            let cut = BellDiagonalCut::new(weights);
+            let dist = identity_distance(&cut);
+            assert!(
+                dist < 1e-9,
+                "Bell-diagonal inversion cut wrong for {weights:?}: distance {dist}"
+            );
+        }
+    }
+
+    #[test]
+    fn werner_cut_reconstructs_identity() {
+        let cut = BellDiagonalCut::werner(0.75);
+        let dist = identity_distance(&cut);
+        assert!(dist < 1e-9, "Werner cut distance {dist}");
+    }
+
+    #[test]
+    fn teleport_term_channel_is_pauli_channel() {
+        // The σ = I term must equal the Bell-diagonal teleportation
+        // channel itself (Eq. 22 with the mixed resource).
+        let cut = BellDiagonalCut::new([0.85, 0.05, 0.04, 0.06]);
+        let terms = cut.terms();
+        let ch = term_channel(&terms[0]);
+        let expect = crate::teleport::teleportation_channel_closed_form(&cut.resource_density());
+        assert!(
+            ch.distance(&expect) < 1e-9,
+            "teleport term deviates: {}",
+            ch.distance(&expect)
+        );
+    }
+
+    #[test]
+    fn terms_are_locc_after_resource_distribution() {
+        let cut = BellDiagonalCut::werner(0.7);
+        for term in cut.terms() {
+            // Sender: data qubit + sender half; receiver: receiver qubit;
+            // the environment (3, 4) belongs to the preparation stage.
+            verify_locc_structure(&term, &[0, 1, 3, 4]).expect("term not LOCC");
+        }
+    }
+
+    #[test]
+    fn spec_kappa_matches_inversion_kappa() {
+        let cut = BellDiagonalCut::werner(0.8);
+        assert!((cut.kappa() - inversion_kappa(cut.weights)).abs() < 1e-10);
+        assert!(cut.spec().validate(1e-9).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "not invertible")]
+    fn completely_depolarising_resource_rejected() {
+        let _ = BellDiagonalCut::new([0.25, 0.25, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn resource_density_is_physical() {
+        let cut = BellDiagonalCut::werner(0.6);
+        let rho = cut.resource_density();
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!(rho.is_hermitian(1e-12));
+        let eig = qlinalg::eigh(&rho);
+        assert!(eig.values.iter().all(|&l| l > -1e-10));
+    }
+
+    #[test]
+    fn degenerate_identity_check_via_channel() {
+        // κ = 1 at q = (1,0,0,0): the only term is plain teleportation.
+        let cut = BellDiagonalCut::new([1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(cut.terms().len(), 1);
+        let ch = term_channel(&cut.terms()[0]);
+        assert!(ch.distance(&Superoperator::identity(2)) < 1e-9);
+    }
+}

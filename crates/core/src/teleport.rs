@@ -1,0 +1,245 @@
+//! Quantum teleportation with arbitrary resource states (paper §II-E).
+//!
+//! The protocol of Figure 3: Bell measurement on the data qubit and the
+//! sender half of the resource pair, two classical bits to the receiver,
+//! feed-forward `X`/`Z` corrections. With resource `ρ_BC` the induced
+//! channel is (Eq. 22)
+//!
+//! `E^ρ_tel(φ) = Σ_σ ⟨Φ_σ|ρ|Φ_σ⟩ · σ φ σ`,
+//!
+//! a Pauli channel whose error weights are the Bell overlaps of the
+//! resource. For `|Φ_k⟩` only `I` and `Z` contribute (Eq. 59).
+
+use entangle::{bell_overlaps, PhiK};
+use qlinalg::Matrix;
+use qsim::{execute_density, Circuit, DensityMatrix, Pauli, Superoperator};
+
+/// Appends the teleportation protocol to `circuit`: teleports the state of
+/// `src` onto `receiver` using a resource pair already prepared on
+/// `(sender_half, receiver)`. Consumes classical bits `c_z` (Z correction,
+/// from the data-qubit measurement) and `c_x` (X correction).
+pub fn append_teleportation(
+    circuit: &mut Circuit,
+    src: usize,
+    sender_half: usize,
+    receiver: usize,
+    c_z: usize,
+    c_x: usize,
+) {
+    circuit.cx(src, sender_half);
+    circuit.h(src);
+    circuit.measure(src, c_z);
+    circuit.measure(sender_half, c_x);
+    circuit.x_if(receiver, c_x);
+    circuit.z_if(receiver, c_z);
+}
+
+/// Builds the complete three-qubit teleportation circuit of Figure 3:
+/// qubit 0 = data (A), qubit 1 = resource sender half (B), qubit 2 =
+/// receiver (C). `resource_prep` must prepare the resource state on
+/// qubits (1, 2) from `|00⟩`.
+pub fn teleportation_circuit(resource_prep: &Circuit) -> Circuit {
+    assert_eq!(resource_prep.num_qubits(), 3, "resource prep must act on the 3-qubit register");
+    let mut c = Circuit::new(3, 2);
+    c.compose(resource_prep);
+    append_teleportation(&mut c, 0, 1, 2, 0, 1);
+    c
+}
+
+/// Resource preparation circuit for `|Φ_k⟩` on qubits (1, 2) of a
+/// three-qubit register.
+pub fn phi_k_resource_prep(k: f64) -> Circuit {
+    let phi = PhiK::new(k);
+    let mut c = Circuit::new(3, 0);
+    c.ry(phi.preparation_angle(), 1).cx(1, 2);
+    c
+}
+
+/// The exact teleportation channel `E^ρ_tel` for a resource given by its
+/// two-qubit density operator, via the closed form of Eq. 22.
+pub fn teleportation_channel_closed_form(resource: &Matrix) -> Superoperator {
+    let q = bell_overlaps(resource);
+    let kraus: Vec<Matrix> = Pauli::ALL
+        .iter()
+        .zip(q.iter())
+        .filter(|(_, &w)| w > 1e-15)
+        .map(|(p, &w)| p.matrix().scale_re(w.sqrt()))
+        .collect();
+    Superoperator::from_kraus(&kraus)
+}
+
+/// The teleportation channel obtained by **simulating the actual circuit**
+/// (measurements, feed-forward and all) with an arbitrary resource
+/// preparation on qubits (1, 2), then tracing out everything but the
+/// receiver. Tests assert this equals the closed form.
+pub fn teleportation_channel_simulated(resource_prep: &Circuit) -> Superoperator {
+    let circuit = teleportation_circuit(resource_prep);
+    Superoperator::from_linear_map(2, 2, |rho_in| {
+        // Full input: data ρ on qubit 0, |0⟩⟨0| on qubits 1, 2 (the
+        // resource prep inside the circuit populates them).
+        let zero = DensityMatrix::new(1);
+        let full = zero.tensor(&zero).tensor(&DensityMatrix::from_matrix(1, rho_in.clone()));
+        let out = execute_density(&circuit, &full);
+        out.partial_trace(&[2]).into_matrix()
+    })
+}
+
+/// The Pauli-error probabilities of teleportation with resource `Φ_k`
+/// (Eq. 59): identity with `(k+1)²/(2(k²+1))`, Z with `(k−1)²/(2(k²+1))`.
+pub fn phi_k_error_weights(k: f64) -> [f64; 4] {
+    PhiK::new(k).bell_overlaps()
+}
+
+/// Entanglement fidelity of the teleportation channel with resource ρ:
+/// `F_ent = ⟨Φ|(E ⊗ I)(Φ)|Φ⟩ = ⟨Φ_I|ρ|Φ_I⟩` for Pauli channels.
+pub fn entanglement_fidelity(resource: &Matrix) -> f64 {
+    bell_overlaps(resource)[0]
+}
+
+/// Average output fidelity over Haar-random pure inputs:
+/// `F_avg = (d·F_ent + 1)/(d + 1)` with `d = 2`.
+pub fn average_fidelity(resource: &Matrix) -> f64 {
+    (2.0 * entanglement_fidelity(resource) + 1.0) / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entangle::werner;
+    use qsim::{CompiledSampler, Gate, StateVector};
+
+    #[test]
+    fn perfect_teleportation_with_bell_pair() {
+        // k = 1 resource: channel must be exactly the identity.
+        let sim = teleportation_channel_simulated(&phi_k_resource_prep(1.0));
+        let id = Superoperator::identity(2);
+        assert!(sim.distance(&id) < 1e-10, "distance {}", sim.distance(&id));
+    }
+
+    #[test]
+    fn simulated_channel_matches_closed_form_for_phi_k() {
+        for &k in &[0.0, 0.3, 0.65, 1.0] {
+            let sim = teleportation_channel_simulated(&phi_k_resource_prep(k));
+            let closed = teleportation_channel_closed_form(&PhiK::new(k).density());
+            assert!(
+                sim.distance(&closed) < 1e-10,
+                "Eq. 22 violated at k={k}: distance {}",
+                sim.distance(&closed)
+            );
+        }
+    }
+
+    #[test]
+    fn phi_k_channel_is_iz_pauli_channel() {
+        // Eq. 59: only I and Z errors; PTM = diag(1, λ, λ, 1) with
+        // λ = qI − qZ = 2k/(k²+1)... compute: qI − qZ = ((k+1)²−(k−1)²)/(2(k²+1)) = 2k/(k²+1).
+        let k = 0.4;
+        let sim = teleportation_channel_simulated(&phi_k_resource_prep(k));
+        let ptm = sim.pauli_transfer_matrix();
+        let lam = 2.0 * k / (k * k + 1.0);
+        assert!((ptm[(0, 0)].re - 1.0).abs() < 1e-10);
+        assert!((ptm[(1, 1)].re - lam).abs() < 1e-10);
+        assert!((ptm[(2, 2)].re - lam).abs() < 1e-10);
+        assert!((ptm[(3, 3)].re - 1.0).abs() < 1e-10);
+        // Off-diagonals vanish.
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(ptm[(i, j)].abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn teleportation_with_werner_resource() {
+        // Werner state: depolarising teleportation channel.
+        let p = 0.7;
+        let rho = werner(p);
+        let closed = teleportation_channel_closed_form(&rho);
+        let ptm = closed.pauli_transfer_matrix();
+        // All three Pauli eigenvalues equal p for the Werner resource.
+        for i in 1..4 {
+            assert!((ptm[(i, i)].re - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn shot_level_teleportation_statistics() {
+        // Teleport Ry(1.1)|0⟩ through Φ_{k=0.5}; ⟨Z⟩ must shrink by the
+        // channel eigenvalue... Z commutes with Z-errors, so ⟨Z⟩ is
+        // preserved exactly: E(ρ) = qI ρ + qZ ZρZ and Tr[Z·ZρZ] = Tr[Zρ].
+        let k = 0.5;
+        let mut circuit = Circuit::new(3, 2);
+        circuit.ry(1.1, 0);
+        circuit.compose(&phi_k_resource_prep(k));
+        append_teleportation(&mut circuit, 0, 1, 2, 0, 1);
+        let sampler = CompiledSampler::compile(&circuit, None);
+        let expect = (1.1f64).cos();
+        assert!((sampler.exact_expval_z(2) - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn x_expectation_shrinks_under_nme_teleportation() {
+        // ⟨X⟩ anticommutes with the Z error: shrinks by λ = 2k/(k²+1).
+        let k = 0.5;
+        let mut circuit = Circuit::new(3, 2);
+        circuit.h(0); // |+⟩, ⟨X⟩ = 1
+        circuit.compose(&phi_k_resource_prep(k));
+        append_teleportation(&mut circuit, 0, 1, 2, 0, 1);
+        let sampler = CompiledSampler::compile(&circuit, None);
+        let lam = 2.0 * k / (k * k + 1.0);
+        let x_exp: f64 = sampler
+            .leaves()
+            .iter()
+            .map(|l| l.probability * l.state.expval_pauli(&qsim::PauliString::single(3, 2, Pauli::X)))
+            .sum();
+        assert!((x_exp - lam).abs() < 1e-10, "⟨X⟩ = {x_exp}, expected {lam}");
+    }
+
+    #[test]
+    fn error_weights_match_eq_59() {
+        for &k in &[0.0, 0.25, 1.0] {
+            let w = phi_k_error_weights(k);
+            let d = 2.0 * (k * k + 1.0);
+            assert!((w[0] - (k + 1.0) * (k + 1.0) / d).abs() < 1e-12);
+            assert!(w[1].abs() < 1e-12);
+            assert!(w[2].abs() < 1e-12);
+            assert!((w[3] - (k - 1.0) * (k - 1.0) / d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn average_fidelity_matches_theory_module() {
+        for &k in &[0.0, 0.5, 1.0] {
+            let rho = PhiK::new(k).density();
+            let got = average_fidelity(&rho);
+            let expect = crate::theory::average_teleportation_fidelity(k);
+            assert!((got - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn teleportation_preserves_arbitrary_state_with_bell_resource() {
+        // Full state check at k = 1 for a random-ish input.
+        let mut circuit = Circuit::new(3, 2);
+        circuit.ry(0.8, 0).rz(0.5, 0).t(0);
+        circuit.compose(&phi_k_resource_prep(1.0));
+        append_teleportation(&mut circuit, 0, 1, 2, 0, 1);
+        let sampler = CompiledSampler::compile(&circuit, None);
+        // Reference state on a single qubit.
+        let mut reference = StateVector::new(1);
+        reference.apply_gate(&Gate::Ry(0.8), &[0]);
+        reference.apply_gate(&Gate::Rz(0.5), &[0]);
+        reference.apply_gate(&Gate::T, &[0]);
+        let ref_rho = reference.to_density();
+        for leaf in sampler.leaves() {
+            let out = leaf.state.reduced_density(&[2]);
+            assert!(
+                out.approx_eq(&ref_rho, 1e-10),
+                "receiver state differs on branch {:#b}",
+                leaf.clbits
+            );
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Closed-form theory of the paper: Theorems 1–2 and Corollary 1.
+//!
+//! Everything here is an explicit formula; the rest of the crate provides
+//! the constructions and the experiments measure how well sampling
+//! realises these predictions.
+
+use entangle::PhiK;
+
+/// Optimal sampling overhead for cutting a single wire **without**
+/// entanglement (Brenner et al., paper reference \[11\]): `γ(I) = 3`.
+pub const GAMMA_NO_ENTANGLEMENT: f64 = 3.0;
+
+/// Sampling overhead of the original Peng et al. wire cut
+/// (paper reference \[13\]): `κ = 4`.
+pub const KAPPA_PENG: f64 = 4.0;
+
+/// **Theorem 1**: optimal sampling overhead for a wire cut using an
+/// arbitrary two-qubit resource state with maximal LOCC overlap `f`:
+/// `γ^ρ(I) = 2/f − 1`.
+///
+/// # Panics
+/// Panics unless `f ∈ [1/2, 1]`.
+pub fn gamma_from_overlap(f: f64) -> f64 {
+    assert!(
+        (0.5 - 1e-12..=1.0 + 1e-12).contains(&f),
+        "overlap f={f} outside [1/2, 1]"
+    );
+    2.0 / f - 1.0
+}
+
+/// Inverse of [`gamma_from_overlap`]: the overlap needed for a target
+/// overhead `γ ∈ [1, 3]`.
+pub fn overlap_from_gamma(gamma: f64) -> f64 {
+    assert!((1.0 - 1e-12..=3.0 + 1e-12).contains(&gamma), "gamma out of range");
+    2.0 / (gamma + 1.0)
+}
+
+/// **Corollary 1**: optimal sampling overhead with pure NME resource
+/// states `|Φ_k⟩`: `γ^{Φk}(I) = 4(k²+1)/(k+1)² − 1`.
+pub fn gamma_phi_k(k: f64) -> f64 {
+    assert!(k >= 0.0);
+    4.0 * (k * k + 1.0) / ((k + 1.0) * (k + 1.0)) - 1.0
+}
+
+/// **Theorem 2** coefficients: `(a, b)` with
+/// `a = (k²+1)/(k+1)²` (each teleportation term) and
+/// `b = (k−1)²/(k+1)²` (the measure-and-prepare term, entering with a
+/// negative sign). `κ = 2a + b = γ^{Φk}(I)`.
+pub fn theorem2_coefficients(k: f64) -> (f64, f64) {
+    assert!(k >= 0.0);
+    let d = (k + 1.0) * (k + 1.0);
+    ((k * k + 1.0) / d, (k - 1.0) * (k - 1.0) / d)
+}
+
+/// Expected entangled-pair consumption per QPD sample for Theorem 2
+/// (Section III closing remark): `2(k²+1)/(k+1)² = ⟨Φ|Φ_k|Φ⟩⁻¹`.
+pub fn pairs_per_sample(k: f64) -> f64 {
+    2.0 * (k * k + 1.0) / ((k + 1.0) * (k + 1.0))
+}
+
+/// Shots required to reach additive accuracy ε with overhead κ, up to the
+/// estimator's base variance: the `O(κ²/ε²)` law of Section II-B.
+pub fn shots_for_accuracy(kappa: f64, epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0);
+    kappa * kappa / (epsilon * epsilon)
+}
+
+/// Average teleportation fidelity with an NME resource `Φ_k` (related
+/// work, reference \[27\]): `F_avg = (2·f + 1)/3` with `f = f(Φ_k)` —
+/// below 1 whenever `k ≠ 1`.
+pub fn average_teleportation_fidelity(k: f64) -> f64 {
+    (2.0 * PhiK::new(k).overlap() + 1.0) / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_endpoints() {
+        // No entanglement (f = 1/2) → γ = 3; maximal (f = 1) → γ = 1.
+        assert!((gamma_from_overlap(0.5) - 3.0).abs() < 1e-12);
+        assert!((gamma_from_overlap(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corollary1_consistent_with_theorem1() {
+        for &k in &[0.0, 0.2, 0.5, 0.73, 1.0] {
+            let via_f = gamma_from_overlap(PhiK::new(k).overlap());
+            let direct = gamma_phi_k(k);
+            assert!(
+                (via_f - direct).abs() < 1e-12,
+                "γ mismatch at k={k}: {via_f} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn corollary1_endpoints() {
+        assert!((gamma_phi_k(0.0) - 3.0).abs() < 1e-12);
+        assert!((gamma_phi_k(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_monotone_decreasing_in_k() {
+        let mut prev = f64::INFINITY;
+        for i in 0..=100 {
+            let k = i as f64 / 100.0;
+            let g = gamma_phi_k(k);
+            assert!(g <= prev + 1e-12, "γ not decreasing at k={k}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn theorem2_kappa_equals_corollary1() {
+        for &k in &[0.0, 0.3, 0.6, 1.0] {
+            let (a, b) = theorem2_coefficients(k);
+            assert!((2.0 * a + b - gamma_phi_k(k)).abs() < 1e-12);
+            // Coefficient sum 2a − b = 1 (valid decomposition).
+            assert!((2.0 * a - b - 1.0).abs() < 1e-12, "2a−b ≠ 1 at k={k}");
+        }
+    }
+
+    #[test]
+    fn overlap_gamma_round_trip() {
+        for &f in &[0.5, 0.62, 0.8, 1.0] {
+            assert!((overlap_from_gamma(gamma_from_overlap(f)) - f).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pair_consumption_limits() {
+        assert!((pairs_per_sample(1.0) - 1.0).abs() < 1e-12);
+        assert!((pairs_per_sample(0.0) - 2.0).abs() < 1e-12);
+        // Equals 1/f (Section III: proportional to ⟨Φ|Φk|Φ⟩⁻¹).
+        for &k in &[0.2, 0.5, 0.9] {
+            assert!((pairs_per_sample(k) - 1.0 / PhiK::new(k).overlap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shots_scale_quadratically() {
+        let base = shots_for_accuracy(1.0, 0.01);
+        assert!((shots_for_accuracy(3.0, 0.01) / base - 9.0).abs() < 1e-9);
+        assert!((shots_for_accuracy(1.0, 0.005) / base - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn teleportation_fidelity_limits() {
+        assert!((average_teleportation_fidelity(1.0) - 1.0).abs() < 1e-12);
+        // k = 0: f = 1/2 → F_avg = 2/3, the classical limit.
+        assert!((average_teleportation_fidelity(0.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn gamma_rejects_small_overlap() {
+        let _ = gamma_from_overlap(0.3);
+    }
+}

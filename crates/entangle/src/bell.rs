@@ -1,0 +1,167 @@
+//! Bell basis states and overlaps.
+//!
+//! The paper indexes the Bell basis by Pauli operators (Section II-E):
+//! `|Φ_σ⟩ = (σ ⊗ I)|Φ⟩` with `|Φ⟩ = (|00⟩ + |11⟩)/√2`. Teleportation with
+//! resource ρ applies Pauli error σ with probability `⟨Φ_σ|ρ|Φ_σ⟩`
+//! (Eq. 22), so these overlaps are the coefficients of all teleportation
+//! channels in this workspace.
+
+use qlinalg::{c64, Complex64, Matrix};
+use qsim::{Pauli, StateVector};
+
+/// The maximally entangled state `|Φ⟩ = (|00⟩ + |11⟩)/√2` as amplitudes.
+///
+/// Qubit 0 (LSB) is the **A** side, qubit 1 the **B** side; for the
+/// symmetric states used here the assignment does not matter.
+pub fn phi_plus_amps() -> [Complex64; 4] {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    [c64(s, 0.0), c64(0.0, 0.0), c64(0.0, 0.0), c64(s, 0.0)]
+}
+
+/// `|Φ⟩` as a two-qubit statevector.
+pub fn phi_plus() -> StateVector {
+    StateVector::from_amplitudes(2, phi_plus_amps().to_vec())
+}
+
+/// `|Φ⟩⟨Φ|` as a density matrix.
+pub fn phi_plus_density() -> Matrix {
+    let sv = phi_plus();
+    sv.to_density()
+}
+
+/// The Bell basis state `|Φ_σ⟩ = (σ ⊗ I)|Φ⟩`, with σ acting on qubit 0.
+pub fn bell_state(sigma: Pauli) -> StateVector {
+    let mut sv = phi_plus();
+    sv.apply_matrix1(&sigma.matrix(), 0);
+    sv
+}
+
+/// Overlap `⟨Φ_σ|ρ|Φ_σ⟩` of a two-qubit density operator with a Bell state.
+pub fn bell_overlap(rho: &Matrix, sigma: Pauli) -> f64 {
+    assert_eq!(rho.rows(), 4, "bell_overlap expects a two-qubit operator");
+    let b = bell_state(sigma);
+    let v = rho.matvec(b.amplitudes());
+    qlinalg::vector::inner(b.amplitudes(), &v).re
+}
+
+/// All four Bell overlaps `(⟨Φ_I|ρ|Φ_I⟩, ⟨Φ_X|..⟩, ⟨Φ_Y|..⟩, ⟨Φ_Z|..⟩)`.
+pub fn bell_overlaps(rho: &Matrix) -> [f64; 4] {
+    [
+        bell_overlap(rho, Pauli::I),
+        bell_overlap(rho, Pauli::X),
+        bell_overlap(rho, Pauli::Y),
+        bell_overlap(rho, Pauli::Z),
+    ]
+}
+
+/// Builds a Bell-diagonal density operator `Σ_σ q_σ |Φ_σ⟩⟨Φ_σ|` from the
+/// four weights (must be non-negative and sum to 1 within `1e-9`).
+pub fn bell_diagonal(q: [f64; 4]) -> Matrix {
+    let total: f64 = q.iter().sum();
+    assert!((total - 1.0).abs() < 1e-9, "Bell weights sum to {total}");
+    assert!(q.iter().all(|&p| p >= -1e-12), "negative Bell weight");
+    let mut rho = Matrix::zeros(4, 4);
+    for (i, &sigma) in Pauli::ALL.iter().enumerate() {
+        let b = bell_state(sigma);
+        let proj = b.to_density();
+        rho.axpy(c64(q[i], 0.0), &proj);
+    }
+    rho
+}
+
+/// The Werner state `p·|Φ⟩⟨Φ| + (1−p)·I/4` (a Bell-diagonal state with
+/// weights `(p + (1−p)/4, (1−p)/4, (1−p)/4, (1−p)/4)`).
+pub fn werner(p: f64) -> Matrix {
+    assert!((-1.0 / 3.0..=1.0).contains(&p), "Werner parameter out of range");
+    let mixed = Matrix::identity(4).scale_re((1.0 - p) / 4.0);
+    let mut rho = phi_plus_density().scale_re(p);
+    rho = rho.add(&mixed);
+    rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_states_are_orthonormal() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let sa = bell_state(a);
+                let sb = bell_state(b);
+                let ov = qlinalg::vector::inner(sa.amplitudes(), sb.amplitudes()).abs();
+                if a == b {
+                    assert!((ov - 1.0).abs() < 1e-12);
+                } else {
+                    assert!(ov < 1e-12, "⟨Φ_{a}|Φ_{b}⟩ = {ov}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phi_z_is_phi_minus() {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let b = bell_state(Pauli::Z);
+        assert!(b.amplitude(0b00).approx_eq(c64(s, 0.0), 1e-12));
+        assert!(b.amplitude(0b11).approx_eq(c64(-s, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn phi_x_is_psi_plus() {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let b = bell_state(Pauli::X);
+        // (X⊗I)|Φ⟩ flips qubit 0: (|01⟩+|10⟩)/√2
+        assert!(b.amplitude(0b01).approx_eq(c64(s, 0.0), 1e-12));
+        assert!(b.amplitude(0b10).approx_eq(c64(s, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn overlap_of_bell_with_itself_is_one() {
+        for sigma in Pauli::ALL {
+            let rho = bell_state(sigma).to_density();
+            let ov = bell_overlaps(&rho);
+            for (i, tau) in Pauli::ALL.iter().enumerate() {
+                let expect = if *tau == sigma { 1.0 } else { 0.0 };
+                assert!((ov[i] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bell_diagonal_reconstructs_weights() {
+        let q = [0.55, 0.2, 0.15, 0.1];
+        let rho = bell_diagonal(q);
+        let ov = bell_overlaps(&rho);
+        for i in 0..4 {
+            assert!((ov[i] - q[i]).abs() < 1e-12);
+        }
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!(rho.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn werner_bell_overlaps() {
+        let p = 0.6;
+        let rho = werner(p);
+        let ov = bell_overlaps(&rho);
+        assert!((ov[0] - (p + (1.0 - p) / 4.0)).abs() < 1e-12);
+        for i in 1..4 {
+            assert!((ov[i] - (1.0 - p) / 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn werner_limits() {
+        // p = 1 → pure Bell; p = 0 → maximally mixed.
+        assert!(werner(1.0).approx_eq(&phi_plus_density(), 1e-12));
+        assert!(werner(0.0).approx_eq(&Matrix::identity(4).scale_re(0.25), 1e-12));
+    }
+
+    #[test]
+    fn bell_overlaps_sum_to_trace() {
+        let rho = werner(0.37);
+        let ov = bell_overlaps(&rho);
+        assert!((ov.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

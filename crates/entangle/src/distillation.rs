@@ -1,0 +1,243 @@
+//! The m-distillation norm of Appendix A.
+//!
+//! For pure states, the maximal LOCC overlap with the maximally entangled
+//! state relates to the m-distillation norm (Regula et al., paper
+//! references [45, 46]):
+//!
+//! `f(ψ_AB) = ½ ‖ |ψ⟩ ‖²_\[2\]`  (Eq. 29)
+//!
+//! The norm has the dual characterisation
+//!
+//! `‖v‖_[m] = max { ⟨u, v⟩ : 0 ≤ uᵢ ≤ 1, ‖u‖₂² ≤ m }`,
+//!
+//! whose optimiser clips to 1 on the largest entries and is proportional
+//! to `v` on the tail: for sorted `ζ↓` and head size `j`,
+//! `‖v‖_[m] = ‖ζ↓_{1:j}‖₁ + √(m−j)·‖ζ↓_{j+1:d}‖₂` at the unique feasible
+//! balance point (paper Eq. 30–31 state the same selection through its
+//! argmin form). For the rank-2 states the paper uses, every `j` choice
+//! collapses to the plain 1-norm (Eq. 32–33).
+//!
+//! Two independent implementations are provided — a water-filling solver
+//! of the dual problem and the feasibility-aware closed form — and tests
+//! assert they agree; `f(Φ_k)` computed through this route must equal the
+//! closed form of Eq. 10.
+
+/// Computes the m-distillation norm from Schmidt coefficients via the
+/// dual characterisation, solving `Σᵢ min(1, c·vᵢ)² = m` for the clip
+/// level `c` by bisection (water-filling).
+///
+/// # Panics
+/// Panics if `m == 0`, the coefficient list is empty, or any coefficient
+/// is negative.
+pub fn m_distillation_norm(schmidt_coefficients: &[f64], m: usize) -> f64 {
+    assert!(m >= 1, "m must be positive");
+    assert!(!schmidt_coefficients.is_empty(), "empty Schmidt vector");
+    let mut v: Vec<f64> = schmidt_coefficients.to_vec();
+    assert!(v.iter().all(|&z| z >= -1e-15), "negative Schmidt coefficient");
+    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let d = v.len();
+    let m_f = m as f64;
+
+    // If the all-ones vector is feasible (d ≤ m), the optimum is ‖v‖₁.
+    if d as f64 <= m_f {
+        return v.iter().sum();
+    }
+
+    // Water-filling: u_i = min(1, c·v_i), find c with Σ u_i² = m.
+    let budget = |c: f64| -> f64 { v.iter().map(|&x| (c * x).min(1.0).powi(2)).sum() };
+    // Σ u_i² is nondecreasing in c, bounded by d ≥ m; bisect.
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while budget(hi) < m_f {
+        hi *= 2.0;
+        if hi > 1e12 {
+            // All mass on (effectively) zero coefficients — degenerate.
+            break;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if budget(mid) < m_f {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let c = 0.5 * (lo + hi);
+    v.iter().map(|&x| (c * x).min(1.0) * x).sum()
+}
+
+/// Closed-form evaluation (paper Eq. 30–31): scan head sizes `j`, keep
+/// the feasible balance `‖ζ↓_{1:j}‖₁ + √(m−j)·‖ζ↓_{j+1:d}‖₂` where the
+/// implied tail multiplier does not exceed the clip level.
+pub fn m_distillation_norm_closed_form(schmidt_coefficients: &[f64], m: usize) -> f64 {
+    assert!(m >= 1);
+    let mut v: Vec<f64> = schmidt_coefficients.to_vec();
+    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let d = v.len();
+    if d <= m {
+        return v.iter().sum();
+    }
+    let mut best = 0.0f64;
+    for j in 0..=m {
+        let head: f64 = v[..j].iter().sum();
+        let tail_sq: f64 = v[j..].iter().map(|x| x * x).sum();
+        let tail = tail_sq.sqrt();
+        let slack = (m - j) as f64;
+        if tail < 1e-300 {
+            best = best.max(head);
+            continue;
+        }
+        let c = slack.sqrt() / tail;
+        // Feasibility: the largest tail entry must stay ≤ 1 after scaling,
+        // and the head entries must genuinely want to clip (c·v_j ≥ 1),
+        // otherwise this j is not the optimal split (but still a valid
+        // lower bound, so we simply take the max over feasible values).
+        if c * v[j] <= 1.0 + 1e-12 {
+            best = best.max(head + slack.sqrt() * tail);
+        }
+    }
+    best
+}
+
+/// The maximal LOCC overlap of a **pure** state with the two-qubit
+/// maximally entangled state via the distillation-norm route (Eq. 29):
+/// `f = ½ ‖ψ‖²_\[2\]`, capped at 1.
+pub fn overlap_via_distillation_norm(schmidt_coefficients: &[f64]) -> f64 {
+    let n = m_distillation_norm(schmidt_coefficients, 2);
+    (0.5 * n * n).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phi_k::PhiK;
+
+    #[test]
+    fn two_coefficient_norm_is_one_norm() {
+        // Appendix A: with only two non-zero Schmidt coefficients the
+        // 2-distillation norm is the plain 1-norm (Eq. 32–33).
+        let k: f64 = 0.7;
+        let kk = 1.0 / (1.0 + k * k).sqrt();
+        let coeffs = [kk, k * kk];
+        let norm = m_distillation_norm(&coeffs, 2);
+        assert!((norm - (kk + k * kk)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_matches_eq_10_closed_form() {
+        for &k in &[0.0, 0.15, 0.4, 0.62, 0.9, 1.0] {
+            let phi = PhiK::new(k);
+            let kk = phi.normalisation();
+            let coeffs = [kk, k * kk];
+            let via_norm = overlap_via_distillation_norm(&coeffs);
+            assert!(
+                (via_norm - phi.overlap()).abs() < 1e-9,
+                "Appendix A route mismatch at k={k}: {via_norm} vs {}",
+                phi.overlap()
+            );
+        }
+    }
+
+    #[test]
+    fn maximally_entangled_norm() {
+        // |Φ⟩: coefficients (1/√2, 1/√2); ‖·‖_[2] = √2, f = 1.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let norm = m_distillation_norm(&[s, s], 2);
+        assert!((norm - std::f64::consts::SQRT_2).abs() < 1e-9);
+        assert!((overlap_via_distillation_norm(&[s, s]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn product_state_norm() {
+        // Product state: coefficients (1, 0); ‖·‖_[2] = 1, f = 1/2.
+        let norm = m_distillation_norm(&[1.0, 0.0], 2);
+        assert!((norm - 1.0).abs() < 1e-9);
+        assert!((overlap_via_distillation_norm(&[1.0, 0.0]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_rank_four_state_reaches_full_overlap() {
+        // Φ₄ majorises Φ₂, so LOCC converts it deterministically:
+        // ‖ζ‖_[2] = √2 and f = 1.
+        let coeffs = [0.5; 4];
+        let norm = m_distillation_norm(&coeffs, 2);
+        assert!((norm - std::f64::consts::SQRT_2).abs() < 1e-9, "got {norm}");
+        assert!((overlap_via_distillation_norm(&coeffs) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn m_one_norm_is_head_plus_tail_l2() {
+        // For m = 1 and a dominant first coefficient: u clips to 1 on it
+        // and water-fills nothing else ⇒ norm = ζ₁ only if the tail budget
+        // is exhausted... verify against water-filling directly.
+        let coeffs = [0.8, 0.5, 0.33166247903554];
+        let norm = m_distillation_norm(&coeffs, 1);
+        let closed = m_distillation_norm_closed_form(&coeffs, 1);
+        assert!((norm - closed).abs() < 1e-9, "water-fill {norm} vs closed {closed}");
+        // m=1 dual: maximise ⟨u,v⟩ with ‖u‖₂ ≤ 1, u ≤ 1 ⇒ best is u = v
+        // (feasible since ‖v‖₂ = 1): norm = ‖v‖₂² = 1... only when v is
+        // normalised and max v_i ≤ 1.
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_form_matches_water_filling_on_random_vectors() {
+        // Deterministic pseudo-random Schmidt vectors of rank 3–6.
+        let mut s = 12345u64;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64).abs()
+        };
+        for trial in 0..50 {
+            let d = 3 + (trial % 4);
+            let mut v: Vec<f64> = (0..d).map(|_| next() + 0.01).collect();
+            let n2: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            for x in v.iter_mut() {
+                *x /= n2;
+            }
+            for m in 1..=d {
+                let a = m_distillation_norm(&v, m);
+                let b = m_distillation_norm_closed_form(&v, m);
+                assert!(
+                    (a - b).abs() < 1e-7,
+                    "trial {trial} m={m}: water-fill {a} vs closed {b} (v={v:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn norm_is_monotone_in_m() {
+        // The feasible set of the dual grows with m, so the norm does too.
+        let coeffs = [0.6, 0.48, 0.4, 0.5];
+        let mut prev = 0.0;
+        for m in 1..=4 {
+            let n = m_distillation_norm(&coeffs, m);
+            assert!(n >= prev - 1e-9, "norm not monotone at m={m}: {n} < {prev}");
+            prev = n;
+        }
+        // At m = d the norm is the 1-norm.
+        let l1: f64 = coeffs.iter().sum();
+        assert!((prev - l1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_of_coefficients_is_irrelevant() {
+        let a = m_distillation_norm(&[0.2, 0.9, 0.38729833462], 2);
+        let b = m_distillation_norm(&[0.9, 0.38729833462, 0.2], 2);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_never_exceeds_one() {
+        let coeffs = [0.7, 0.5099019513592785, 0.5];
+        let f = overlap_via_distillation_norm(&coeffs);
+        assert!(f <= 1.0 + 1e-12);
+        // This spectrum is majorised by (1/√2, 1/√2), so f = 1 exactly.
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,34 @@
+//! # entangle — two-qubit entanglement toolkit
+//!
+//! Implements Section II-A and Appendix A of Bechtold et al. (IPPS 2024):
+//! the canonical NME family `|Φ_k⟩`, Schmidt decompositions, Bell-basis
+//! overlaps, the m-distillation norm, and the maximal LOCC overlap `f(ρ)`
+//! that drives the optimal wire-cutting overhead of Theorem 1.
+//!
+//! * [`PhiK`] — `|Φ_k⟩ = K(|00⟩ + k|11⟩)` with all closed forms
+//!   (Eq. 6, 10, 55–58) and a preparation circuit.
+//! * [`schmidt()`](schmidt()) — SVD-based Schmidt decomposition (Eq. 3–5).
+//! * [`bell`] — Bell basis `|Φ_σ⟩ = (σ⊗I)|Φ⟩`, Bell-diagonal and Werner
+//!   states.
+//! * [`distillation`] — the m-distillation norm route to `f` (Appendix A).
+//! * [`measures`] — `f(ρ)` for pure states (exact), Bell-diagonal states
+//!   (exact) and general two-qubit states (fully entangled fraction),
+//!   concurrence and entanglement entropy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bell;
+pub mod distillation;
+pub mod measures;
+pub mod phi_k;
+pub mod schmidt;
+
+pub use bell::{bell_diagonal, bell_overlap, bell_overlaps, bell_state, phi_plus, phi_plus_density, werner};
+pub use distillation::{m_distillation_norm, m_distillation_norm_closed_form, overlap_via_distillation_norm};
+pub use measures::{
+    concurrence_pure, entanglement_entropy, fully_entangled_fraction, max_overlap,
+    max_overlap_pure,
+};
+pub use phi_k::{PhiK, FIG6_OVERLAPS};
+pub use schmidt::{schmidt, SchmidtDecomposition};

@@ -1,0 +1,217 @@
+//! The pure NME family `|Φ_k⟩ = K(|00⟩ + k|11⟩)`, `K = 1/√(1+k²)`.
+//!
+//! This is the canonical resource family of the paper (Eq. 6): every pure
+//! two-qubit state is locally equivalent to some `|Φ_k⟩`. The closed forms
+//! collected here are Eq. 10 (maximal overlap `f(Φ_k)`), its inverse
+//! `k(f)`, and the Bell overlaps of Eq. 55–58 that drive the teleportation
+//! error model.
+
+use qlinalg::{c64, Complex64, Matrix};
+use qsim::{Circuit, StateVector};
+
+/// A pure NME resource state `|Φ_k⟩` with `k ∈ [0, ∞)`; `k=1` is the
+/// maximally entangled `|Φ⟩`, `k=0` (and `k→∞`) are product states.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhiK {
+    k: f64,
+}
+
+impl PhiK {
+    /// Creates the resource state with parameter `k ≥ 0`.
+    pub fn new(k: f64) -> Self {
+        assert!(k.is_finite() && k >= 0.0, "k must be finite and non-negative");
+        Self { k }
+    }
+
+    /// Creates from the target entanglement level `f = f(Φ_k) ∈ [1/2, 1]`,
+    /// inverting Eq. 10 on the branch `k ∈ [0, 1]`:
+    /// `k = (1 − √(1 − (2f−1)²)) / (2f−1)` for `f > 1/2`, `k = 0` at `f = 1/2`.
+    pub fn from_overlap(f: f64) -> Self {
+        assert!((0.5..=1.0 + 1e-12).contains(&f), "overlap must be in [1/2, 1]");
+        let g = 2.0 * f - 1.0;
+        if g <= 1e-14 {
+            return Self { k: 0.0 };
+        }
+        let disc = (1.0 - g * g).max(0.0);
+        Self { k: (1.0 - disc.sqrt()) / g }
+    }
+
+    /// The parameter `k`.
+    pub fn k(self) -> f64 {
+        self.k
+    }
+
+    /// The normalisation `K = 1/√(1+k²)`.
+    pub fn normalisation(self) -> f64 {
+        1.0 / (1.0 + self.k * self.k).sqrt()
+    }
+
+    /// Maximal overlap with the maximally entangled state (Eq. 10):
+    /// `f(Φ_k) = (k+1)² / (2(k²+1))`.
+    pub fn overlap(self) -> f64 {
+        let k = self.k;
+        (k + 1.0) * (k + 1.0) / (2.0 * (k * k + 1.0))
+    }
+
+    /// The four Bell overlaps `⟨Φ_σ|Φ_k|Φ_σ⟩` for `σ ∈ {I, X, Y, Z}`
+    /// (Eq. 55–58): `((k+1)²/(2(k²+1)), 0, 0, (k−1)²/(2(k²+1)))`.
+    pub fn bell_overlaps(self) -> [f64; 4] {
+        let k = self.k;
+        let d = 2.0 * (k * k + 1.0);
+        [(k + 1.0) * (k + 1.0) / d, 0.0, 0.0, (k - 1.0) * (k - 1.0) / d]
+    }
+
+    /// Amplitudes `(K, 0, 0, kK)` of `|Φ_k⟩`.
+    pub fn amplitudes(self) -> [Complex64; 4] {
+        let kk = self.normalisation();
+        [c64(kk, 0.0), c64(0.0, 0.0), c64(0.0, 0.0), c64(self.k * kk, 0.0)]
+    }
+
+    /// `|Φ_k⟩` as a two-qubit statevector.
+    pub fn statevector(self) -> StateVector {
+        StateVector::from_amplitudes(2, self.amplitudes().to_vec())
+    }
+
+    /// Density operator `Φ_k = |Φ_k⟩⟨Φ_k|`.
+    pub fn density(self) -> Matrix {
+        self.statevector().to_density()
+    }
+
+    /// The rotation angle θ with `cos(θ/2) = K`, `sin(θ/2) = kK`, so that
+    /// `CX · (R_y(θ) ⊗ I)|00⟩ = |Φ_k⟩`.
+    pub fn preparation_angle(self) -> f64 {
+        2.0 * self.k.atan2(1.0)
+    }
+
+    /// A two-qubit preparation circuit for `|Φ_k⟩` on qubits `(q_a, q_b)`
+    /// of an `n`-qubit register: `R_y(θ)` on `q_a` then `CX(q_a → q_b)`.
+    pub fn preparation_circuit(self, n: usize, q_a: usize, q_b: usize) -> Circuit {
+        let mut c = Circuit::new(n, 0);
+        c.ry(self.preparation_angle(), q_a).cx(q_a, q_b);
+        c
+    }
+
+    /// Expected number of entangled pairs consumed per effective QPD
+    /// sample in the Theorem 2 decomposition:
+    /// `2(k²+1)/(k+1)² = ⟨Φ|Φ_k|Φ⟩⁻¹` (Section III, closing remark).
+    pub fn pairs_per_sample(self) -> f64 {
+        1.0 / self.overlap()
+    }
+}
+
+/// The six entanglement levels used in the paper's Figure 6.
+pub const FIG6_OVERLAPS: [f64; 6] = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bell;
+    use qsim::Pauli;
+
+    #[test]
+    fn overlap_closed_form_matches_direct_computation() {
+        for &k in &[0.0, 0.1, 0.35, 0.5, 0.77, 1.0] {
+            let phi = PhiK::new(k);
+            let rho = phi.density();
+            let direct = bell::bell_overlap(&rho, Pauli::I);
+            assert!(
+                (phi.overlap() - direct).abs() < 1e-12,
+                "Eq. 10 mismatch at k={k}: {} vs {direct}",
+                phi.overlap()
+            );
+        }
+    }
+
+    #[test]
+    fn bell_overlaps_match_eq_55_58() {
+        for &k in &[0.0, 0.2, 0.6, 1.0] {
+            let phi = PhiK::new(k);
+            let rho = phi.density();
+            let closed = phi.bell_overlaps();
+            let numeric = bell::bell_overlaps(&rho);
+            for i in 0..4 {
+                assert!(
+                    (closed[i] - numeric[i]).abs() < 1e-12,
+                    "Bell overlap {i} mismatch at k={k}"
+                );
+            }
+            // X and Y overlaps vanish identically (Eq. 56–57).
+            assert!(numeric[1].abs() < 1e-12);
+            assert!(numeric[2].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn endpoints() {
+        assert!((PhiK::new(1.0).overlap() - 1.0).abs() < 1e-12);
+        assert!((PhiK::new(0.0).overlap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_overlap_inverts_overlap() {
+        for &f in &FIG6_OVERLAPS {
+            let phi = PhiK::from_overlap(f);
+            assert!(
+                (phi.overlap() - f).abs() < 1e-10,
+                "k(f) inversion failed at f={f}: k={}, f(k)={}",
+                phi.k(),
+                phi.overlap()
+            );
+            assert!((0.0..=1.0).contains(&phi.k()));
+        }
+    }
+
+    #[test]
+    fn preparation_circuit_produces_phi_k() {
+        for &k in &[0.0, 0.4, 1.0] {
+            let phi = PhiK::new(k);
+            let circ = phi.preparation_circuit(2, 0, 1);
+            let mut sv = StateVector::new(2);
+            sv.apply_circuit(&circ);
+            let expect = phi.statevector();
+            assert!(
+                qlinalg::vector::approx_eq(sv.amplitudes(), expect.amplitudes(), 1e-12),
+                "preparation mismatch at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairs_per_sample_is_inverse_overlap() {
+        let phi = PhiK::new(0.5);
+        assert!((phi.pairs_per_sample() * phi.overlap() - 1.0).abs() < 1e-12);
+        // At k=1 exactly one pair per sample (plain teleportation).
+        assert!((PhiK::new(1.0).pairs_per_sample() - 1.0).abs() < 1e-12);
+        // At k=0: 2 pairs per sample.
+        assert!((PhiK::new(0.0).pairs_per_sample() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_is_monotone_in_k_on_unit_interval() {
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let k = i as f64 / 100.0;
+            let f = PhiK::new(k).overlap();
+            assert!(f >= prev - 1e-12, "overlap not monotone at k={k}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn k_above_one_mirrors_below_one() {
+        // f(k) = f(1/k): the family is symmetric under swapping Schmidt
+        // coefficients.
+        for &k in &[0.2, 0.5, 0.8] {
+            let a = PhiK::new(k).overlap();
+            let b = PhiK::new(1.0 / k).overlap();
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn schmidt_k_of_phi_k() {
+        let phi = PhiK::new(0.6);
+        let d = crate::schmidt::schmidt(&phi.statevector(), 1);
+        assert!((d.canonical_k() - 0.6).abs() < 1e-10);
+    }
+}

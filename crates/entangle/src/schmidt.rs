@@ -1,0 +1,209 @@
+//! Schmidt decomposition of bipartite pure states.
+//!
+//! Any two-qubit pure state `|ψ⟩ = Σᵢⱼ Mᵢⱼ|i⟩_B|j⟩_A` decomposes as
+//! `|ψ⟩ = Σ_k λ_k |ξ_k⟩|ζ_k⟩` (paper Eq. 3) via the SVD of `M`. The paper
+//! uses this to reduce every pure resource state to the canonical family
+//! `|Φ_k⟩` (Eq. 5–6); we reproduce that reduction in
+//! [`SchmidtDecomposition::canonical_k`].
+
+use qlinalg::{svd, Matrix};
+use qsim::StateVector;
+
+/// Schmidt decomposition of a bipartite pure state with subsystem
+/// dimensions `(d_a, d_b)` (qubit side A = low index bits).
+#[derive(Clone, Debug)]
+pub struct SchmidtDecomposition {
+    /// Schmidt coefficients, non-negative, descending.
+    pub coefficients: Vec<f64>,
+    /// Orthonormal basis of subsystem B (high bits); column `k` pairs with
+    /// `coefficients[k]`.
+    pub basis_b: Matrix,
+    /// Orthonormal basis of subsystem A (low bits).
+    pub basis_a: Matrix,
+    d_a: usize,
+    d_b: usize,
+}
+
+/// Computes the Schmidt decomposition of `state` across the bipartition
+/// `(low `n_a` qubits | remaining qubits)`.
+pub fn schmidt(state: &StateVector, n_a: usize) -> SchmidtDecomposition {
+    let n = state.num_qubits();
+    assert!(n_a > 0 && n_a < n, "bipartition must be non-trivial");
+    let d_a = 1usize << n_a;
+    let d_b = 1usize << (n - n_a);
+    // Coefficient matrix M[b, a] = ⟨b|_B ⟨a|_A |ψ⟩, index = b·d_a + a.
+    let m = Matrix::from_fn(d_b, d_a, |b, a| state.amplitude(b * d_a + a));
+    let dec = svd(&m);
+    SchmidtDecomposition {
+        coefficients: dec.sigma,
+        basis_b: dec.u,
+        basis_a: dec.v.conj(),
+        d_a,
+        d_b,
+    }
+}
+
+impl SchmidtDecomposition {
+    /// Schmidt rank at tolerance `tol`.
+    pub fn rank(&self, tol: f64) -> usize {
+        self.coefficients.iter().filter(|&&s| s > tol).count()
+    }
+
+    /// Entanglement entropy `−Σ λ_k² log2 λ_k²`.
+    pub fn entropy(&self) -> f64 {
+        self.coefficients
+            .iter()
+            .filter(|&&l| l > 1e-15)
+            .map(|&l| {
+                let p = l * l;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Reconstructs the state `Σ_k λ_k |ξ_k⟩_B ⊗ |ζ_k⟩_A`.
+    pub fn reconstruct(&self) -> StateVector {
+        let n = (self.d_a * self.d_b).trailing_zeros() as usize;
+        let mut amps = vec![qlinalg::C_ZERO; self.d_a * self.d_b];
+        for (k, &lam) in self.coefficients.iter().enumerate() {
+            if lam < 1e-300 {
+                continue;
+            }
+            for b in 0..self.d_b {
+                for a in 0..self.d_a {
+                    amps[b * self.d_a + a] +=
+                        self.basis_b[(b, k)] * self.basis_a[(a, k)] * lam;
+                }
+            }
+        }
+        StateVector::from_amplitudes_normalised(n, amps)
+    }
+
+    /// For a **two-qubit** state: the canonical parameter `k = p₁/p₀`
+    /// of Eq. 4–6, the ratio of the smaller to the larger Schmidt
+    /// coefficient, so `k ∈ [0, 1]` and the state is locally equivalent to
+    /// `|Φ_k⟩ = (|00⟩ + k|11⟩)/√(1+k²)`.
+    pub fn canonical_k(&self) -> f64 {
+        assert_eq!(self.coefficients.len(), 2, "canonical_k requires two qubits");
+        let p0 = self.coefficients[0];
+        let p1 = self.coefficients[1];
+        assert!(p0 > 0.0, "zero state");
+        p1 / p0
+    }
+
+    /// Local unitaries `(U_B, U_A)` mapping the computational basis to the
+    /// Schmidt bases, i.e. `|ψ⟩ = (U_B ⊗ U_A)|Φ_k⟩`-style reconstruction
+    /// (paper Eq. 5).
+    pub fn local_unitaries(&self) -> (Matrix, Matrix) {
+        (self.basis_b.clone(), self.basis_a.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlinalg::{c64, vector};
+    use qsim::Gate;
+
+    fn bell() -> StateVector {
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(&Gate::H, &[0]);
+        sv.apply_gate(&Gate::CX, &[0, 1]);
+        sv
+    }
+
+    #[test]
+    fn bell_state_has_flat_schmidt_spectrum() {
+        let d = schmidt(&bell(), 1);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((d.coefficients[0] - s).abs() < 1e-12);
+        assert!((d.coefficients[1] - s).abs() < 1e-12);
+        assert_eq!(d.rank(1e-10), 2);
+        assert!((d.entropy() - 1.0).abs() < 1e-12);
+        assert!((d.canonical_k() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_state_has_rank_one() {
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(&Gate::Ry(0.7), &[0]);
+        sv.apply_gate(&Gate::Ry(1.9), &[1]);
+        let d = schmidt(&sv, 1);
+        assert_eq!(d.rank(1e-10), 1);
+        assert!(d.entropy().abs() < 1e-10);
+        assert!((d.canonical_k()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_round_trip() {
+        // A generic entangled state from a short random circuit.
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(&Gate::Ry(0.6), &[0]);
+        sv.apply_gate(&Gate::CX, &[0, 1]);
+        sv.apply_gate(&Gate::T, &[1]);
+        sv.apply_gate(&Gate::Ry(1.2), &[1]);
+        sv.apply_gate(&Gate::CX, &[1, 0]);
+        let d = schmidt(&sv, 1);
+        let back = d.reconstruct();
+        assert!(
+            vector::approx_eq_up_to_phase(back.amplitudes(), sv.amplitudes(), 1e-9),
+            "reconstruction differs"
+        );
+    }
+
+    #[test]
+    fn schmidt_coefficients_norm() {
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(&Gate::Ry(1.0), &[0]);
+        sv.apply_gate(&Gate::CX, &[0, 1]);
+        let d = schmidt(&sv, 1);
+        let sq: f64 = d.coefficients.iter().map(|l| l * l).sum();
+        assert!((sq - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_qubit_bipartition() {
+        // GHZ across (q0 | q1 q2): Schmidt rank 2 with equal coefficients.
+        let mut sv = StateVector::new(3);
+        sv.apply_gate(&Gate::H, &[0]);
+        sv.apply_gate(&Gate::CX, &[0, 1]);
+        sv.apply_gate(&Gate::CX, &[0, 2]);
+        let d = schmidt(&sv, 1);
+        assert_eq!(d.rank(1e-10), 2);
+        assert!((d.entropy() - 1.0).abs() < 1e-10);
+        let back = d.reconstruct();
+        assert!(vector::approx_eq_up_to_phase(back.amplitudes(), sv.amplitudes(), 1e-9));
+    }
+
+    #[test]
+    fn canonical_k_of_phi_k_state() {
+        for &k in &[0.0f64, 0.3, 0.7, 1.0] {
+            let norm = 1.0 / (1.0 + k * k).sqrt();
+            let amps = vec![
+                c64(norm, 0.0),
+                c64(0.0, 0.0),
+                c64(0.0, 0.0),
+                c64(norm * k, 0.0),
+            ];
+            let sv = StateVector::from_amplitudes_normalised(2, amps);
+            let d = schmidt(&sv, 1);
+            assert!((d.canonical_k() - k).abs() < 1e-10, "k mismatch for {k}");
+        }
+    }
+
+    #[test]
+    fn local_unitary_invariance_of_spectrum() {
+        // Applying local unitaries must not change Schmidt coefficients.
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(&Gate::Ry(0.8), &[0]);
+        sv.apply_gate(&Gate::CX, &[0, 1]);
+        let before = schmidt(&sv, 1).coefficients;
+        sv.apply_gate(&Gate::T, &[0]);
+        sv.apply_gate(&Gate::H, &[1]);
+        sv.apply_gate(&Gate::S, &[1]);
+        let after = schmidt(&sv, 1).coefficients;
+        for (a, b) in before.iter().zip(after.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

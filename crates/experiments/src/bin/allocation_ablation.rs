@@ -1,0 +1,18 @@
+//! Regenerates the **shot-allocation ablation**: proportional (paper's
+//! choice) vs uniform vs stochastic sampling.
+
+use experiments::allocation::{run, AllocationConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        AllocationConfig { num_states: 12, repetitions: 12, ..AllocationConfig::default() }
+    } else {
+        AllocationConfig::default()
+    };
+    let table = run(&config);
+    println!("{}", table.to_pretty());
+    let path = experiments::results_dir().join("allocation_ablation.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerates the **Eq. 55–58** table: Bell-basis overlaps of Φk,
+//! closed form vs numeric.
+
+use experiments::tables::bell_overlap_table;
+
+fn main() {
+    let table = bell_overlap_table(21);
+    println!("{}", table.to_pretty());
+    let path = experiments::results_dir().join("bell_overlaps.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerates the **pair-consumption** table (Section III closing
+//! remark): entangled pairs consumed per sample ∝ 2(k²+1)/(k+1)².
+
+use experiments::tables::consumption_table;
+
+fn main() {
+    let table = consumption_table(21);
+    println!("{}", table.to_pretty());
+    let path = experiments::results_dir().join("pair_consumption.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

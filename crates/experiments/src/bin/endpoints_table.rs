@@ -1,0 +1,14 @@
+//! Regenerates the **endpoints** table: every cut's κ against its
+//! expected value and its exact channel-identity distance (Peng κ=4,
+//! Harada γ=3, NME k=0 → 3, k=0.5 → Corollary 1, k=1 → 1, teleportation).
+
+use experiments::tables::endpoints_table;
+
+fn main() {
+    let table = endpoints_table();
+    println!("{}", table.to_pretty());
+    println!("cut ids: 0=peng 1=harada 2=nme(k=0) 3=nme(k=0.5) 4=nme(k=1) 5=teleport");
+    let path = experiments::results_dir().join("endpoints.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

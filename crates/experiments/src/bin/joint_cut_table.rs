@@ -1,0 +1,18 @@
+//! Regenerates the **joint parallel wire cutting** comparison: joint MUB
+//! cutting (κ = 2^{n+1}−1) vs per-wire product cutting (κ = 3ⁿ).
+
+use experiments::joint_cut::{run, JointConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        JointConfig { num_states: 4, repetitions: 6, ..JointConfig::default() }
+    } else {
+        JointConfig::default()
+    };
+    let table = run(&config);
+    println!("{}", table.to_pretty());
+    let path = experiments::results_dir().join("joint_cut.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

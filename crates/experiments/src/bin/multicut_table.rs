@@ -1,0 +1,23 @@
+//! Regenerates the **multi-cut scaling** table: κ^w growth with the
+//! number of cut wires and how entanglement suppresses it.
+
+use experiments::multicut::{run, MultiCutConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        MultiCutConfig {
+            wire_counts: vec![1, 2],
+            num_states: 4,
+            repetitions: 6,
+            ..MultiCutConfig::default()
+        }
+    } else {
+        MultiCutConfig::default()
+    };
+    let table = run(&config);
+    println!("{}", table.to_pretty());
+    let path = experiments::results_dir().join("multicut_scaling.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

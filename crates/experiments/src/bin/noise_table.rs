@@ -1,0 +1,19 @@
+//! Regenerates the **noise-resilience** table (future-work extension):
+//! bias and total error of the NME wire cut under gate-level
+//! depolarising noise.
+
+use experiments::noise::{run, NoiseConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        NoiseConfig { num_states: 4, repetitions: 6, ..NoiseConfig::default() }
+    } else {
+        NoiseConfig::default()
+    };
+    let table = run(&config);
+    println!("{}", table.to_pretty());
+    let path = experiments::results_dir().join("noise_bias.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,19 @@
+//! Regenerates the **Theorem 1 / Corollary 1** overhead table: closed-form
+//! γ vs constructed QPD 1-norm vs empirically measured effective overhead.
+
+use experiments::overhead::{run, to_table, OverheadConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        OverheadConfig { repetitions: 40, num_states: 6, ..OverheadConfig::default() }
+    } else {
+        OverheadConfig::default()
+    };
+    let rows = run(&config);
+    let table = to_table(&rows);
+    println!("{}", table.to_pretty());
+    let path = experiments::results_dir().join("overhead_vs_entanglement.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

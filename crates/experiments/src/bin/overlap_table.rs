@@ -1,0 +1,12 @@
+//! Regenerates the **Eq. 10 / Appendix A** table: f(Φk) via the closed
+//! form, the Schmidt route and the 2-distillation norm route.
+
+use experiments::tables::overlap_table;
+
+fn main() {
+    let table = overlap_table(21);
+    println!("{}", table.to_pretty());
+    let path = experiments::results_dir().join("overlap_formulas.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,20 @@
+//! Regenerates the **Eq. 22 / Eq. 59** tomography table: simulated
+//! teleportation channel vs the closed-form Pauli channel, with
+//! fidelities; plus the Werner-resource variant.
+
+use experiments::teleport_channel::{run, to_table, werner_channel_table};
+
+fn main() {
+    let rows = run(21);
+    let table = to_table(&rows);
+    println!("{}", table.to_pretty());
+    let path = experiments::results_dir().join("teleport_channel.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+
+    let wt = werner_channel_table(11);
+    println!("{}", wt.to_pretty());
+    let wpath = experiments::results_dir().join("teleport_channel_werner.csv");
+    wt.write_csv(&wpath).expect("write csv");
+    println!("wrote {}", wpath.display());
+}

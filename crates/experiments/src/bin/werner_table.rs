@@ -1,0 +1,19 @@
+//! Regenerates the **Werner-resource** table (future-work extension):
+//! FEF, Theorem 1 optimum, inversion-construction overhead and measured
+//! error for mixed resource states.
+
+use experiments::werner::{run, WernerConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        WernerConfig { num_states: 6, repetitions: 8, ..WernerConfig::default() }
+    } else {
+        WernerConfig::default()
+    };
+    let table = run(&config);
+    println!("{}", table.to_pretty());
+    let path = experiments::results_dir().join("werner_resources.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

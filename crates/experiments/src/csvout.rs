@@ -1,0 +1,152 @@
+//! Minimal CSV emission for experiment results.
+//!
+//! Results are plain numeric tables; a 60-line writer avoids a serde
+//! dependency. Files land under `results/` at the workspace root by
+//! default so benches, binaries and the paper-comparison document all
+//! reference the same artefacts.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A rectangular numeric table with named columns.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Column names.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Row data.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Serialises to CSV text.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:.10}")).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = fs::File::create(path)?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+
+    /// Renders an aligned plain-text table for terminal output.
+    pub fn to_pretty(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|v| format!("{v:.6}")).collect())
+            .collect();
+        for row in &cells {
+            for (w, c) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        for (h, w) in self.header.iter().zip(widths.iter()) {
+            out.push_str(&format!("{h:>w$}  ", w = w));
+        }
+        out.push('\n');
+        for row in &cells {
+            for (c, w) in row.iter().zip(widths.iter()) {
+                out.push_str(&format!("{c:>w$}  ", w = w));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The default output directory (`results/` at the workspace root, or the
+/// current directory's `results/` when run elsewhere).
+pub fn results_dir() -> PathBuf {
+    // Walk up from the current dir looking for the workspace Cargo.toml.
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for _ in 0..5 {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_format() {
+        let mut t = Table::new(&["shots", "error"]);
+        t.push_row(vec![250.0, 0.125]);
+        t.push_row(vec![500.0, 0.088]);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "shots,error");
+        assert!(lines.next().unwrap().starts_with("250.0000000000,0.1250000000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push_row(vec![1.0]);
+    }
+
+    #[test]
+    fn pretty_output_contains_all_cells() {
+        let mut t = Table::new(&["k", "gamma"]);
+        t.push_row(vec![0.5, 2.1111]);
+        let s = t.to_pretty();
+        assert!(s.contains("gamma"));
+        assert!(s.contains("2.111100"));
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let mut t = Table::new(&["x"]);
+        t.push_row(vec![1.5]);
+        let dir = std::env::temp_dir().join("nme_csv_test");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("1.5000000000"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,174 @@
+//! **E11 — joint parallel wire cutting** (extension; paper reference
+//! \[26\], Brenner et al. \[11\]): cutting `n` wires jointly with mutually
+//! unbiased bases costs `κ = 2^{n+1} − 1` instead of the per-wire product
+//! `3ⁿ`. Reports both overheads, the exact channel-identity distance, and
+//! the measured estimation error on entangled sender states.
+
+use crate::csvout::Table;
+use crate::par::{default_threads, item_seed, parallel_map_indexed};
+use crate::stats::RunningStats;
+use qpd::{estimate_allocated, Allocator};
+use qsim::{Circuit, PauliString};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wirecut::joint::{joint_identity_distance, JointWireCut};
+use wirecut::multi::{ParallelWireCut, PreparedMultiCut};
+use wirecut::NmeCut;
+
+/// Configuration of the joint-cut comparison.
+#[derive(Clone, Debug)]
+pub struct JointConfig {
+    /// Wire counts (1 and/or 2).
+    pub wire_counts: Vec<usize>,
+    /// Shot budget per estimate.
+    pub shots: u64,
+    /// Random sender states averaged over.
+    pub num_states: usize,
+    /// Estimates per state.
+    pub repetitions: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+}
+
+impl Default for JointConfig {
+    fn default() -> Self {
+        Self {
+            wire_counts: vec![1, 2],
+            shots: 3000,
+            num_states: 10,
+            repetitions: 12,
+            seed: 2601,
+            threads: 0,
+        }
+    }
+}
+
+fn random_sender(w: usize, rng: &mut StdRng) -> Circuit {
+    let mut c = Circuit::new(w, 0);
+    for q in 0..w {
+        c.ry(rng.gen::<f64>() * std::f64::consts::PI, q);
+    }
+    for q in 0..w.saturating_sub(1) {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+fn exact_zz(prep: &Circuit) -> f64 {
+    let mut sv = qsim::StateVector::new(prep.num_qubits());
+    sv.apply_circuit(prep);
+    sv.expval_pauli(&PauliString::new(vec![qsim::Pauli::Z; prep.num_qubits()]))
+}
+
+/// Runs the joint-vs-product comparison. Columns:
+/// `(wires, kappa_joint, kappa_product, identity_distance, err_joint,
+/// err_product)`.
+pub fn run(config: &JointConfig) -> Table {
+    let threads = if config.threads == 0 { default_threads() } else { config.threads };
+    let mut t = Table::new(&[
+        "wires",
+        "kappa_joint",
+        "kappa_product",
+        "identity_distance",
+        "err_joint",
+        "err_product",
+    ]);
+    for &w in &config.wire_counts {
+        let joint = JointWireCut::new(w);
+        let product = ParallelWireCut::uniform(NmeCut::new(0.0), w);
+        let dist = joint_identity_distance(&joint);
+        let observable = PauliString::new(vec![qsim::Pauli::Z; w]);
+        let joint_spec = joint.spec();
+        let joint_terms = joint.terms();
+        let per_state: Vec<(f64, f64)> = parallel_map_indexed(config.num_states, threads, |s| {
+            let mut rng = StdRng::seed_from_u64(item_seed(config.seed, s as u64));
+            let prep = random_sender(w, &mut rng);
+            let exact = exact_zz(&prep);
+            let compiled_joint =
+                PreparedMultiCut::from_terms(joint_spec.clone(), &joint_terms, &prep, &observable);
+            let compiled_product = PreparedMultiCut::new(&product, &prep, &observable);
+            debug_assert!((compiled_joint.exact_value() - exact).abs() < 1e-7);
+            debug_assert!((compiled_product.exact_value() - exact).abs() < 1e-7);
+            let mut ej = RunningStats::new();
+            let mut ep = RunningStats::new();
+            for _ in 0..config.repetitions {
+                let est_j = estimate_allocated(
+                    &compiled_joint.spec,
+                    &compiled_joint.samplers(),
+                    config.shots,
+                    Allocator::Proportional,
+                    &mut rng,
+                );
+                ej.push((est_j - exact).abs());
+                let est_p = estimate_allocated(
+                    &compiled_product.spec,
+                    &compiled_product.samplers(),
+                    config.shots,
+                    Allocator::Proportional,
+                    &mut rng,
+                );
+                ep.push((est_p - exact).abs());
+            }
+            (ej.mean(), ep.mean())
+        });
+        let mut agg_j = RunningStats::new();
+        let mut agg_p = RunningStats::new();
+        for &(j, p) in &per_state {
+            agg_j.push(j);
+            agg_p.push(p);
+        }
+        t.push_row(vec![
+            w as f64,
+            joint.kappa(),
+            product.kappa(),
+            dist,
+            agg_j.mean(),
+            agg_p.mean(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> JointConfig {
+        JointConfig {
+            wire_counts: vec![1, 2],
+            shots: 1200,
+            num_states: 4,
+            repetitions: 6,
+            seed: 5,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn joint_overheads_and_identities() {
+        let t = run(&small());
+        // n=1: joint == product == 3 (the Harada cut two ways).
+        assert!((t.rows()[0][1] - 3.0).abs() < 1e-9);
+        assert!((t.rows()[0][2] - 3.0).abs() < 1e-9);
+        // n=2: joint 7 < product 9.
+        assert!((t.rows()[1][1] - 7.0).abs() < 1e-9);
+        assert!((t.rows()[1][2] - 9.0).abs() < 1e-9);
+        // Channel identity exact for both.
+        for row in t.rows() {
+            assert!(row[3] < 1e-8, "identity distance {}", row[3]);
+        }
+    }
+
+    #[test]
+    fn joint_error_no_worse_than_product_at_two_wires() {
+        let t = run(&JointConfig { num_states: 8, repetitions: 10, ..small() });
+        let row = &t.rows()[1];
+        let (ej, ep) = (row[4], row[5]);
+        assert!(
+            ej < ep * 1.25,
+            "joint error {ej} not competitive with product {ep}"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # experiments — regenerating every table and figure of the paper
+//!
+//! One module per experiment in the DESIGN.md index:
+//!
+//! | module | experiment |
+//! |---|---|
+//! | [`fig6`] | **E1**: Figure 6 — error vs shots for six entanglement levels |
+//! | [`overhead`] | **E2**: Theorem 1/Corollary 1 — γ theory vs construction vs measurement |
+//! | [`tables`] | **E3/E4/E6/E7**: closed-form verification tables |
+//! | [`teleport_channel`] | **E5**: Eq. 22/59 channel tomography |
+//! | [`allocation`] | **E8**: shot-allocation ablation |
+//! | [`multicut`] | **E9**: multi-wire scaling extension |
+//! | [`werner`] | **E10**: mixed (Werner) resource extension |
+//! | [`joint_cut`] | **E11**: joint multi-wire cutting (κ = 2^{n+1}−1) |
+//! | [`noise`] | **E12**: wire cutting under gate-level depolarising noise |
+//!
+//! Infrastructure: [`par`] (crossbeam work-stealing map), [`stats`]
+//! (Welford accumulators), [`csvout`] (CSV/pretty tables into `results/`).
+//!
+//! Each experiment has a matching binary (`cargo run --release -p
+//! experiments --bin <name>`) and a criterion bench in the `bench` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod csvout;
+pub mod fig6;
+pub mod joint_cut;
+pub mod multicut;
+pub mod noise;
+pub mod overhead;
+pub mod par;
+pub mod stats;
+pub mod tables;
+pub mod teleport_channel;
+pub mod werner;
+
+pub use csvout::{results_dir, Table};
+pub use par::{default_threads, item_seed, parallel_map_indexed};
+pub use stats::RunningStats;

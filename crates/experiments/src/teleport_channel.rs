@@ -1,0 +1,127 @@
+//! **E5 — teleportation channel tomography** (Eq. 22 / Eq. 59): the
+//! simulated circuit-level teleportation channel versus the closed-form
+//! Pauli channel, plus the resulting teleportation fidelities (related
+//! work, reference \[27\]).
+
+use crate::csvout::Table;
+use entangle::{werner, PhiK};
+use wirecut::teleport::{
+    average_fidelity, entanglement_fidelity, phi_k_resource_prep,
+    teleportation_channel_closed_form, teleportation_channel_simulated,
+};
+
+/// One row of the tomography comparison.
+#[derive(Clone, Debug)]
+pub struct ChannelRow {
+    /// Resource parameter `k`.
+    pub k: f64,
+    /// Max-entry distance between simulated and closed-form channel.
+    pub channel_distance: f64,
+    /// PTM eigenvalue λ (X/Y sector) of the simulated channel.
+    pub lambda_simulated: f64,
+    /// Closed form `2k/(k²+1)`.
+    pub lambda_theory: f64,
+    /// Entanglement fidelity `⟨Φ_I|ρ|Φ_I⟩`.
+    pub entanglement_fidelity: f64,
+    /// Average output fidelity `(2F_ent + 1)/3`.
+    pub average_fidelity: f64,
+}
+
+/// Runs the tomography comparison over a `k` grid.
+pub fn run(points: usize) -> Vec<ChannelRow> {
+    crate::tables::k_grid(points)
+        .into_iter()
+        .map(|k| {
+            let sim = teleportation_channel_simulated(&phi_k_resource_prep(k));
+            let closed = teleportation_channel_closed_form(&PhiK::new(k).density());
+            let ptm = sim.pauli_transfer_matrix();
+            ChannelRow {
+                k,
+                channel_distance: sim.distance(&closed),
+                lambda_simulated: ptm[(1, 1)].re,
+                lambda_theory: 2.0 * k / (k * k + 1.0),
+                entanglement_fidelity: entanglement_fidelity(&PhiK::new(k).density()),
+                average_fidelity: average_fidelity(&PhiK::new(k).density()),
+            }
+        })
+        .collect()
+}
+
+/// Formats the tomography rows.
+pub fn to_table(rows: &[ChannelRow]) -> Table {
+    let mut t = Table::new(&[
+        "k",
+        "channel_distance",
+        "lambda_simulated",
+        "lambda_theory",
+        "entanglement_fidelity",
+        "average_fidelity",
+    ]);
+    for r in rows {
+        t.push_row(vec![
+            r.k,
+            r.channel_distance,
+            r.lambda_simulated,
+            r.lambda_theory,
+            r.entanglement_fidelity,
+            r.average_fidelity,
+        ]);
+    }
+    t
+}
+
+/// Werner-resource variant: depolarising teleportation channel with all
+/// three Pauli eigenvalues equal to `p`.
+pub fn werner_channel_table(points: usize) -> Table {
+    let mut t = Table::new(&["p", "lambda_xyz", "entanglement_fidelity", "average_fidelity"]);
+    for i in 0..points {
+        let p = i as f64 / (points - 1) as f64;
+        let rho = werner(p);
+        let ch = teleportation_channel_closed_form(&rho);
+        let ptm = ch.pauli_transfer_matrix();
+        t.push_row(vec![
+            p,
+            ptm[(1, 1)].re,
+            entanglement_fidelity(&rho),
+            average_fidelity(&rho),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_matches_closed_form_everywhere() {
+        for row in run(9) {
+            assert!(
+                row.channel_distance < 1e-9,
+                "Eq. 22 violated at k={}: distance {}",
+                row.k,
+                row.channel_distance
+            );
+            assert!((row.lambda_simulated - row.lambda_theory).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fidelity_increases_with_k() {
+        let rows = run(11);
+        for w in rows.windows(2) {
+            assert!(w[1].average_fidelity >= w[0].average_fidelity - 1e-12);
+        }
+        assert!((rows.last().unwrap().average_fidelity - 1.0).abs() < 1e-10);
+        // Classical limit 2/3 at k = 0.
+        assert!((rows[0].average_fidelity - 2.0 / 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn werner_table_eigenvalues_equal_p() {
+        let t = werner_channel_table(6);
+        for row in t.rows() {
+            assert!((row[1] - row[0]).abs() < 1e-9, "λ ≠ p at p={}", row[0]);
+        }
+    }
+}

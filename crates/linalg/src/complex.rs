@@ -1,0 +1,373 @@
+//! Complex double-precision scalar.
+//!
+//! The whole workspace operates on `Complex64`, a minimal but complete
+//! complex arithmetic type. We implement it from scratch (rather than
+//! pulling `num-complex`) because the offline dependency policy of this
+//! reproduction restricts external crates and the required surface is
+//! small: field arithmetic, conjugation, modulus, polar form and the
+//! exponential map used for phase gates.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor: `c64(re, im)`.
+#[inline(always)]
+pub const fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64 { re, im }
+}
+
+/// The additive identity.
+pub const C_ZERO: Complex64 = c64(0.0, 0.0);
+/// The multiplicative identity.
+pub const C_ONE: Complex64 = c64(1.0, 0.0);
+/// The imaginary unit `i`.
+pub const C_I: Complex64 = c64(0.0, 1.0);
+
+impl Complex64 {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// The additive identity, `0 + 0i`.
+    #[inline(always)]
+    pub const fn zero() -> Self {
+        C_ZERO
+    }
+
+    /// The multiplicative identity, `1 + 0i`.
+    #[inline(always)]
+    pub const fn one() -> Self {
+        C_ONE
+    }
+
+    /// The imaginary unit `i`.
+    #[inline(always)]
+    pub const fn i() -> Self {
+        C_I
+    }
+
+    /// Complex conjugate `re - i·im`.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `re² + im²`. Cheaper than [`Complex64::abs`]; prefer
+    /// it for probability computations where the square root is unneeded.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `√(re² + im²)`.
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline(always)]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns NaN components for zero input.
+    #[inline(always)]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Constructs `r·e^{iθ}` from polar coordinates.
+    #[inline(always)]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// Complex exponential `e^{self}`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Unit phase `e^{iθ}` — the workhorse for phase/rotation gates.
+    #[inline(always)]
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        let (r, theta) = (self.abs(), self.arg());
+        Self::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Multiply by a real scalar.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+
+    /// `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality within an absolute tolerance per component.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Fused multiply-add: `self * b + acc`. Written out explicitly so the
+    /// compiler can keep everything in registers in gate kernels.
+    #[inline(always)]
+    pub fn mul_add(self, b: Self, acc: Self) -> Self {
+        Self {
+            re: self.re * b.re - self.im * b.im + acc.re,
+            im: self.re * b.im + self.im * b.re + acc.im,
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self { re: -self.re, im: -self.im }
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> Self {
+        Self { re: self.re / rhs, im: self.im / rhs }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline(always)]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(C_ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:+.6}{:+.6}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn addition_and_subtraction_are_componentwise() {
+        let a = c64(1.0, 2.0);
+        let b = c64(-0.5, 3.0);
+        assert!((a + b).approx_eq(c64(0.5, 5.0), TOL));
+        assert!((a - b).approx_eq(c64(1.5, -1.0), TOL));
+    }
+
+    #[test]
+    fn multiplication_matches_definition() {
+        let a = c64(1.0, 2.0);
+        let b = c64(3.0, -1.0);
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert!((a * b).approx_eq(c64(5.0, 5.0), TOL));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((C_I * C_I).approx_eq(c64(-1.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = c64(2.5, -1.5);
+        let b = c64(0.3, 0.7);
+        assert!(((a * b) / b).approx_eq(a, 1e-10));
+    }
+
+    #[test]
+    fn conjugation_negates_imaginary_part() {
+        let a = c64(1.0, -4.0);
+        assert!(a.conj().approx_eq(c64(1.0, 4.0), TOL));
+        assert!((a * a.conj()).approx_eq(c64(a.norm_sqr(), 0.0), TOL));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let a = c64(-0.6, 0.8);
+        let back = Complex64::from_polar(a.abs(), a.arg());
+        assert!(back.approx_eq(a, 1e-12));
+    }
+
+    #[test]
+    fn cis_is_unit_modulus() {
+        for n in 0..32 {
+            let theta = n as f64 * 0.41;
+            assert!((Complex64::cis(theta).abs() - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn exp_of_pure_imaginary_is_cis() {
+        let theta = 1.234;
+        assert!(c64(0.0, theta).exp().approx_eq(Complex64::cis(theta), TOL));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[c64(4.0, 0.0), c64(0.0, 2.0), c64(-1.0, 0.0), c64(3.0, -4.0)] {
+            let r = z.sqrt();
+            assert!((r * r).approx_eq(z, 1e-10), "sqrt failed for {z:?}");
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let (a, b, c) = (c64(1.0, 2.0), c64(3.0, 4.0), c64(-1.0, 0.5));
+        assert!(a.mul_add(b, c).approx_eq(a * b + c, TOL));
+    }
+
+    #[test]
+    fn inv_times_self_is_one() {
+        let a = c64(0.7, -0.2);
+        assert!((a * a.inv()).approx_eq(C_ONE, 1e-12));
+    }
+
+    #[test]
+    fn sum_iterator_accumulates() {
+        let xs = [c64(1.0, 1.0), c64(2.0, -1.0), c64(-0.5, 0.25)];
+        let s: Complex64 = xs.iter().copied().sum();
+        assert!(s.approx_eq(c64(2.5, 0.25), TOL));
+    }
+
+    #[test]
+    fn display_formats_sign_correctly() {
+        assert_eq!(format!("{}", c64(1.0, 2.0)), "1+2i");
+        assert_eq!(format!("{}", c64(1.0, -2.0)), "1-2i");
+    }
+}

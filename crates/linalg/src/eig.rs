@@ -1,0 +1,237 @@
+//! Eigendecomposition of Hermitian matrices via the complex Jacobi method.
+//!
+//! Density operators are Hermitian positive semidefinite; we need their
+//! spectra for purity checks, fidelity computations with mixed resource
+//! states (Werner/Bell-diagonal extensions), and validating that QPD
+//! reconstructions are physical.
+
+use crate::complex::Complex64;
+use crate::matrix::Matrix;
+
+/// Result of a Hermitian eigendecomposition `A = V · diag(λ) · V†`.
+#[derive(Clone, Debug)]
+pub struct HermitianEig {
+    /// Real eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub vectors: Matrix,
+}
+
+/// Diagonalises a Hermitian matrix by cyclic complex Jacobi rotations.
+///
+/// # Panics
+/// Panics if `a` is not square or not Hermitian to `1e-9`.
+pub fn eigh(a: &Matrix) -> HermitianEig {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    assert!(a.is_hermitian(1e-9), "eigh requires a Hermitian matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let max_sweeps = 80;
+    for _ in 0..max_sweeps {
+        // Largest off-diagonal magnitude.
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off = off.max(m[(i, j)].abs());
+            }
+        }
+        if off < 1e-14 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                let phase = apq * (1.0 / apq.abs());
+                let tau = (aqq - app) / (2.0 * apq.abs());
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+
+                // Unitary: J = [[c, s·phase],[−s·phase†, c]] acting on (p,q).
+                // Update M ← J† M J and V ← V J.
+                // Row/column updates:
+                for i in 0..n {
+                    let mip = m[(i, p)];
+                    let miq = m[(i, q)] * phase.conj();
+                    m[(i, p)] = mip.scale(c) - miq.scale(s);
+                    m[(i, q)] = (mip.scale(s) + miq.scale(c)) * phase;
+                }
+                for i in 0..n {
+                    let mpi = m[(p, i)];
+                    let mqi = m[(q, i)] * phase;
+                    m[(p, i)] = mpi.scale(c) - mqi.scale(s);
+                    m[(q, i)] = (mpi.scale(s) + mqi.scale(c)) * phase.conj();
+                }
+                for i in 0..n {
+                    let vip = v[(i, p)];
+                    let viq = v[(i, q)] * phase.conj();
+                    v[(i, p)] = vip.scale(c) - viq.scale(s);
+                    v[(i, q)] = (vip.scale(s) + viq.scale(c)) * phase;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs descending by eigenvalue.
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+    idx.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap());
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (dst, &src) in idx.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, dst)] = v[(i, src)];
+        }
+    }
+    HermitianEig { values, vectors }
+}
+
+impl HermitianEig {
+    /// Reconstructs `V · diag(λ) · V†`.
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        let mut vd = self.vectors.clone();
+        for j in 0..n {
+            for i in 0..n {
+                vd[(i, j)] = vd[(i, j)].scale(self.values[j]);
+            }
+        }
+        vd.matmul(&self.vectors.dagger())
+    }
+
+    /// Returns the eigenvector for index `k` as an owned vector.
+    pub fn vector(&self, k: usize) -> Vec<Complex64> {
+        self.vectors.col(k)
+    }
+}
+
+/// Square root of a Hermitian PSD matrix: `√A = V·diag(√λ)·V†`.
+/// Negative eigenvalues within `-1e-10` are clamped to zero; larger negative
+/// values panic because the input is then not PSD.
+pub fn sqrtm_psd(a: &Matrix) -> Matrix {
+    let e = eigh(a);
+    let n = e.values.len();
+    let mut vd = e.vectors.clone();
+    for j in 0..n {
+        let lam = e.values[j];
+        assert!(lam > -1e-9, "sqrtm_psd: matrix has negative eigenvalue {lam}");
+        let r = lam.max(0.0).sqrt();
+        for i in 0..n {
+            vd[(i, j)] = vd[(i, j)].scale(r);
+        }
+    }
+    vd.matmul(&e.vectors.dagger())
+}
+
+/// Uhlmann fidelity between density operators:
+/// `F(ρ, σ) = (Tr √(√ρ σ √ρ))²`.
+pub fn fidelity(rho: &Matrix, sigma: &Matrix) -> f64 {
+    let sr = sqrtm_psd(rho);
+    let inner = sr.matmul(sigma).matmul(&sr);
+    // inner is PSD Hermitian up to numerical noise; symmetrise first.
+    let herm = inner.add(&inner.dagger()).scale_re(0.5);
+    let e = eigh(&herm);
+    let tr: f64 = e.values.iter().map(|&l| l.max(0.0).sqrt()).sum();
+    tr * tr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C_ZERO;
+    use crate::complex::{c64, C_I, C_ONE};
+    use crate::vector::outer;
+
+    #[test]
+    fn eigh_diagonal_matrix() {
+        let a = Matrix::diag(&[c64(3.0, 0.0), c64(1.0, 0.0), c64(2.0, 0.0)]);
+        let e = eigh(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigh_pauli_x_spectrum() {
+        let x = Matrix::from_rows(&[vec![C_ZERO, C_ONE], vec![C_ONE, C_ZERO]]);
+        let e = eigh(&x);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] + 1.0).abs() < 1e-12);
+        assert!(e.reconstruct().approx_eq(&x, 1e-10));
+    }
+
+    #[test]
+    fn eigh_pauli_y_complex_entries() {
+        let y = Matrix::from_rows(&[vec![C_ZERO, -C_I], vec![C_I, C_ZERO]]);
+        let e = eigh(&y);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] + 1.0).abs() < 1e-12);
+        assert!(e.reconstruct().approx_eq(&y, 1e-10));
+        assert!(e.vectors.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn eigh_random_hermitian_reconstructs() {
+        // Build H = B + B† from a deterministic pseudo-random B.
+        let mut s = 9u64;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let b = Matrix::from_fn(4, 4, |_, _| c64(next(), next()));
+        let h = b.add(&b.dagger()).scale_re(0.5);
+        let e = eigh(&h);
+        assert!(e.reconstruct().approx_eq(&h, 1e-9));
+        assert!(e.vectors.is_unitary(1e-9));
+        // Trace equals sum of eigenvalues.
+        let tr: f64 = e.values.iter().sum();
+        assert!((tr - h.trace().re).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sqrtm_of_projector_is_projector() {
+        let v = [c64(0.6, 0.0), c64(0.0, 0.8)];
+        let p = outer(&v, &v);
+        let r = sqrtm_psd(&p);
+        assert!(r.matmul(&r).approx_eq(&p, 1e-9));
+    }
+
+    #[test]
+    fn fidelity_of_identical_pure_states_is_one() {
+        let v = [c64(0.6, 0.0), c64(0.8, 0.0)];
+        let p = outer(&v, &v);
+        assert!((fidelity(&p, &p) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let a = outer(&[C_ONE, C_ZERO], &[C_ONE, C_ZERO]);
+        let b = outer(&[C_ZERO, C_ONE], &[C_ZERO, C_ONE]);
+        assert!(fidelity(&a, &b).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fidelity_pure_vs_maximally_mixed() {
+        let a = outer(&[C_ONE, C_ZERO], &[C_ONE, C_ZERO]);
+        let mixed = Matrix::identity(2).scale_re(0.5);
+        assert!((fidelity(&a, &mixed) - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn eigh_rejects_non_hermitian() {
+        let a = Matrix::from_rows(&[vec![C_ONE, C_ONE], vec![C_ZERO, C_ONE]]);
+        let _ = eigh(&a);
+    }
+}

@@ -1,0 +1,42 @@
+//! # qlinalg — dense complex linear algebra substrate
+//!
+//! Foundation crate for the NME wire-cutting reproduction
+//! (Bechtold et al., IPPS 2024, arXiv:2403.09690). Everything downstream —
+//! the statevector simulator, the entanglement toolkit, QPD verification —
+//! is built on the types here.
+//!
+//! Contents:
+//!
+//! * [`Complex64`] — complex double-precision scalar with the full field
+//!   arithmetic, polar form and `cis` used by phase gates.
+//! * [`Matrix`] — dense row-major complex matrix: `matmul`, [`Matrix::kron`],
+//!   `dagger`, `trace`, Hilbert–Schmidt inner products.
+//! * [`qr()`](qr())/[`QrDecomposition`] — Householder QR; with
+//!   [`QrDecomposition::haar_unitary_q`] implementing the Mezzadri phase
+//!   correction for exact Haar sampling (the paper's reference \[30\]).
+//! * [`svd()`](svd())/[`Svd`] — one-sided Jacobi SVD, powering Schmidt
+//!   decompositions (paper Eq. 3–5).
+//! * [`eigh`]/[`HermitianEig`], [`sqrtm_psd`], [`fidelity`] — Hermitian
+//!   spectral tools for density operators.
+//! * [`vector`] — free functions over `&[Complex64]` state buffers.
+//!
+//! Design note: matrices here are tiny (≤ 64×64 superoperators), so the
+//! implementation favours clarity and exactness over blocking/SIMD; the
+//! performance-critical inner loops live in `qsim`'s strided gate kernels
+//! instead, per the workspace's HPC guide split of responsibilities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod eig;
+pub mod matrix;
+pub mod qr;
+pub mod svd;
+pub mod vector;
+
+pub use complex::{c64, Complex64, C_I, C_ONE, C_ZERO};
+pub use eig::{eigh, fidelity, sqrtm_psd, HermitianEig};
+pub use matrix::Matrix;
+pub use qr::{inverse, lstsq, qr, solve, unitary_with_first_column, QrDecomposition};
+pub use svd::{svd, Svd};

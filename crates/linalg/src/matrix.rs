@@ -1,0 +1,521 @@
+//! Dense complex matrices in row-major storage.
+//!
+//! Every matrix in this reproduction is small (at most `4^n × 4^n` for
+//! `n ≤ 3` qubits of superoperator, i.e. ≤ 64×64), so a straightforward
+//! contiguous row-major `Vec<Complex64>` with cache-friendly `i-k-j`
+//! multiplication is the right tool — no blocking or BLAS needed.
+
+use crate::complex::{c64, Complex64, C_ONE, C_ZERO};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense complex matrix with row-major storage.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![C_ZERO; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C_ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major slice of complex entries.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_slice(rows: usize, cols: usize, data: &[Complex64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Self { rows, cols, data: data.to_vec() }
+    }
+
+    /// Builds a matrix from a row-major vector, taking ownership.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested row arrays of `(re, im)` pairs; handy in
+    /// tests and gate definitions.
+    pub fn from_rows(rows: &[Vec<Complex64>]) -> Self {
+        let r = rows.len();
+        assert!(r > 0, "empty matrix");
+        let c = rows[0].len();
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix from a function of the index pair.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Builds a real diagonal matrix from its diagonal entries.
+    pub fn diag(entries: &[Complex64]) -> Self {
+        let n = entries.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &e) in entries.iter().enumerate() {
+            m[(i, i)] = e;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` for square matrices.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw row-major data slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Complex64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Entrywise complex conjugate.
+    pub fn conj(&self) -> Self {
+        let data = self.data.iter().map(|z| z.conj()).collect();
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Conjugate transpose (Hermitian adjoint) `A†`.
+    pub fn dagger(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Trace `Σᵢ Aᵢᵢ`.
+    pub fn trace(&self) -> Complex64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm `√Σ|Aᵢⱼ|²`.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Maximum entrywise modulus.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Entrywise approximate equality within absolute tolerance `tol`.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Scales every entry by a complex scalar.
+    pub fn scale(&self, s: Complex64) -> Self {
+        let data = self.data.iter().map(|&z| z * s).collect();
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scales every entry by a real scalar.
+    pub fn scale_re(&self, s: f64) -> Self {
+        let data = self.data.iter().map(|&z| z * s).collect();
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place accumulate `self += s * other`, the hot path when summing
+    /// weighted channel matrices for QPD reconstruction checks.
+    pub fn axpy(&mut self, s: Complex64, other: &Self) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += s * b;
+        }
+    }
+
+    /// Matrix product `self · rhs` with the cache-friendly i-k-j loop order.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let (m, k_dim, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Self::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k_dim..(i + 1) * k_dim];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == C_ZERO {
+                    continue;
+                }
+                let b_row = &rhs.data[k * n..(k + 1) * n];
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o = a_ik.mul_add(b_kj, *o);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · v`.
+    pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        let mut out = vec![C_ZERO; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = C_ZERO;
+            for (&a, &x) in row.iter().zip(v.iter()) {
+                acc = a.mul_add(x, acc);
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    ///
+    /// Index convention: `(A ⊗ B)[(i_a·rb + i_b), (j_a·cb + j_b)] =
+    /// A[i_a,j_a]·B[i_b,j_b]`, so for two-qubit operators built as
+    /// `kron(op_on_qubit1, op_on_qubit0)` the *second* factor acts on the
+    /// least-significant qubit, matching the simulator's bit ordering.
+    pub fn kron(&self, rhs: &Self) -> Self {
+        let (ra, ca) = (self.rows, self.cols);
+        let (rb, cb) = (rhs.rows, rhs.cols);
+        let mut out = Self::zeros(ra * rb, ca * cb);
+        for ia in 0..ra {
+            for ja in 0..ca {
+                let a = self[(ia, ja)];
+                if a == C_ZERO {
+                    continue;
+                }
+                for ib in 0..rb {
+                    let dst_row = (ia * rb + ib) * out.cols + ja * cb;
+                    let src_row = ib * cb;
+                    for jb in 0..cb {
+                        out.data[dst_row + jb] = a * rhs.data[src_row + jb];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` when `‖A†A − I‖_∞ < tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let prod = self.dagger().matmul(self);
+        prod.sub(&Self::identity(self.rows)).max_abs() < tol
+    }
+
+    /// `true` when `‖A − A†‖_∞ < tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.sub(&self.dagger()).max_abs() < tol
+    }
+
+    /// Entrywise sum (non-operator form usable on references).
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Entrywise difference (non-operator form usable on references).
+    pub fn sub(&self, other: &Self) -> Self {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a - b)
+            .collect();
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Extracts column `j` as a vector.
+    pub fn col(&self, j: usize) -> Vec<Complex64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Hermitian inner product `⟨self, other⟩ = Tr[self† · other]`, the
+    /// Hilbert–Schmidt inner product used for operator decompositions.
+    pub fn hs_inner(&self, other: &Self) -> Complex64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a.conj() * b)
+            .sum()
+    }
+
+    /// Matrix power by repeated squaring (square matrices only).
+    pub fn pow(&self, mut e: u32) -> Self {
+        assert!(self.is_square());
+        let mut base = self.clone();
+        let mut acc = Self::identity(self.rows);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.matmul(&base);
+            }
+            base = base.matmul(&base);
+            e >>= 1;
+        }
+        acc
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = Complex64;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: Self) -> Matrix {
+        Matrix::add(self, rhs)
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: Self) -> Matrix {
+        Matrix::sub(self, rhs)
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: Self) -> Matrix {
+        self.matmul(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scale(c64(-1.0, 0.0))
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:?} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C_I;
+
+    fn pauli_x() -> Matrix {
+        Matrix::from_rows(&[vec![C_ZERO, C_ONE], vec![C_ONE, C_ZERO]])
+    }
+
+    fn pauli_y() -> Matrix {
+        Matrix::from_rows(&[vec![C_ZERO, -C_I], vec![C_I, C_ZERO]])
+    }
+
+    fn pauli_z() -> Matrix {
+        Matrix::from_rows(&[vec![C_ONE, C_ZERO], vec![C_ZERO, -C_ONE]])
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let x = pauli_x();
+        let i2 = Matrix::identity(2);
+        assert!(x.matmul(&i2).approx_eq(&x, 1e-14));
+        assert!(i2.matmul(&x).approx_eq(&x, 1e-14));
+    }
+
+    #[test]
+    fn pauli_algebra_xy_equals_iz() {
+        let xy = pauli_x().matmul(&pauli_y());
+        let iz = pauli_z().scale(C_I);
+        assert!(xy.approx_eq(&iz, 1e-14));
+    }
+
+    #[test]
+    fn paulis_are_unitary_and_hermitian() {
+        for p in [pauli_x(), pauli_y(), pauli_z()] {
+            assert!(p.is_unitary(1e-12));
+            assert!(p.is_hermitian(1e-12));
+            assert!(p.matmul(&p).approx_eq(&Matrix::identity(2), 1e-12));
+        }
+    }
+
+    #[test]
+    fn trace_of_paulis_is_zero() {
+        for p in [pauli_x(), pauli_y(), pauli_z()] {
+            assert!(p.trace().approx_eq(C_ZERO, 1e-14));
+        }
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = Matrix::from_rows(&[vec![C_ONE, c64(2.0, 0.0)], vec![c64(3.0, 0.0), c64(4.0, 0.0)]]);
+        let b = Matrix::identity(2);
+        let k = a.kron(&b);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k.cols(), 4);
+        assert!(k[(0, 0)].approx_eq(C_ONE, 1e-14));
+        assert!(k[(1, 1)].approx_eq(C_ONE, 1e-14));
+        assert!(k[(0, 2)].approx_eq(c64(2.0, 0.0), 1e-14));
+        assert!(k[(2, 0)].approx_eq(c64(3.0, 0.0), 1e-14));
+        assert!(k[(3, 3)].approx_eq(c64(4.0, 0.0), 1e-14));
+        assert!(k[(0, 1)].approx_eq(C_ZERO, 1e-14));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = pauli_x();
+        let b = pauli_y();
+        let c = pauli_z();
+        let d = pauli_x();
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn dagger_is_involutive_and_antimultiplicative() {
+        let a = pauli_x().matmul(&pauli_y());
+        assert!(a.dagger().dagger().approx_eq(&a, 1e-14));
+        let b = pauli_z();
+        let lhs = a.matmul(&b).dagger();
+        let rhs = b.dagger().matmul(&a.dagger());
+        assert!(lhs.approx_eq(&rhs, 1e-14));
+    }
+
+    #[test]
+    fn matvec_matches_matmul_with_column() {
+        let a = pauli_y();
+        let v = vec![c64(0.6, 0.0), c64(0.0, 0.8)];
+        let got = a.matvec(&v);
+        // Y|v⟩ = (-i·v1, i·v0)
+        assert!(got[0].approx_eq(c64(0.8, 0.0), 1e-14));
+        assert!(got[1].approx_eq(c64(0.0, 0.6), 1e-14));
+    }
+
+    #[test]
+    fn hs_inner_paulis_are_orthogonal() {
+        let paulis = [Matrix::identity(2), pauli_x(), pauli_y(), pauli_z()];
+        for (i, p) in paulis.iter().enumerate() {
+            for (j, q) in paulis.iter().enumerate() {
+                let ip = p.hs_inner(q);
+                if i == j {
+                    assert!(ip.approx_eq(c64(2.0, 0.0), 1e-12));
+                } else {
+                    assert!(ip.approx_eq(C_ZERO, 1e-12), "paulis {i},{j} not orthogonal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut acc = Matrix::zeros(2, 2);
+        acc.axpy(c64(2.0, 0.0), &pauli_x());
+        acc.axpy(c64(0.0, 1.0), &pauli_z());
+        assert!(acc[(0, 1)].approx_eq(c64(2.0, 0.0), 1e-14));
+        assert!(acc[(0, 0)].approx_eq(c64(0.0, 1.0), 1e-14));
+        assert!(acc[(1, 1)].approx_eq(c64(0.0, -1.0), 1e-14));
+    }
+
+    #[test]
+    fn pow_repeated_squaring() {
+        let x = pauli_x();
+        assert!(x.pow(0).approx_eq(&Matrix::identity(2), 1e-14));
+        assert!(x.pow(1).approx_eq(&x, 1e-14));
+        assert!(x.pow(2).approx_eq(&Matrix::identity(2), 1e-14));
+        assert!(x.pow(5).approx_eq(&x, 1e-14));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn diag_builds_diagonal() {
+        let d = Matrix::diag(&[C_ONE, c64(2.0, 0.0), C_I]);
+        assert_eq!(d.rows(), 3);
+        assert!(d[(2, 2)].approx_eq(C_I, 1e-14));
+        assert!(d[(0, 1)].approx_eq(C_ZERO, 1e-14));
+    }
+}

@@ -1,0 +1,325 @@
+//! Householder QR decomposition for complex matrices.
+//!
+//! Two consumers in this reproduction:
+//!
+//! 1. **Haar-random unitaries** (Mezzadri, *How to generate random matrices
+//!    from the classical compact groups*, Notices AMS 54(5), 2007 — the
+//!    paper's reference \[30\]): QR-factor a Ginibre matrix, then multiply Q
+//!    by the phases of R's diagonal. [`QrDecomposition::haar_unitary_q`]
+//!    performs that correction.
+//! 2. **Least-squares solves** used to recover QPD coefficients from
+//!    channel matrices in verification experiments.
+
+use crate::complex::{Complex64, C_ONE, C_ZERO};
+use crate::matrix::Matrix;
+
+/// Result of a QR factorisation `A = Q·R` with unitary `Q` and upper
+/// triangular `R`.
+#[derive(Clone, Debug)]
+pub struct QrDecomposition {
+    /// Unitary factor (`m × m`).
+    pub q: Matrix,
+    /// Upper-triangular factor (`m × n`).
+    pub r: Matrix,
+}
+
+/// Computes the full QR decomposition of `a` (`m × n`, `m ≥ n` expected but
+/// not required) via Householder reflections.
+pub fn qr(a: &Matrix) -> QrDecomposition {
+    let m = a.rows();
+    let n = a.cols();
+    let mut r = a.clone();
+    let mut q = Matrix::identity(m);
+    let steps = m.min(n);
+
+    for k in 0..steps {
+        // Build the Householder vector v for column k, rows k..m.
+        let mut v: Vec<Complex64> = (k..m).map(|i| r[(i, k)]).collect();
+        let alpha = {
+            let x0 = v[0];
+            let nx = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            if nx == 0.0 {
+                continue;
+            }
+            // Choose the sign that avoids cancellation: alpha = -e^{iθ}·‖x‖
+            // where θ is the phase of x0.
+            let phase = if x0.abs() > 0.0 { x0 * (1.0 / x0.abs()) } else { C_ONE };
+            -phase * nx
+        };
+        v[0] -= alpha;
+        let vn2 = v.iter().map(|z| z.norm_sqr()).sum::<f64>();
+        if vn2 < f64::EPSILON {
+            continue;
+        }
+        let beta = 2.0 / vn2;
+
+        // Apply H = I - beta·v·v† to R (rows k..m) from the left.
+        for j in k..n {
+            let mut dot = C_ZERO;
+            for (idx, &vi) in v.iter().enumerate() {
+                dot = vi.conj().mul_add(r[(k + idx, j)], dot);
+            }
+            let s = dot.scale(beta);
+            for (idx, &vi) in v.iter().enumerate() {
+                let val = r[(k + idx, j)] - vi * s;
+                r[(k + idx, j)] = val;
+            }
+        }
+        // Accumulate Q ← Q·H (apply H from the right on columns k..m).
+        for i in 0..m {
+            let mut dot = C_ZERO;
+            for (idx, &vi) in v.iter().enumerate() {
+                dot = q[(i, k + idx)].mul_add(vi, dot);
+            }
+            let s = dot.scale(beta);
+            for (idx, &vi) in v.iter().enumerate() {
+                let val = q[(i, k + idx)] - s * vi.conj();
+                q[(i, k + idx)] = val;
+            }
+        }
+    }
+
+    // Zero out numerical noise below the diagonal of R.
+    for i in 0..m {
+        for j in 0..n.min(i) {
+            r[(i, j)] = C_ZERO;
+        }
+    }
+
+    QrDecomposition { q, r }
+}
+
+impl QrDecomposition {
+    /// Returns `Q · Λ` where `Λ = diag(r_ii / |r_ii|)`.
+    ///
+    /// When the input to [`qr`] was a standard complex Ginibre matrix this
+    /// correction makes the result exactly Haar-distributed on U(n)
+    /// (Mezzadri 2007); without it the distribution is biased by the sign
+    /// convention of the QR algorithm.
+    pub fn haar_unitary_q(&self) -> Matrix {
+        let n = self.q.rows();
+        let mut out = self.q.clone();
+        for j in 0..n.min(self.r.cols()) {
+            let d = self.r[(j, j)];
+            let phase = if d.abs() > 0.0 { d * (1.0 / d.abs()) } else { C_ONE };
+            for i in 0..n {
+                out[(i, j)] = out[(i, j)] * phase;
+            }
+        }
+        out
+    }
+}
+
+/// Solves the least-squares problem `min ‖A·x − b‖₂` for full-column-rank
+/// `A` (`m × n`, `m ≥ n`) via QR and back-substitution.
+///
+/// Used by verification experiments to project reconstructed channels onto
+/// a basis of implementable LOCC channels and recover QPD coefficients.
+pub fn lstsq(a: &Matrix, b: &[Complex64]) -> Vec<Complex64> {
+    let m = a.rows();
+    let n = a.cols();
+    assert_eq!(b.len(), m, "lstsq rhs length mismatch");
+    assert!(m >= n, "lstsq requires m >= n");
+    let QrDecomposition { q, r } = qr(a);
+    // y = Q†·b, take first n entries, then solve R x = y.
+    let qt_b = q.dagger().matvec(b);
+    let mut x = vec![C_ZERO; n];
+    for i in (0..n).rev() {
+        let mut acc = qt_b[i];
+        for j in (i + 1)..n {
+            acc -= r[(i, j)] * x[j];
+        }
+        let d = r[(i, i)];
+        assert!(d.abs() > 1e-13, "lstsq: rank-deficient matrix (R[{i},{i}] ~ 0)");
+        x[i] = acc * d.inv();
+    }
+    x
+}
+
+/// Builds a unitary whose first column is the given unit vector, by
+/// completing it to an orthonormal basis (Gram–Schmidt over the standard
+/// basis). Used to synthesise state-preparation gates `U|0…0⟩ = |ψ⟩`.
+pub fn unitary_with_first_column(column: &[Complex64]) -> Matrix {
+    let n = column.len();
+    let nrm = crate::vector::norm(column);
+    assert!((nrm - 1.0).abs() < 1e-9, "first column must be a unit vector");
+    let mut cols: Vec<Vec<Complex64>> = vec![column.to_vec()];
+    for b in 0..n {
+        if cols.len() == n {
+            break;
+        }
+        let mut e = vec![C_ZERO; n];
+        e[b] = C_ONE;
+        for existing in &cols {
+            let ov = crate::vector::inner(existing, &e);
+            for (ei, &xi) in e.iter_mut().zip(existing.iter()) {
+                *ei -= xi * ov;
+            }
+        }
+        let en = crate::vector::norm(&e);
+        if en > 1e-8 {
+            for z in e.iter_mut() {
+                *z = z.scale(1.0 / en);
+            }
+            cols.push(e);
+        }
+    }
+    assert_eq!(cols.len(), n, "failed to complete basis");
+    Matrix::from_fn(n, n, |i, j| cols[j][i])
+}
+
+/// Convenience: solves the square linear system `A·x = b`.
+pub fn solve(a: &Matrix, b: &[Complex64]) -> Vec<Complex64> {
+    assert!(a.is_square(), "solve requires a square matrix");
+    lstsq(a, b)
+}
+
+/// Matrix inverse via QR (square, nonsingular). Small matrices only.
+pub fn inverse(a: &Matrix) -> Matrix {
+    assert!(a.is_square());
+    let n = a.rows();
+    let mut out = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut e = vec![C_ZERO; n];
+        e[j] = C_ONE;
+        let x = solve(a, &e);
+        for i in 0..n {
+            out[(i, j)] = x[i];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn sample_matrix(n: usize, seed: u64) -> Matrix {
+        // Deterministic pseudo-random fill (splitmix64) to avoid an RNG
+        // dependency inside unit tests.
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z = z ^ (z >> 31);
+            (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        Matrix::from_fn(n, n, |_, _| c64(next(), next()))
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        for n in [1, 2, 3, 4, 8] {
+            let a = sample_matrix(n, 42 + n as u64);
+            let d = qr(&a);
+            let back = d.q.matmul(&d.r);
+            assert!(back.approx_eq(&a, 1e-10), "QR reconstruction failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn q_is_unitary() {
+        for n in [2, 3, 4, 8, 16] {
+            let a = sample_matrix(n, 7 + n as u64);
+            let d = qr(&a);
+            assert!(d.q.is_unitary(1e-9), "Q not unitary for n={n}");
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = sample_matrix(5, 99);
+        let d = qr(&a);
+        for i in 0..5 {
+            for j in 0..i {
+                assert!(d.r[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn haar_q_is_unitary() {
+        let a = sample_matrix(4, 1234);
+        let u = qr(&a).haar_unitary_q();
+        assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn haar_correction_makes_r_diagonal_phase_absorbed() {
+        // After the correction, Q'†·A should have a positive-real diagonal
+        // in its R factor — equivalently Λ†R has positive real diagonal.
+        let a = sample_matrix(4, 555);
+        let d = qr(&a);
+        let u = d.haar_unitary_q();
+        let r_new = u.dagger().matmul(&a);
+        for i in 0..4 {
+            let z = r_new[(i, i)];
+            assert!(z.re > 0.0, "diagonal not positive-real: {z:?}");
+            assert!(z.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_square_system() {
+        let a = sample_matrix(5, 2024);
+        let x_true: Vec<_> = (0..5).map(|i| c64(i as f64 + 0.5, -(i as f64))).collect();
+        let b = a.matvec(&x_true);
+        let x = solve(&a, &b);
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            assert!(got.approx_eq(*want, 1e-8), "solve mismatch {got:?} vs {want:?}");
+        }
+    }
+
+    #[test]
+    fn lstsq_overdetermined_consistent_system() {
+        // Tall consistent system: A (6x3), b = A x.
+        let mut a = Matrix::zeros(6, 3);
+        let base = sample_matrix(6, 31);
+        for i in 0..6 {
+            for j in 0..3 {
+                a[(i, j)] = base[(i, j)];
+            }
+        }
+        let x_true = vec![c64(1.0, 2.0), c64(-0.5, 0.5), c64(0.0, -1.0)];
+        let b = a.matvec(&x_true);
+        let x = lstsq(&a, &b);
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            assert!(got.approx_eq(*want, 1e-8));
+        }
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let a = sample_matrix(4, 77);
+        let inv = inverse(&a);
+        assert!(a.matmul(&inv).approx_eq(&Matrix::identity(4), 1e-8));
+        assert!(inv.matmul(&a).approx_eq(&Matrix::identity(4), 1e-8));
+    }
+
+    #[test]
+    fn unitary_with_first_column_is_unitary() {
+        let v = vec![c64(0.5, 0.0), c64(0.0, 0.5), c64(0.5, 0.0), c64(0.0, -0.5)];
+        let u = unitary_with_first_column(&v);
+        assert!(u.is_unitary(1e-9));
+        for i in 0..4 {
+            assert!(u[(i, 0)].approx_eq(v[i], 1e-12));
+        }
+        // Also works when the column is a standard basis vector.
+        let e0 = vec![c64(1.0, 0.0), c64(0.0, 0.0)];
+        let u = unitary_with_first_column(&e0);
+        assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn qr_handles_rank_one_matrix() {
+        // Rank-deficient input must still satisfy A = QR with unitary Q.
+        let col = [c64(1.0, 0.0), c64(2.0, 0.0), c64(3.0, 0.0)];
+        let a = Matrix::from_fn(3, 3, |i, j| col[i] * (j as f64 + 1.0));
+        let d = qr(&a);
+        assert!(d.q.is_unitary(1e-9));
+        assert!(d.q.matmul(&d.r).approx_eq(&a, 1e-9));
+    }
+}

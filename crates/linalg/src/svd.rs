@@ -1,0 +1,274 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The Schmidt decomposition of a bipartite pure state (paper Eq. 3–4) *is*
+//! the SVD of its coefficient matrix: `|ψ⟩ = Σᵢⱼ Mᵢⱼ |i⟩|j⟩` with
+//! `M = U·Σ·V†` gives Schmidt coefficients `Σᵢᵢ` and local bases from `U`
+//! and `V`. One-sided Jacobi is simple, numerically robust, and plenty fast
+//! for the ≤ 4×4 matrices appearing here.
+
+use crate::complex::{Complex64, C_ONE, C_ZERO};
+use crate::matrix::Matrix;
+
+/// Result of an SVD `A = U · diag(σ) · V†` with `σ` sorted descending.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors (`m × k`, `k = min(m, n)`), orthonormal columns.
+    pub u: Matrix,
+    /// Singular values, non-negative, descending.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (`n × k`), orthonormal columns.
+    pub v: Matrix,
+}
+
+/// Computes the thin SVD of `a` by one-sided Jacobi iteration on columns.
+///
+/// Converges when all column pairs are numerically orthogonal; for the tiny
+/// matrices used in this repo a handful of sweeps suffices.
+pub fn svd(a: &Matrix) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    // Work on the transposed problem when m < n so columns are long.
+    if m < n {
+        let t = svd(&a.transpose().conj());
+        // A = conj(T)ᵀ where T = A†: if A† = U Σ V†, then A = V Σ U†.
+        return Svd { u: t.v, sigma: t.sigma, v: t.u };
+    }
+
+    let mut w = a.clone(); // m × n working copy whose columns converge to U·Σ
+    let mut v = Matrix::identity(n);
+
+    let max_sweeps = 60;
+    let tol = 1e-14;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gram entries for the 2×2 subproblem.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = C_ZERO;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    app += wp.norm_sqr();
+                    aqq += wq.norm_sqr();
+                    apq = wp.conj().mul_add(wq, apq);
+                }
+                let apq_abs = apq.abs();
+                off = off.max(apq_abs / (app * aqq).sqrt().max(1e-300));
+                if apq_abs <= tol * (app * aqq).sqrt() {
+                    continue;
+                }
+                // Complex Jacobi rotation diagonalising [[app, apq],[apq†, aqq]].
+                let phase = apq * (1.0 / apq_abs);
+                let tau = (aqq - app) / (2.0 * apq_abs);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Column update: [wp, wq] ← [c·wp − s·conj(phase)·wq?, ...]
+                // Using the standard one-sided scheme:
+                //   wp' = c·wp − s·phase†... derive: rotate in the (p,q) plane
+                //   with complex phase applied to the q column.
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)] * phase.conj();
+                    w[(i, p)] = wp.scale(c) - wq.scale(s);
+                    w[(i, q)] = (wp.scale(s) + wq.scale(c)) * phase;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)] * phase.conj();
+                    v[(i, p)] = vp.scale(c) - vq.scale(s);
+                    v[(i, q)] = (vp.scale(s) + vq.scale(c)) * phase;
+                }
+            }
+        }
+        if off < 1e-13 {
+            break;
+        }
+    }
+
+    // Extract singular values and normalise columns of W into U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sig = vec![0.0f64; n];
+    for j in 0..n {
+        sig[j] = (0..m).map(|i| w[(i, j)].norm_sqr()).sum::<f64>().sqrt();
+    }
+    order.sort_by(|&i, &j| sig[j].partial_cmp(&sig[i]).unwrap());
+
+    let mut u = Matrix::zeros(m, n);
+    let mut v_sorted = Matrix::zeros(n, n);
+    let mut sigma = Vec::with_capacity(n);
+    for (dst, &src) in order.iter().enumerate() {
+        let s = sig[src];
+        sigma.push(s);
+        if s > 1e-300 {
+            let inv = 1.0 / s;
+            for i in 0..m {
+                u[(i, dst)] = w[(i, src)].scale(inv);
+            }
+        } else {
+            // Null singular value: fill with a unit vector orthogonal to the
+            // others (Gram–Schmidt against previously placed columns).
+            let mut e = vec![C_ZERO; m];
+            'basis: for b in 0..m {
+                for z in e.iter_mut() {
+                    *z = C_ZERO;
+                }
+                e[b] = C_ONE;
+                for jj in 0..dst {
+                    let col: Vec<Complex64> = (0..m).map(|i| u[(i, jj)]).collect();
+                    let ov = crate::vector::inner(&col, &e);
+                    for i in 0..m {
+                        let sub = col[i] * ov;
+                        e[i] -= sub;
+                    }
+                }
+                let nrm = crate::vector::norm(&e);
+                if nrm > 1e-6 {
+                    for z in e.iter_mut() {
+                        *z = z.scale(1.0 / nrm);
+                    }
+                    break 'basis;
+                }
+            }
+            for i in 0..m {
+                u[(i, dst)] = e[i];
+            }
+        }
+        for i in 0..n {
+            v_sorted[(i, dst)] = v[(i, src)];
+        }
+    }
+
+    Svd { u, sigma, v: v_sorted }
+}
+
+impl Svd {
+    /// Reconstructs `U · diag(σ) · V†`; used by tests.
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.sigma.len();
+        let mut us = self.u.clone();
+        for j in 0..k {
+            for i in 0..us.rows() {
+                us[(i, j)] = us[(i, j)].scale(self.sigma[j]);
+            }
+        }
+        us.matmul(&self.v.dagger())
+    }
+
+    /// Numerical rank at tolerance `tol` (relative to the largest σ).
+    pub fn rank(&self, tol: f64) -> usize {
+        let s0 = self.sigma.first().copied().unwrap_or(0.0);
+        if s0 == 0.0 {
+            return 0;
+        }
+        self.sigma.iter().filter(|&&s| s > tol * s0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn sample(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        Matrix::from_fn(m, n, |_, _| c64(next(), next()))
+    }
+
+    #[test]
+    fn reconstruction_square() {
+        for n in [1, 2, 3, 4] {
+            let a = sample(n, n, 10 + n as u64);
+            let d = svd(&a);
+            assert!(d.reconstruct().approx_eq(&a, 1e-9), "SVD reconstruct failed n={n}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_tall_and_wide() {
+        let a = sample(4, 2, 3);
+        let d = svd(&a);
+        assert!(d.reconstruct().approx_eq(&a, 1e-9));
+        let b = sample(2, 4, 5);
+        let db = svd(&b);
+        assert!(db.reconstruct().approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let a = sample(4, 4, 21);
+        let d = svd(&a);
+        for w in d.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(d.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn u_and_v_have_orthonormal_columns() {
+        let a = sample(4, 3, 33);
+        let d = svd(&a);
+        let utu = d.u.dagger().matmul(&d.u);
+        assert!(utu.approx_eq(&Matrix::identity(3), 1e-9));
+        let vtv = d.v.dagger().matmul(&d.v);
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn rank_one_matrix_detected() {
+        let u = [c64(0.6, 0.0), c64(0.8, 0.0)];
+        let v = [c64(1.0, 0.0), c64(0.0, 1.0)];
+        let a = Matrix::from_fn(2, 2, |i, j| u[i] * v[j].conj());
+        let d = svd(&a);
+        assert_eq!(d.rank(1e-10), 1);
+        assert!((d.sigma[0] - (2.0f64).sqrt()).abs() < 1e-10);
+        assert!(d.sigma[1].abs() < 1e-10);
+        assert!(d.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn svd_of_unitary_has_unit_singular_values() {
+        // H gate is unitary: all σ = 1.
+        let h = Matrix::from_rows(&[
+            vec![c64(1.0, 0.0), c64(1.0, 0.0)],
+            vec![c64(1.0, 0.0), c64(-1.0, 0.0)],
+        ])
+        .scale_re(std::f64::consts::FRAC_1_SQRT_2);
+        let d = svd(&h);
+        for s in d.sigma {
+            assert!((s - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_matrix_svd() {
+        let a = Matrix::zeros(3, 3);
+        let d = svd(&a);
+        assert!(d.sigma.iter().all(|&s| s.abs() < 1e-12));
+        assert_eq!(d.rank(1e-10), 0);
+        assert!(d.reconstruct().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn schmidt_coefficients_of_bell_state_matrix() {
+        // |Φ⟩ = (|00⟩+|11⟩)/√2 has coefficient matrix diag(1/√2, 1/√2).
+        let isq = std::f64::consts::FRAC_1_SQRT_2;
+        let a = Matrix::from_rows(&[
+            vec![c64(isq, 0.0), c64(0.0, 0.0)],
+            vec![c64(0.0, 0.0), c64(isq, 0.0)],
+        ]);
+        let d = svd(&a);
+        assert!((d.sigma[0] - isq).abs() < 1e-12);
+        assert!((d.sigma[1] - isq).abs() < 1e-12);
+    }
+}

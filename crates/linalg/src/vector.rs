@@ -1,0 +1,169 @@
+//! Complex vector helpers.
+//!
+//! State vectors live in `qsim` as plain `Vec<Complex64>` buffers; the
+//! free functions here provide the algebra (inner products, norms, outer
+//! products) shared by the simulator, the entanglement toolkit and tests.
+
+use crate::complex::{Complex64, C_ZERO};
+use crate::matrix::Matrix;
+
+/// Hermitian inner product `⟨a|b⟩ = Σᵢ conj(aᵢ)·bᵢ`.
+pub fn inner(a: &[Complex64], b: &[Complex64]) -> Complex64 {
+    assert_eq!(a.len(), b.len(), "inner product length mismatch");
+    let mut acc = C_ZERO;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc = x.conj().mul_add(y, acc);
+    }
+    acc
+}
+
+/// Squared 2-norm `Σ|aᵢ|²`.
+pub fn norm_sqr(a: &[Complex64]) -> f64 {
+    a.iter().map(|z| z.norm_sqr()).sum()
+}
+
+/// 2-norm `√Σ|aᵢ|²`.
+pub fn norm(a: &[Complex64]) -> f64 {
+    norm_sqr(a).sqrt()
+}
+
+/// 1-norm `Σ|aᵢ|` (used by the distillation norm of Appendix A).
+pub fn norm1(a: &[Complex64]) -> f64 {
+    a.iter().map(|z| z.abs()).sum()
+}
+
+/// Rescales `a` to unit 2-norm in place. No-op on the zero vector.
+pub fn normalize(a: &mut [Complex64]) {
+    let n = norm(a);
+    if n > 0.0 {
+        let inv = 1.0 / n;
+        for z in a.iter_mut() {
+            *z = z.scale(inv);
+        }
+    }
+}
+
+/// Outer product `|a⟩⟨b|` as a dense matrix.
+pub fn outer(a: &[Complex64], b: &[Complex64]) -> Matrix {
+    let mut m = Matrix::zeros(a.len(), b.len());
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            m[(i, j)] = ai * bj.conj();
+        }
+    }
+    m
+}
+
+/// Kronecker product of two state vectors: `|a⟩ ⊗ |b⟩`.
+///
+/// With the simulator's little-endian convention, `kron_vec(a, b)` places
+/// `a` on the *more significant* qubits and `b` on the less significant
+/// ones, mirroring [`Matrix::kron`].
+pub fn kron_vec(a: &[Complex64], b: &[Complex64]) -> Vec<Complex64> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for &x in a {
+        for &y in b {
+            out.push(x * y);
+        }
+    }
+    out
+}
+
+/// `a + s·b` elementwise.
+pub fn axpy(a: &mut [Complex64], s: Complex64, b: &[Complex64]) {
+    assert_eq!(a.len(), b.len());
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        *x += s * y;
+    }
+}
+
+/// Entrywise approximate equality.
+pub fn approx_eq(a: &[Complex64], b: &[Complex64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.approx_eq(*y, tol))
+}
+
+/// Approximate equality of states *up to global phase*: computes the
+/// overlap and checks `|⟨a|b⟩| ≈ ‖a‖·‖b‖`.
+pub fn approx_eq_up_to_phase(a: &[Complex64], b: &[Complex64], tol: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let ov = inner(a, b).abs();
+    (ov - norm(a) * norm(b)).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, C_I, C_ONE};
+
+    #[test]
+    fn inner_product_conjugates_left() {
+        let a = vec![C_I];
+        let b = vec![C_ONE];
+        // ⟨i|1⟩ = conj(i)·1 = -i
+        assert!(inner(&a, &b).approx_eq(c64(0.0, -1.0), 1e-14));
+    }
+
+    #[test]
+    fn norms_agree() {
+        let a = vec![c64(3.0, 0.0), c64(0.0, 4.0)];
+        assert!((norm_sqr(&a) - 25.0).abs() < 1e-12);
+        assert!((norm(&a) - 5.0).abs() < 1e-12);
+        assert!((norm1(&a) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut a = vec![c64(1.0, 1.0), c64(2.0, -1.0), c64(0.0, 3.0)];
+        normalize(&mut a);
+        assert!((norm(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut a = vec![c64(0.0, 0.0); 4];
+        normalize(&mut a);
+        assert!(a.iter().all(|z| *z == c64(0.0, 0.0)));
+    }
+
+    #[test]
+    fn outer_product_shape_and_values() {
+        let a = vec![C_ONE, C_I];
+        let m = outer(&a, &a);
+        // |a⟩⟨a| with a=(1, i): m[0,1] = 1·conj(i) = -i; m[1,0] = i
+        assert!(m[(0, 1)].approx_eq(c64(0.0, -1.0), 1e-14));
+        assert!(m[(1, 0)].approx_eq(C_I, 1e-14));
+        assert!(m.is_hermitian(1e-14));
+        assert!(m.trace().approx_eq(c64(2.0, 0.0), 1e-14));
+    }
+
+    #[test]
+    fn kron_vec_matches_matrix_kron_on_columns() {
+        let a = vec![c64(1.0, 0.0), c64(2.0, 0.0)];
+        let b = vec![c64(0.0, 1.0), c64(3.0, 0.0)];
+        let v = kron_vec(&a, &b);
+        assert_eq!(v.len(), 4);
+        assert!(v[0].approx_eq(c64(0.0, 1.0), 1e-14)); // a0*b0
+        assert!(v[1].approx_eq(c64(3.0, 0.0), 1e-14)); // a0*b1
+        assert!(v[2].approx_eq(c64(0.0, 2.0), 1e-14)); // a1*b0
+        assert!(v[3].approx_eq(c64(6.0, 0.0), 1e-14)); // a1*b1
+    }
+
+    #[test]
+    fn up_to_phase_equality() {
+        let a = vec![c64(1.0, 0.0), c64(0.0, 0.0)];
+        let b = vec![Complex64::cis(1.3), c64(0.0, 0.0)];
+        assert!(approx_eq_up_to_phase(&a, &b, 1e-12));
+        let c = vec![c64(0.0, 0.0), c64(1.0, 0.0)];
+        assert!(!approx_eq_up_to_phase(&a, &c, 1e-12));
+    }
+
+    #[test]
+    fn axpy_vector_accumulates() {
+        let mut a = vec![C_ONE, c64(0.0, 0.0)];
+        axpy(&mut a, c64(2.0, 0.0), &[C_I, C_ONE]);
+        assert!(a[0].approx_eq(c64(1.0, 2.0), 1e-14));
+        assert!(a[1].approx_eq(c64(2.0, 0.0), 1e-14));
+    }
+}

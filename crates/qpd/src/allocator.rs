@@ -1,0 +1,236 @@
+//! Shot allocation strategies.
+//!
+//! The paper's experiment (Section IV) distributes a fixed total shot
+//! budget across the three subcircuits "proportionally to their
+//! coefficients". Alternatives are provided for the allocation ablation
+//! (experiment E8 in DESIGN.md): uniform splitting and fully stochastic
+//! per-shot term selection (the Monte Carlo scheme of Eq. 12).
+
+use crate::spec::QpdSpec;
+use rand::Rng;
+
+/// A strategy for splitting a total shot budget across QPD terms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Allocator {
+    /// `nᵢ ∝ |cᵢ|` with largest-remainder rounding — the paper's choice.
+    Proportional,
+    /// Equal shots per term regardless of coefficients.
+    Uniform,
+}
+
+impl Allocator {
+    /// Splits `total` shots across the terms of `spec`. The returned
+    /// counts sum to exactly `total`.
+    pub fn allocate(self, spec: &QpdSpec, total: u64) -> Vec<u64> {
+        match self {
+            Allocator::Proportional => largest_remainder(&spec.probabilities(), total),
+            Allocator::Uniform => {
+                let m = spec.len() as u64;
+                let base = total / m;
+                let extra = (total % m) as usize;
+                (0..spec.len())
+                    .map(|i| base + u64::from(i < extra))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Neyman (variance-optimal) allocation: `nᵢ ∝ |cᵢ|·σᵢ`, minimising the
+/// estimator variance `Σ cᵢ²σᵢ²/nᵢ` for known per-term standard
+/// deviations `σᵢ` (e.g. `√(1 − ⟨Z⟩ᵢ²)` for Pauli observables).
+///
+/// The paper's proportional split is the `σᵢ ≡ const` special case; when
+/// a term's expectation sits near ±1 its variance vanishes and Neyman
+/// reallocates its shots to noisier terms. Terms with `σᵢ = 0` still get
+/// a floor of one shot each (their mean is needed, noiselessly).
+pub fn neyman_allocation(spec: &QpdSpec, sigmas: &[f64], total: u64) -> Vec<u64> {
+    assert_eq!(spec.len(), sigmas.len());
+    assert!(sigmas.iter().all(|&s| s >= 0.0), "negative σ");
+    let weights: Vec<f64> = spec
+        .terms()
+        .iter()
+        .zip(sigmas.iter())
+        .map(|(t, &s)| t.coefficient.abs() * s)
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    if wsum < 1e-300 {
+        // All terms noiseless: fall back to proportional.
+        return Allocator::Proportional.allocate(spec, total);
+    }
+    let m = spec.len() as u64;
+    if total <= m {
+        return Allocator::Uniform.allocate(spec, total);
+    }
+    // Reserve one shot per term, Neyman-split the rest.
+    let mut counts = largest_remainder(&weights, total - m);
+    for c in counts.iter_mut() {
+        *c += 1;
+    }
+    counts
+}
+
+/// Largest-remainder apportionment of `total` into parts proportional to
+/// `weights` (non-negative, summing to ~1).
+pub fn largest_remainder(weights: &[f64], total: u64) -> Vec<u64> {
+    assert!(!weights.is_empty());
+    let sum: f64 = weights.iter().sum();
+    assert!(sum > 0.0, "zero weight vector");
+    let ideal: Vec<f64> = weights.iter().map(|w| w / sum * total as f64).collect();
+    let mut counts: Vec<u64> = ideal.iter().map(|x| x.floor() as u64).collect();
+    let mut assigned: u64 = counts.iter().sum();
+    // Distribute the remainder to the largest fractional parts.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&i, &j| {
+        let fi = ideal[i] - ideal[i].floor();
+        let fj = ideal[j] - ideal[j].floor();
+        fj.partial_cmp(&fi).unwrap()
+    });
+    let mut idx = 0;
+    while assigned < total {
+        counts[order[idx % order.len()]] += 1;
+        assigned += 1;
+        idx += 1;
+    }
+    counts
+}
+
+/// Samples a multinomial allocation: draws `total` term indices i.i.d.
+/// with probabilities `pᵢ = |cᵢ|/κ` — the allocation induced by the
+/// stochastic Monte Carlo estimator of Eq. 12.
+pub fn stochastic_allocation<R: Rng + ?Sized>(
+    spec: &QpdSpec,
+    total: u64,
+    rng: &mut R,
+) -> Vec<u64> {
+    let probs = spec.probabilities();
+    let mut cumulative = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for &p in &probs {
+        acc += p;
+        cumulative.push(acc);
+    }
+    let mut counts = vec![0u64; probs.len()];
+    for _ in 0..total {
+        let r: f64 = rng.gen::<f64>() * acc;
+        let i = match cumulative.binary_search_by(|c| c.partial_cmp(&r).unwrap()) {
+            Ok(i) => (i + 1).min(probs.len() - 1),
+            Err(i) => i.min(probs.len() - 1),
+        };
+        counts[i] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec_abc() -> QpdSpec {
+        QpdSpec::from_parts(&[(0.6, "a", 1.0), (0.6, "b", 1.0), (-0.2, "c", 0.0)])
+    }
+
+    #[test]
+    fn proportional_allocation_sums_to_total() {
+        let spec = spec_abc();
+        for total in [0u64, 1, 7, 100, 4999, 5000] {
+            let alloc = Allocator::Proportional.allocate(&spec, total);
+            assert_eq!(alloc.iter().sum::<u64>(), total, "total {total}");
+        }
+    }
+
+    #[test]
+    fn proportional_allocation_tracks_weights() {
+        let spec = spec_abc();
+        // κ = 1.4, probabilities (3/7, 3/7, 1/7)
+        let alloc = Allocator::Proportional.allocate(&spec, 7000);
+        assert_eq!(alloc, vec![3000, 3000, 1000]);
+    }
+
+    #[test]
+    fn uniform_allocation_balances() {
+        let spec = spec_abc();
+        let alloc = Allocator::Uniform.allocate(&spec, 10);
+        assert_eq!(alloc.iter().sum::<u64>(), 10);
+        assert_eq!(alloc, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn largest_remainder_exactness() {
+        // 3 parts of weight 1/3 with total 10: counts (4, 3, 3).
+        let counts = largest_remainder(&[1.0 / 3.0; 3], 10);
+        assert_eq!(counts.iter().sum::<u64>(), 10);
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn stochastic_allocation_concentrates() {
+        let spec = spec_abc();
+        let mut rng = StdRng::seed_from_u64(1);
+        let alloc = stochastic_allocation(&spec, 70_000, &mut rng);
+        assert_eq!(alloc.iter().sum::<u64>(), 70_000);
+        let f0 = alloc[0] as f64 / 70_000.0;
+        assert!((f0 - 3.0 / 7.0).abs() < 0.01, "stochastic fraction {f0}");
+    }
+
+    #[test]
+    fn neyman_matches_proportional_for_equal_sigmas() {
+        let spec = spec_abc();
+        let ney = neyman_allocation(&spec, &[1.0, 1.0, 1.0], 7000);
+        let prop = Allocator::Proportional.allocate(&spec, 7000);
+        for (a, b) in ney.iter().zip(prop.iter()) {
+            assert!((*a as i64 - *b as i64).abs() <= 3, "{ney:?} vs {prop:?}");
+        }
+        assert_eq!(ney.iter().sum::<u64>(), 7000);
+    }
+
+    #[test]
+    fn neyman_starves_noiseless_terms() {
+        let spec = spec_abc();
+        let alloc = neyman_allocation(&spec, &[1.0, 0.0, 1.0], 1000);
+        assert_eq!(alloc.iter().sum::<u64>(), 1000);
+        assert_eq!(alloc[1], 1, "noiseless term should get the floor only");
+        assert!(alloc[0] > 700, "noisy heavy term underfunded: {alloc:?}");
+    }
+
+    #[test]
+    fn neyman_all_noiseless_falls_back() {
+        let spec = spec_abc();
+        let alloc = neyman_allocation(&spec, &[0.0, 0.0, 0.0], 700);
+        assert_eq!(alloc.iter().sum::<u64>(), 700);
+        assert_eq!(alloc, Allocator::Proportional.allocate(&spec, 700));
+    }
+
+    #[test]
+    fn neyman_minimises_predicted_variance() {
+        // Compare Σ c²σ²/n against the proportional split on an asymmetric
+        // instance: Neyman must be no worse.
+        let spec = spec_abc();
+        let sigmas = [0.2, 1.0, 0.9];
+        let total = 5000;
+        let var = |alloc: &[u64]| -> f64 {
+            spec.terms()
+                .iter()
+                .zip(sigmas.iter())
+                .zip(alloc.iter())
+                .map(|((t, &s), &n)| {
+                    if n == 0 { 0.0 } else { t.coefficient.powi(2) * s * s / n as f64 }
+                })
+                .sum()
+        };
+        let v_ney = var(&neyman_allocation(&spec, &sigmas, total));
+        let v_prop = var(&Allocator::Proportional.allocate(&spec, total));
+        assert!(v_ney <= v_prop * 1.001, "Neyman {v_ney} worse than proportional {v_prop}");
+    }
+
+    #[test]
+    fn zero_total_allocations() {
+        let spec = spec_abc();
+        assert_eq!(Allocator::Proportional.allocate(&spec, 0), vec![0, 0, 0]);
+        assert_eq!(Allocator::Uniform.allocate(&spec, 0), vec![0, 0, 0]);
+    }
+}

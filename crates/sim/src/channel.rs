@@ -1,0 +1,404 @@
+//! Superoperator (channel) representation and process tomography.
+//!
+//! The proofs of Theorems 1 and 2 are statements about *channels*: the QPD
+//! terms must sum to the identity channel (Eq. 19/27), and NME
+//! teleportation must equal a concrete Pauli channel (Eq. 22/59). To verify
+//! those claims exactly we represent a channel `E` acting on `d_in`-dim
+//! inputs as its `d_out² × d_in²` transfer matrix on row-major-vectorised
+//! density operators: `vec(E(ρ)) = S · vec(ρ)` with
+//! `vec(AρB) = (A ⊗ Bᵀ)·vec(ρ)`.
+
+use crate::density::DensityMatrix;
+use qlinalg::{c64, Complex64, Matrix, C_ZERO};
+
+/// A linear map on density operators, stored as its transfer matrix over
+/// row-major vectorisation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Superoperator {
+    d_in: usize,
+    d_out: usize,
+    mat: Matrix,
+}
+
+/// Row-major vectorisation `vec(ρ)`: entry `(i, j)` lands at `i·d + j`.
+pub fn vec_density(rho: &Matrix) -> Vec<Complex64> {
+    let d = rho.rows();
+    let mut out = Vec::with_capacity(d * d);
+    for i in 0..d {
+        out.extend_from_slice(rho.row(i));
+    }
+    out
+}
+
+/// Inverse of [`vec_density`].
+pub fn unvec_density(v: &[Complex64], d: usize) -> Matrix {
+    assert_eq!(v.len(), d * d);
+    Matrix::from_slice(d, d, v)
+}
+
+impl Superoperator {
+    /// The identity channel on dimension `d`.
+    pub fn identity(d: usize) -> Self {
+        Self { d_in: d, d_out: d, mat: Matrix::identity(d * d) }
+    }
+
+    /// The zero map.
+    pub fn zero(d_in: usize, d_out: usize) -> Self {
+        Self { d_in, d_out, mat: Matrix::zeros(d_out * d_out, d_in * d_in) }
+    }
+
+    /// Channel `ρ → UρU†` from a unitary.
+    pub fn from_unitary(u: &Matrix) -> Self {
+        assert!(u.is_square());
+        let d = u.rows();
+        Self { d_in: d, d_out: d, mat: u.kron(&u.conj()) }
+    }
+
+    /// Channel `ρ → Σ_k K_k ρ K_k†` from Kraus operators (all `d_out × d_in`).
+    pub fn from_kraus(kraus: &[Matrix]) -> Self {
+        assert!(!kraus.is_empty());
+        let d_out = kraus[0].rows();
+        let d_in = kraus[0].cols();
+        let mut mat = Matrix::zeros(d_out * d_out, d_in * d_in);
+        for k in kraus {
+            assert_eq!(k.rows(), d_out);
+            assert_eq!(k.cols(), d_in);
+            mat = mat.add(&k.kron(&k.conj()));
+        }
+        Self { d_in, d_out, mat }
+    }
+
+    /// Builds a superoperator by probing a linear map with every matrix
+    /// unit `E_ij` — exact process tomography for simulated maps.
+    ///
+    /// `f` must be linear in its input (true for all circuit-induced maps
+    /// in this workspace, including measurement branching).
+    pub fn from_linear_map(
+        d_in: usize,
+        d_out: usize,
+        mut f: impl FnMut(&Matrix) -> Matrix,
+    ) -> Self {
+        let mut mat = Matrix::zeros(d_out * d_out, d_in * d_in);
+        for i in 0..d_in {
+            for j in 0..d_in {
+                let mut e = Matrix::zeros(d_in, d_in);
+                e[(i, j)] = qlinalg::C_ONE;
+                let out = f(&e);
+                assert_eq!(out.rows(), d_out, "map output dimension mismatch");
+                let col = i * d_in + j;
+                let v = vec_density(&out);
+                for (row, &z) in v.iter().enumerate() {
+                    mat[(row, col)] = z;
+                }
+            }
+        }
+        Self { d_in, d_out, mat }
+    }
+
+    /// Input dimension (of density operators).
+    pub fn dim_in(&self) -> usize {
+        self.d_in
+    }
+
+    /// Output dimension.
+    pub fn dim_out(&self) -> usize {
+        self.d_out
+    }
+
+    /// The raw transfer matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.mat
+    }
+
+    /// Applies the channel to a density operator.
+    pub fn apply(&self, rho: &Matrix) -> Matrix {
+        assert_eq!(rho.rows(), self.d_in);
+        let v = self.mat.matvec(&vec_density(rho));
+        unvec_density(&v, self.d_out)
+    }
+
+    /// Applies the channel to a [`DensityMatrix`].
+    pub fn apply_density(&self, rho: &DensityMatrix) -> DensityMatrix {
+        let out = self.apply(rho.matrix());
+        let n_out = (self.d_out as f64).log2().round() as usize;
+        DensityMatrix::from_matrix(n_out, out)
+    }
+
+    /// Composition `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &Superoperator) -> Superoperator {
+        assert_eq!(other.d_out, self.d_in);
+        Superoperator {
+            d_in: other.d_in,
+            d_out: self.d_out,
+            mat: self.mat.matmul(&other.mat),
+        }
+    }
+
+    /// Linear combination accumulate: `self += s · other`.
+    pub fn axpy(&mut self, s: f64, other: &Superoperator) {
+        assert_eq!(self.d_in, other.d_in);
+        assert_eq!(self.d_out, other.d_out);
+        self.mat.axpy(c64(s, 0.0), &other.mat);
+    }
+
+    /// Scales the channel by a real factor.
+    pub fn scale(&self, s: f64) -> Superoperator {
+        Superoperator { d_in: self.d_in, d_out: self.d_out, mat: self.mat.scale_re(s) }
+    }
+
+    /// Distance to another superoperator in max-entry norm — the headline
+    /// metric for "this QPD reconstructs the identity channel".
+    pub fn distance(&self, other: &Superoperator) -> f64 {
+        assert_eq!(self.d_in, other.d_in);
+        assert_eq!(self.d_out, other.d_out);
+        self.mat.sub(&other.mat).max_abs()
+    }
+
+    /// `true` when this map is trace-preserving: `Σ_k ⟨k|E(ρ)|k⟩ = Tr ρ`
+    /// for all ρ, i.e. the rows of the transfer matrix corresponding to
+    /// the output trace sum to the input trace functional.
+    pub fn is_trace_preserving(&self, tol: f64) -> bool {
+        // Trace functional on vec: sum of rows (i·d_out + i).
+        // Must equal trace functional on input: 1 at columns (j·d_in + j).
+        for col in 0..self.d_in * self.d_in {
+            let mut acc = C_ZERO;
+            for i in 0..self.d_out {
+                acc += self.mat[(i * self.d_out + i, col)];
+            }
+            let expect = if col % (self.d_in + 1) == 0 {
+                qlinalg::C_ONE
+            } else {
+                C_ZERO
+            };
+            if !acc.approx_eq(expect, tol) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The Choi matrix `J(E) = Σ_{ij} E_ij ⊗ E(E_ij)` (row-major
+    /// convention: `J[(i·d_out + k), (j·d_out + l)] = E(E_ij)[k, l]`).
+    /// `E` is completely positive iff `J ⪰ 0` and trace-preserving iff
+    /// `Tr_out J = I`.
+    pub fn choi_matrix(&self) -> Matrix {
+        let (di, do_) = (self.d_in, self.d_out);
+        let mut j = Matrix::zeros(di * do_, di * do_);
+        for i in 0..di {
+            for jj in 0..di {
+                let mut e = Matrix::zeros(di, di);
+                e[(i, jj)] = qlinalg::C_ONE;
+                let out = self.apply(&e);
+                for k in 0..do_ {
+                    for l in 0..do_ {
+                        j[(i * do_ + k, jj * do_ + l)] = out[(k, l)];
+                    }
+                }
+            }
+        }
+        j
+    }
+
+    /// `true` when the channel is completely positive: the Choi matrix is
+    /// Hermitian with eigenvalues ≥ −tol.
+    pub fn is_completely_positive(&self, tol: f64) -> bool {
+        let j = self.choi_matrix();
+        if !j.is_hermitian(tol) {
+            return false;
+        }
+        let eig = qlinalg::eigh(&j);
+        eig.values.iter().all(|&l| l > -tol)
+    }
+
+    /// `true` when the channel is CPTP (a physical quantum channel).
+    pub fn is_cptp(&self, tol: f64) -> bool {
+        self.is_completely_positive(tol) && self.is_trace_preserving(tol)
+    }
+
+    /// Pauli transfer matrix `R[a,b] = Tr[P_a E(P_b)] / d` for `n`-qubit
+    /// channels (square channels only) — a real matrix exposing the Pauli
+    /// error structure of Eq. 22 directly.
+    pub fn pauli_transfer_matrix(&self) -> Matrix {
+        assert_eq!(self.d_in, self.d_out, "PTM of non-square channel");
+        let n = (self.d_in as f64).log2().round() as usize;
+        let total = 4usize.pow(n as u32);
+        let norm = 1.0 / self.d_in as f64;
+        let mut r = Matrix::zeros(total, total);
+        for b in 0..total {
+            let pb = crate::pauli::pauli_string_from_code(b, n).matrix();
+            let out = self.apply(&pb);
+            for a in 0..total {
+                let pa = crate::pauli::pauli_string_from_code(a, n).matrix();
+                r[(a, b)] = pa.matmul(&out).trace().scale(norm);
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use crate::pauli::Pauli;
+    use qlinalg::C_ONE;
+
+    #[test]
+    fn identity_channel_fixes_everything() {
+        let id = Superoperator::identity(2);
+        let rho = Matrix::from_rows(&[
+            vec![c64(0.7, 0.0), c64(0.1, 0.2)],
+            vec![c64(0.1, -0.2), c64(0.3, 0.0)],
+        ]);
+        assert!(id.apply(&rho).approx_eq(&rho, 1e-14));
+        assert!(id.is_trace_preserving(1e-12));
+    }
+
+    #[test]
+    fn unitary_channel_conjugates() {
+        let h = Gate::H.matrix();
+        let s = Superoperator::from_unitary(&h);
+        let z = Pauli::Z.matrix();
+        let out = s.apply(&z);
+        assert!(out.approx_eq(&Pauli::X.matrix(), 1e-12), "HZH ≠ X via channel");
+        assert!(s.is_trace_preserving(1e-12));
+    }
+
+    #[test]
+    fn kraus_channel_matches_direct_application() {
+        let p: f64 = 0.2;
+        let kraus = vec![
+            Pauli::I.matrix().scale_re((1.0 - p).sqrt()),
+            Pauli::X.matrix().scale_re(p.sqrt()),
+        ];
+        let s = Superoperator::from_kraus(&kraus);
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_gate(&Gate::Ry(0.9), &[0]);
+        let via_channel = s.apply(rho.matrix());
+        let mut direct = rho.clone();
+        direct.apply_kraus(&kraus, &[0]);
+        assert!(via_channel.approx_eq(direct.matrix(), 1e-12));
+        assert!(s.is_trace_preserving(1e-12));
+    }
+
+    #[test]
+    fn from_linear_map_reproduces_unitary_channel() {
+        let u = Gate::S.matrix();
+        let direct = Superoperator::from_unitary(&u);
+        let probed = Superoperator::from_linear_map(2, 2, |rho| {
+            u.matmul(rho).matmul(&u.dagger())
+        });
+        assert!(probed.matrix().approx_eq(direct.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let s1 = Superoperator::from_unitary(&Gate::H.matrix());
+        let s2 = Superoperator::from_unitary(&Gate::S.matrix());
+        let comp = s2.compose(&s1);
+        let rho = Pauli::Z.matrix();
+        let a = comp.apply(&rho);
+        let b = s2.apply(&s1.apply(&rho));
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn ptm_of_identity_is_identity() {
+        let id = Superoperator::identity(2);
+        let ptm = id.pauli_transfer_matrix();
+        assert!(ptm.approx_eq(&Matrix::identity(4), 1e-12));
+    }
+
+    #[test]
+    fn ptm_of_phase_flip_channel() {
+        // Z-flip with prob p: PTM = diag(1, 1-2p, 1-2p, 1).
+        let p: f64 = 0.25;
+        let kraus = vec![
+            Pauli::I.matrix().scale_re((1.0 - p).sqrt()),
+            Pauli::Z.matrix().scale_re(p.sqrt()),
+        ];
+        let s = Superoperator::from_kraus(&kraus);
+        let ptm = s.pauli_transfer_matrix();
+        let expect = Matrix::diag(&[
+            C_ONE,
+            c64(1.0 - 2.0 * p, 0.0),
+            c64(1.0 - 2.0 * p, 0.0),
+            C_ONE,
+        ]);
+        assert!(ptm.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn vec_round_trip() {
+        let rho = Matrix::from_rows(&[
+            vec![c64(1.0, 0.0), c64(2.0, 1.0)],
+            vec![c64(2.0, -1.0), c64(3.0, 0.0)],
+        ]);
+        let v = vec_density(&rho);
+        let back = unvec_density(&v, 2);
+        assert!(back.approx_eq(&rho, 1e-14));
+    }
+
+    #[test]
+    fn axpy_combines_channels() {
+        // (1/2)·U_X + (1/2)·U_I applied to Z gives 0 (X anticommutes with Z).
+        let ux = Superoperator::from_unitary(&Pauli::X.matrix());
+        let ui = Superoperator::identity(2);
+        let mut mix = Superoperator::zero(2, 2);
+        mix.axpy(0.5, &ux);
+        mix.axpy(0.5, &ui);
+        let out = mix.apply(&Pauli::Z.matrix());
+        assert!(out.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn choi_matrix_of_identity_is_maximally_entangled_projector() {
+        let id = Superoperator::identity(2);
+        let j = id.choi_matrix();
+        // J(I) = Σ_ij E_ij ⊗ E_ij = d·|Ω⟩⟨Ω| with |Ω⟩ = Σ|ii⟩/√d.
+        assert!(j.is_hermitian(1e-12));
+        let eig = qlinalg::eigh(&j);
+        assert!((eig.values[0] - 2.0).abs() < 1e-10);
+        for &l in &eig.values[1..] {
+            assert!(l.abs() < 1e-10);
+        }
+        assert!(id.is_cptp(1e-9));
+    }
+
+    #[test]
+    fn unitary_and_kraus_channels_are_cptp() {
+        assert!(Superoperator::from_unitary(&Gate::H.matrix()).is_cptp(1e-9));
+        let p: f64 = 0.3;
+        let kraus = vec![
+            Pauli::I.matrix().scale_re((1.0 - p).sqrt()),
+            Pauli::X.matrix().scale_re(p.sqrt()),
+        ];
+        assert!(Superoperator::from_kraus(&kraus).is_cptp(1e-9));
+    }
+
+    #[test]
+    fn transpose_map_is_positive_but_not_cp() {
+        // The canonical non-CP example: ρ → ρᵀ.
+        let t = Superoperator::from_linear_map(2, 2, |rho| rho.transpose());
+        assert!(t.is_trace_preserving(1e-10));
+        assert!(!t.is_completely_positive(1e-9), "transpose map wrongly CP");
+    }
+
+    #[test]
+    fn negative_quasi_combination_is_not_cp() {
+        // 2·I − X-conjugation has a negative Choi eigenvalue.
+        let mut m = Superoperator::identity(2).scale(2.0);
+        m.axpy(-1.0, &Superoperator::from_unitary(&Pauli::X.matrix()));
+        assert!(!m.is_completely_positive(1e-9));
+        // …but it is trace-preserving (coefficients sum to 1).
+        assert!(m.is_trace_preserving(1e-9));
+    }
+
+    #[test]
+    fn distance_is_zero_for_equal_channels() {
+        let s = Superoperator::from_unitary(&Gate::T.matrix());
+        assert!(s.distance(&s.clone()) < 1e-15);
+        let id = Superoperator::identity(2);
+        assert!(s.distance(&id) > 0.1);
+    }
+}

@@ -1,0 +1,495 @@
+//! Quantum circuit intermediate representation.
+//!
+//! The paper's cut circuits (Figures 2, 3, 5) need three features beyond
+//! plain unitary sequences: mid-circuit measurement into classical bits,
+//! classically-controlled gates (the teleportation feed-forward `X`/`Z`
+//! corrections), and qubit reset/initialisation (the measure-and-prepare
+//! QPD term). This IR supports all three and both simulators execute it.
+
+use crate::gate::Gate;
+use qlinalg::Matrix;
+use std::fmt;
+
+/// A quantum operation in a circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// A gate applied to the listed qubits (length must equal the arity).
+    Gate(Gate, Vec<usize>),
+    /// Projective Z-basis measurement of `qubit` into classical bit `clbit`.
+    Measure {
+        /// Measured qubit.
+        qubit: usize,
+        /// Destination classical bit.
+        clbit: usize,
+    },
+    /// Resets `qubit` to `|0⟩` (measure and conditionally flip, discarding
+    /// the outcome).
+    Reset(usize),
+    /// No-op marker useful for visual grouping in printed circuits.
+    Barrier,
+}
+
+/// A classical condition attached to an instruction: the instruction runs
+/// only when classical bit `bit` equals `value`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Condition {
+    /// Classical bit index consulted.
+    pub bit: usize,
+    /// Required value.
+    pub value: bool,
+}
+
+/// One instruction: an operation plus an optional classical condition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instruction {
+    /// The operation.
+    pub op: Op,
+    /// Optional classical control.
+    pub condition: Option<Condition>,
+}
+
+/// A quantum circuit over `num_qubits` qubits and `num_clbits` classical
+/// bits. Qubit 0 is the least significant statevector bit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Circuit {
+    num_qubits: usize,
+    num_clbits: usize,
+    instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new(num_qubits: usize, num_clbits: usize) -> Self {
+        Self { num_qubits, num_clbits, instructions: Vec::new() }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// The instruction list.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// `true` when the circuit has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Appends a raw instruction after validating indices.
+    pub fn push(&mut self, instr: Instruction) -> &mut Self {
+        self.validate(&instr);
+        self.instructions.push(instr);
+        self
+    }
+
+    fn validate(&self, instr: &Instruction) {
+        match &instr.op {
+            Op::Gate(g, qs) => {
+                assert_eq!(qs.len(), g.arity(), "operand count mismatch for {g}");
+                for &q in qs {
+                    assert!(q < self.num_qubits, "qubit {q} out of range");
+                }
+                if qs.len() == 2 {
+                    assert_ne!(qs[0], qs[1], "duplicate operand for {g}");
+                }
+            }
+            Op::Measure { qubit, clbit } => {
+                assert!(*qubit < self.num_qubits, "qubit {qubit} out of range");
+                assert!(*clbit < self.num_clbits, "clbit {clbit} out of range");
+            }
+            Op::Reset(q) => assert!(*q < self.num_qubits, "qubit {q} out of range"),
+            Op::Barrier => {}
+        }
+        if let Some(c) = instr.condition {
+            assert!(c.bit < self.num_clbits, "condition bit {} out of range", c.bit);
+        }
+    }
+
+    /// Appends an unconditioned gate.
+    pub fn gate(&mut self, g: Gate, qubits: &[usize]) -> &mut Self {
+        self.push(Instruction { op: Op::Gate(g, qubits.to_vec()), condition: None })
+    }
+
+    /// Appends a gate conditioned on classical `bit == value`.
+    pub fn gate_if(&mut self, g: Gate, qubits: &[usize], bit: usize, value: bool) -> &mut Self {
+        self.push(Instruction {
+            op: Op::Gate(g, qubits.to_vec()),
+            condition: Some(Condition { bit, value }),
+        })
+    }
+
+    // ---- fluent single-qubit helpers ----
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::H, &[q])
+    }
+    /// Pauli-X on `q`.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::X, &[q])
+    }
+    /// Pauli-Y on `q`.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Y, &[q])
+    }
+    /// Pauli-Z on `q`.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Z, &[q])
+    }
+    /// Phase gate S on `q`.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::S, &[q])
+    }
+    /// Inverse phase gate S† on `q`.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Sdg, &[q])
+    }
+    /// T gate on `q`.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::T, &[q])
+    }
+    /// Rotation about Y by `theta` on `q`.
+    pub fn ry(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(Gate::Ry(theta), &[q])
+    }
+    /// Rotation about X by `theta` on `q`.
+    pub fn rx(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(Gate::Rx(theta), &[q])
+    }
+    /// Rotation about Z by `theta` on `q`.
+    pub fn rz(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(Gate::Rz(theta), &[q])
+    }
+    /// Arbitrary single-qubit unitary from a 2×2 matrix on `q`.
+    pub fn unitary1(&mut self, m: Matrix, q: usize) -> &mut Self {
+        self.gate(Gate::Unitary1(m), &[q])
+    }
+
+    // ---- two-qubit helpers ----
+
+    /// CNOT with `control` and `target`.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.gate(Gate::CX, &[control, target])
+    }
+    /// Controlled-Z on `a`, `b`.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.gate(Gate::CZ, &[a, b])
+    }
+    /// SWAP of `a` and `b`.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.gate(Gate::Swap, &[a, b])
+    }
+
+    // ---- non-unitary helpers ----
+
+    /// Z-basis measurement of `qubit` into `clbit`.
+    pub fn measure(&mut self, qubit: usize, clbit: usize) -> &mut Self {
+        self.push(Instruction { op: Op::Measure { qubit, clbit }, condition: None })
+    }
+    /// Reset `qubit` to |0⟩.
+    pub fn reset(&mut self, q: usize) -> &mut Self {
+        self.push(Instruction { op: Op::Reset(q), condition: None })
+    }
+    /// Barrier marker.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.push(Instruction { op: Op::Barrier, condition: None })
+    }
+    /// X on `q` conditioned on classical bit `bit` being 1 — the
+    /// teleportation feed-forward correction.
+    pub fn x_if(&mut self, q: usize, bit: usize) -> &mut Self {
+        self.gate_if(Gate::X, &[q], bit, true)
+    }
+    /// Z on `q` conditioned on classical bit `bit` being 1.
+    pub fn z_if(&mut self, q: usize, bit: usize) -> &mut Self {
+        self.gate_if(Gate::Z, &[q], bit, true)
+    }
+
+    /// Appends all instructions of `other` with qubits mapped through
+    /// `qubit_map` and classical bits through `clbit_map`
+    /// (`new_index = map[old_index]`).
+    pub fn compose_mapped(
+        &mut self,
+        other: &Circuit,
+        qubit_map: &[usize],
+        clbit_map: &[usize],
+    ) -> &mut Self {
+        assert!(qubit_map.len() >= other.num_qubits, "qubit map too short");
+        assert!(clbit_map.len() >= other.num_clbits, "clbit map too short");
+        for instr in &other.instructions {
+            let op = match &instr.op {
+                Op::Gate(g, qs) => {
+                    Op::Gate(g.clone(), qs.iter().map(|&q| qubit_map[q]).collect())
+                }
+                Op::Measure { qubit, clbit } => Op::Measure {
+                    qubit: qubit_map[*qubit],
+                    clbit: clbit_map[*clbit],
+                },
+                Op::Reset(q) => Op::Reset(qubit_map[*q]),
+                Op::Barrier => Op::Barrier,
+            };
+            let condition = instr.condition.map(|c| Condition { bit: clbit_map[c.bit], value: c.value });
+            self.push(Instruction { op, condition });
+        }
+        self
+    }
+
+    /// Appends all instructions of `other` one-to-one (same indices).
+    pub fn compose(&mut self, other: &Circuit) -> &mut Self {
+        let qmap: Vec<usize> = (0..other.num_qubits).collect();
+        let cmap: Vec<usize> = (0..other.num_clbits).collect();
+        self.compose_mapped(other, &qmap, &cmap)
+    }
+
+    /// The inverse of a purely unitary circuit (reversed gate order with
+    /// each gate inverted).
+    ///
+    /// # Panics
+    /// Panics if the circuit contains measurements, resets or conditions.
+    pub fn inverse(&self) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits, self.num_clbits);
+        for instr in self.instructions.iter().rev() {
+            assert!(instr.condition.is_none(), "cannot invert conditioned instruction");
+            match &instr.op {
+                Op::Gate(g, qs) => {
+                    out.gate(g.inverse(), qs);
+                }
+                Op::Barrier => {
+                    out.barrier();
+                }
+                _ => panic!("cannot invert non-unitary circuit"),
+            }
+        }
+        out
+    }
+
+    /// `true` when the circuit is purely unitary (no measurement, reset or
+    /// classical condition).
+    pub fn is_unitary(&self) -> bool {
+        self.instructions.iter().all(|i| {
+            i.condition.is_none() && matches!(i.op, Op::Gate(..) | Op::Barrier)
+        })
+    }
+
+    /// Number of measurement instructions.
+    pub fn num_measurements(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i.op, Op::Measure { .. }))
+            .count()
+    }
+
+    /// Dense unitary matrix of a purely unitary circuit (`2^n × 2^n`).
+    /// Exponential in qubit count; intended for verification of small
+    /// circuits.
+    pub fn to_matrix(&self) -> Matrix {
+        assert!(self.is_unitary(), "to_matrix requires a unitary circuit");
+        let dim = 1usize << self.num_qubits;
+        let mut u = Matrix::identity(dim);
+        for instr in &self.instructions {
+            if let Op::Gate(g, qs) = &instr.op {
+                let full = embed_unitary(&g.matrix(), qs, self.num_qubits);
+                u = full.matmul(&u);
+            }
+        }
+        u
+    }
+
+    /// Widens the circuit to `n` qubits / `c` clbits without remapping.
+    pub fn widened(&self, n: usize, c: usize) -> Circuit {
+        assert!(n >= self.num_qubits && c >= self.num_clbits);
+        let mut out = Circuit::new(n, c);
+        out.compose(self);
+        out
+    }
+}
+
+/// Embeds a `2^k × 2^k` unitary acting on the listed qubits into the full
+/// `2^n × 2^n` space. `qubits[i]` carries bit `i` of the small-matrix index.
+pub fn embed_unitary(m: &Matrix, qubits: &[usize], n: usize) -> Matrix {
+    let k = qubits.len();
+    assert_eq!(m.rows(), 1 << k);
+    let dim = 1usize << n;
+    let mut out = Matrix::zeros(dim, dim);
+    let rest_mask: usize = {
+        let mut mask = dim - 1;
+        for &q in qubits {
+            mask &= !(1 << q);
+        }
+        mask
+    };
+    // Iterate over all basis columns of the full space.
+    for col in 0..dim {
+        let rest = col & rest_mask;
+        let mut sub_col = 0usize;
+        for (i, &q) in qubits.iter().enumerate() {
+            sub_col |= ((col >> q) & 1) << i;
+        }
+        for sub_row in 0..(1 << k) {
+            let amp = m[(sub_row, sub_col)];
+            if amp == qlinalg::C_ZERO {
+                continue;
+            }
+            let mut row = rest;
+            for (i, &q) in qubits.iter().enumerate() {
+                row |= ((sub_row >> i) & 1) << q;
+            }
+            out[(row, col)] = amp;
+        }
+    }
+    out
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit({} qubits, {} clbits):", self.num_qubits, self.num_clbits)?;
+        for instr in &self.instructions {
+            if let Some(c) = instr.condition {
+                write!(f, "  if c{}=={} ", c.bit, c.value as u8)?;
+            } else {
+                write!(f, "  ")?;
+            }
+            match &instr.op {
+                Op::Gate(g, qs) => {
+                    write!(f, "{g} ")?;
+                    for q in qs {
+                        write!(f, "q{q} ")?;
+                    }
+                    writeln!(f)?;
+                }
+                Op::Measure { qubit, clbit } => writeln!(f, "measure q{qubit} -> c{clbit}")?,
+                Op::Reset(q) => writeln!(f, "reset q{q}")?,
+                Op::Barrier => writeln!(f, "barrier")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlinalg::{c64, C_ONE, C_ZERO};
+
+    #[test]
+    fn builder_validates_qubit_range() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).cx(0, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut c = Circuit::new(1, 0);
+        c.h(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate operand")]
+    fn duplicate_two_qubit_operand_panics() {
+        let mut c = Circuit::new(2, 0);
+        c.cx(1, 1);
+    }
+
+    #[test]
+    fn bell_circuit_matrix() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).cx(0, 1);
+        let u = c.to_matrix();
+        // Column for |00⟩ must be the Bell state (|00⟩+|11⟩)/√2.
+        let s2 = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(u[(0, 0)].approx_eq(c64(s2, 0.0), 1e-12));
+        assert!(u[(3, 0)].approx_eq(c64(s2, 0.0), 1e-12));
+        assert!(u[(1, 0)].approx_eq(C_ZERO, 1e-12));
+        assert!(u[(2, 0)].approx_eq(C_ZERO, 1e-12));
+    }
+
+    #[test]
+    fn inverse_circuit_gives_identity_matrix() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).s(1).cx(0, 1).t(0).rz(0.3, 1);
+        let mut round = c.clone();
+        round.compose(&c.inverse());
+        let u = round.to_matrix();
+        assert!(u.approx_eq(&Matrix::identity(4), 1e-10));
+    }
+
+    #[test]
+    fn embed_unitary_on_high_qubit() {
+        // X on qubit 1 of 2: matrix must map |00⟩→|10⟩ i.e. col 0 → row 2.
+        let x = Gate::X.matrix();
+        let full = embed_unitary(&x, &[1], 2);
+        assert!(full[(2, 0)].approx_eq(C_ONE, 1e-14));
+        assert!(full[(0, 2)].approx_eq(C_ONE, 1e-14));
+        assert!(full[(1, 3)].approx_eq(C_ONE, 1e-14));
+        assert!(full[(3, 1)].approx_eq(C_ONE, 1e-14));
+    }
+
+    #[test]
+    fn embed_matches_kron_for_adjacent_qubits() {
+        // CX on qubits [0,1] of a 2-qubit system is the raw matrix.
+        let cx = Gate::CX.matrix();
+        let full = embed_unitary(&cx, &[0, 1], 2);
+        assert!(full.approx_eq(&cx, 1e-14));
+        // On reversed operands [1,0] control becomes qubit 1.
+        let rev = embed_unitary(&cx, &[1, 0], 2);
+        // |10⟩ (ctrl q1=1) → |11⟩: col 2 → row 3
+        assert!(rev[(3, 2)].approx_eq(C_ONE, 1e-14));
+        assert!(rev[(1, 1)].approx_eq(C_ONE, 1e-14));
+    }
+
+    #[test]
+    fn compose_mapped_remaps_indices() {
+        let mut inner = Circuit::new(2, 1);
+        inner.h(0).cx(0, 1).measure(1, 0);
+        let mut outer = Circuit::new(4, 2);
+        outer.compose_mapped(&inner, &[2, 3], &[1]);
+        match &outer.instructions()[2].op {
+            Op::Measure { qubit, clbit } => {
+                assert_eq!(*qubit, 3);
+                assert_eq!(*clbit, 1);
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_unitary_detects_measurement() {
+        let mut c = Circuit::new(1, 1);
+        c.h(0);
+        assert!(c.is_unitary());
+        c.measure(0, 0);
+        assert!(!c.is_unitary());
+    }
+
+    #[test]
+    fn conditioned_gate_recorded() {
+        let mut c = Circuit::new(2, 1);
+        c.measure(0, 0).x_if(1, 0);
+        let instr = &c.instructions()[1];
+        assert_eq!(instr.condition, Some(Condition { bit: 0, value: true }));
+    }
+
+    #[test]
+    fn display_renders_instructions() {
+        let mut c = Circuit::new(2, 1);
+        c.h(0).cx(0, 1).measure(1, 0).x_if(0, 0);
+        let s = format!("{c}");
+        assert!(s.contains("h q0"));
+        assert!(s.contains("measure q1 -> c0"));
+        assert!(s.contains("if c0==1 x q0"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Density-matrix simulation.
+//!
+//! The channel-level verification of the paper's QPDs (does the weighted
+//! sum of term channels equal the identity channel? does the teleportation
+//! channel match Eq. 22?) needs exact, deterministic mixed-state evolution:
+//! unitaries, Kraus channels, projective measurement branches and partial
+//! traces. Dimensions stay tiny (≤ 4 qubits), so dense matrices suffice.
+
+use crate::gate::Gate;
+use crate::pauli::PauliString;
+use crate::statevector::StateVector;
+use qlinalg::{c64, Complex64, Matrix, C_ZERO};
+
+/// A (possibly unnormalised) density operator over `n` qubits.
+///
+/// Unnormalised operators arise naturally while accumulating measurement
+/// branches: each branch carries trace = branch probability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DensityMatrix {
+    n: usize,
+    mat: Matrix,
+}
+
+impl DensityMatrix {
+    /// `|0…0⟩⟨0…0|` on `n` qubits.
+    pub fn new(n: usize) -> Self {
+        let dim = 1usize << n;
+        let mut mat = Matrix::zeros(dim, dim);
+        mat[(0, 0)] = qlinalg::C_ONE;
+        Self { n, mat }
+    }
+
+    /// Builds from an explicit matrix (must be `2^n × 2^n`).
+    pub fn from_matrix(n: usize, mat: Matrix) -> Self {
+        assert_eq!(mat.rows(), 1 << n);
+        assert_eq!(mat.cols(), 1 << n);
+        Self { n, mat }
+    }
+
+    /// `|ψ⟩⟨ψ|` from a pure state.
+    pub fn from_statevector(sv: &StateVector) -> Self {
+        Self { n: sv.num_qubits(), mat: sv.to_density() }
+    }
+
+    /// The maximally mixed state `I/2^n`.
+    pub fn maximally_mixed(n: usize) -> Self {
+        let dim = 1usize << n;
+        Self { n, mat: Matrix::identity(dim).scale_re(1.0 / dim as f64) }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.mat
+    }
+
+    /// Consumes self, returning the matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.mat
+    }
+
+    /// Trace (1 for normalised states; branch probability otherwise).
+    pub fn trace(&self) -> f64 {
+        self.mat.trace().re
+    }
+
+    /// Purity `Tr[ρ²]` (of the normalised operator).
+    pub fn purity(&self) -> f64 {
+        let t = self.trace();
+        assert!(t > 1e-12, "purity of zero operator");
+        self.mat.matmul(&self.mat).trace().re / (t * t)
+    }
+
+    /// Rescales to unit trace.
+    pub fn normalise(&mut self) {
+        let t = self.trace();
+        assert!(t > 1e-12, "cannot normalise zero operator");
+        self.mat = self.mat.scale_re(1.0 / t);
+    }
+
+    /// `true` when Hermitian, PSD (eigenvalues ≥ −tol) and unit trace.
+    pub fn is_physical(&self, tol: f64) -> bool {
+        if !self.mat.is_hermitian(tol) {
+            return false;
+        }
+        if (self.trace() - 1.0).abs() > tol {
+            return false;
+        }
+        let eig = qlinalg::eigh(&self.mat);
+        eig.values.iter().all(|&l| l > -tol)
+    }
+
+    /// Applies a unitary matrix on the listed qubits: `ρ → UρU†`.
+    pub fn apply_unitary(&mut self, u: &Matrix, qubits: &[usize]) {
+        let full = crate::circuit::embed_unitary(u, qubits, self.n);
+        self.mat = full.matmul(&self.mat).matmul(&full.dagger());
+    }
+
+    /// Applies a gate.
+    pub fn apply_gate(&mut self, g: &Gate, qubits: &[usize]) {
+        self.apply_unitary(&g.matrix(), qubits);
+    }
+
+    /// Applies a channel given by Kraus operators on the listed qubits:
+    /// `ρ → Σ_k K_k ρ K_k†`.
+    pub fn apply_kraus(&mut self, kraus: &[Matrix], qubits: &[usize]) {
+        let dim = 1usize << self.n;
+        let mut out = Matrix::zeros(dim, dim);
+        for k in kraus {
+            let full = crate::circuit::embed_unitary(k, qubits, self.n);
+            out = out.add(&full.matmul(&self.mat).matmul(&full.dagger()));
+        }
+        self.mat = out;
+    }
+
+    /// Projects qubit `q` onto `outcome` **without renormalising**; returns
+    /// the branch probability (trace of the projected operator divided by
+    /// the incoming trace is the conditional probability).
+    pub fn project(&mut self, q: usize, outcome: bool) -> f64 {
+        let bit = 1usize << q;
+        let want = if outcome { bit } else { 0 };
+        let dim = 1usize << self.n;
+        for r in 0..dim {
+            for c in 0..dim {
+                if (r & bit) != want || (c & bit) != want {
+                    self.mat[(r, c)] = C_ZERO;
+                }
+            }
+        }
+        self.trace()
+    }
+
+    /// Partial trace keeping the listed qubits (ordered; `keep[i]` becomes
+    /// qubit `i` of the result).
+    pub fn partial_trace(&self, keep: &[usize]) -> DensityMatrix {
+        let k = keep.len();
+        let kd = 1usize << k;
+        let rest: Vec<usize> = (0..self.n).filter(|q| !keep.contains(q)).collect();
+        let rd = 1usize << rest.len();
+        let mut out = Matrix::zeros(kd, kd);
+        let index_of = |kept_bits: usize, rest_bits: usize| -> usize {
+            let mut idx = 0usize;
+            for (b, &q) in keep.iter().enumerate() {
+                idx |= ((kept_bits >> b) & 1) << q;
+            }
+            for (b, &q) in rest.iter().enumerate() {
+                idx |= ((rest_bits >> b) & 1) << q;
+            }
+            idx
+        };
+        for r in 0..kd {
+            for c in 0..kd {
+                let mut acc = C_ZERO;
+                for e in 0..rd {
+                    acc += self.mat[(index_of(r, e), index_of(c, e))];
+                }
+                out[(r, c)] = acc;
+            }
+        }
+        DensityMatrix { n: k, mat: out }
+    }
+
+    /// Expectation value `Tr[P·ρ]` of a Pauli string (normalised by trace
+    /// only if the operator has unit trace — the caller handles weights for
+    /// unnormalised branches).
+    pub fn expval_pauli(&self, p: &PauliString) -> f64 {
+        assert_eq!(p.num_qubits(), self.n);
+        let m = p.matrix();
+        m.matmul(&self.mat).trace().re
+    }
+
+    /// Fidelity with another density operator.
+    pub fn fidelity(&self, other: &DensityMatrix) -> f64 {
+        qlinalg::fidelity(&self.mat, &other.mat)
+    }
+
+    /// Adds `s · other` into this operator (branch accumulation).
+    pub fn axpy(&mut self, s: f64, other: &DensityMatrix) {
+        assert_eq!(self.n, other.n);
+        self.mat.axpy(c64(s, 0.0), &other.mat);
+    }
+
+    /// Tensor product `self ⊗ other`, `other` on the lower qubit indices.
+    pub fn tensor(&self, other: &DensityMatrix) -> DensityMatrix {
+        DensityMatrix { n: self.n + other.n, mat: self.mat.kron(&other.mat) }
+    }
+
+    /// Entrywise approximate equality of the raw matrices.
+    pub fn approx_eq(&self, other: &DensityMatrix, tol: f64) -> bool {
+        self.n == other.n && self.mat.approx_eq(&other.mat, tol)
+    }
+}
+
+/// Builds a two-qubit density operator from amplitudes of a pure state.
+pub fn pure_two_qubit(amps: [Complex64; 4]) -> DensityMatrix {
+    let sv = StateVector::from_amplitudes_normalised(2, amps.to_vec());
+    DensityMatrix::from_statevector(&sv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pauli::Pauli;
+    use qlinalg::C_ONE;
+
+    #[test]
+    fn new_density_is_ground_state() {
+        let rho = DensityMatrix::new(2);
+        assert!((rho.trace() - 1.0).abs() < 1e-14);
+        assert!((rho.purity() - 1.0).abs() < 1e-14);
+        assert!(rho.matrix()[(0, 0)].approx_eq(C_ONE, 1e-14));
+    }
+
+    #[test]
+    fn unitary_preserves_trace_and_purity() {
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_gate(&Gate::H, &[0]);
+        rho.apply_gate(&Gate::CX, &[0, 1]);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_statevector_evolution() {
+        let mut rho = DensityMatrix::new(2);
+        let mut sv = StateVector::new(2);
+        for (g, qs) in [
+            (Gate::H, vec![0]),
+            (Gate::CX, vec![0, 1]),
+            (Gate::T, vec![1]),
+            (Gate::Ry(0.7), vec![0]),
+        ] {
+            rho.apply_gate(&g, &qs);
+            sv.apply_gate(&g, &qs);
+        }
+        let expect = DensityMatrix::from_statevector(&sv);
+        assert!(rho.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn depolarising_channel_mixes_state() {
+        // Kraus: {√(1-p)·I, √(p/3)·X, √(p/3)·Y, √(p/3)·Z} with p = 3/4
+        // sends any state to the maximally mixed state.
+        let p: f64 = 0.75;
+        let kraus: Vec<Matrix> = [
+            Pauli::I.matrix().scale_re((1.0 - p).sqrt()),
+            Pauli::X.matrix().scale_re((p / 3.0).sqrt()),
+            Pauli::Y.matrix().scale_re((p / 3.0).sqrt()),
+            Pauli::Z.matrix().scale_re((p / 3.0).sqrt()),
+        ]
+        .to_vec();
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_kraus(&kraus, &[0]);
+        assert!(rho.approx_eq(&DensityMatrix::maximally_mixed(1), 1e-12));
+        assert!((rho.purity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kraus_preserves_trace_for_cptp() {
+        let p: f64 = 0.3;
+        let kraus = vec![
+            Pauli::I.matrix().scale_re((1.0 - p).sqrt()),
+            Pauli::Z.matrix().scale_re(p.sqrt()),
+        ];
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_gate(&Gate::H, &[0]);
+        rho.apply_kraus(&kraus, &[0]);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!(rho.is_physical(1e-10));
+        // Phase damping shrinks off-diagonals by (1-2p).
+        assert!((rho.matrix()[(0, 1)].re - 0.5 * (1.0 - 2.0 * p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_probabilities_sum_to_one() {
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_gate(&Gate::Ry(1.1), &[0]);
+        let mut b0 = rho.clone();
+        let p0 = b0.project(0, false);
+        let mut b1 = rho.clone();
+        let p1 = b1.project(0, true);
+        assert!((p0 + p1 - 1.0).abs() < 1e-12);
+        // Collapsed branches are the projectors scaled by probabilities.
+        assert!((b0.trace() - p0).abs() < 1e-12);
+        assert!((b1.trace() - p1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_trace_of_bell_is_mixed() {
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_gate(&Gate::H, &[0]);
+        rho.apply_gate(&Gate::CX, &[0, 1]);
+        let red = rho.partial_trace(&[1]);
+        assert!(red.approx_eq(&DensityMatrix::maximally_mixed(1), 1e-12));
+    }
+
+    #[test]
+    fn partial_trace_matches_statevector_reduction() {
+        let mut sv = StateVector::new(3);
+        sv.apply_gate(&Gate::H, &[0]);
+        sv.apply_gate(&Gate::CX, &[0, 2]);
+        sv.apply_gate(&Gate::Ry(0.4), &[1]);
+        let rho = DensityMatrix::from_statevector(&sv);
+        let red = rho.partial_trace(&[2, 0]);
+        let expect = sv.reduced_density(&[2, 0]);
+        assert!(red.matrix().approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn expval_matches_statevector() {
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(&Gate::Ry(0.9), &[0]);
+        sv.apply_gate(&Gate::CX, &[0, 1]);
+        let rho = DensityMatrix::from_statevector(&sv);
+        for label in ["ZI", "IZ", "XX", "ZZ"] {
+            let ps = PauliString::from_label(label);
+            assert!((rho.expval_pauli(&ps) - sv.expval_pauli(&ps)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tensor_and_trace_round_trip() {
+        let mut a = DensityMatrix::new(1);
+        a.apply_gate(&Gate::Ry(0.6), &[0]);
+        let b = DensityMatrix::maximally_mixed(1);
+        let ab = a.tensor(&b); // a on qubit 1, b on qubit 0
+        let back = ab.partial_trace(&[1]);
+        assert!(back.approx_eq(&a, 1e-12));
+        let back_b = ab.partial_trace(&[0]);
+        assert!(back_b.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn physicality_check() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        assert!(rho.is_physical(1e-10));
+        let bad = DensityMatrix::from_matrix(1, Matrix::diag(&[c64(1.5, 0.0), c64(-0.5, 0.0)]));
+        assert!(!bad.is_physical(1e-10));
+    }
+}

@@ -1,0 +1,549 @@
+//! Circuit execution: per-shot statevector runs, exact measurement-branch
+//! enumeration, and a compiled branch-tree sampler.
+//!
+//! Three execution strategies, all agreeing on semantics:
+//!
+//! * [`run_shot`] — honest per-shot statevector simulation with stochastic
+//!   measurement collapse (what a QPU does shot by shot).
+//! * [`execute_density`] — exact, deterministic evolution of a density
+//!   operator through the *same* circuit by enumerating every measurement
+//!   branch. Linear in its input, so it doubles as process tomography for
+//!   circuits containing measurement and feed-forward. This is how the
+//!   channel-level claims of the paper (Eq. 19/22/27) are verified.
+//! * [`CompiledSampler`] — precomputes the measurement branch tree for a
+//!   fixed input state, then draws shots by descending the tree. This is
+//!   the Aer-style "shot branching" optimisation: statistically identical
+//!   to [`run_shot`] but orders of magnitude faster for the paper's
+//!   experiment, which takes millions of shots on the same subcircuits.
+
+use crate::circuit::{Circuit, Op};
+use crate::density::DensityMatrix;
+use crate::statevector::StateVector;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Outcome of a single shot: the classical bit register (bit `i` =
+/// classical bit `i`) and the final collapsed state.
+#[derive(Clone, Debug)]
+pub struct Shot {
+    /// Final classical register contents.
+    pub clbits: u64,
+    /// Final (collapsed, normalised) statevector.
+    pub state: StateVector,
+}
+
+/// Executes one shot of `circuit` starting from `input` (or `|0…0⟩`).
+pub fn run_shot<R: Rng + ?Sized>(circuit: &Circuit, input: Option<&StateVector>, rng: &mut R) -> Shot {
+    assert!(circuit.num_clbits() <= 64, "at most 64 classical bits supported");
+    let mut state = match input {
+        Some(sv) => {
+            assert_eq!(sv.num_qubits(), circuit.num_qubits());
+            sv.clone()
+        }
+        None => StateVector::new(circuit.num_qubits()),
+    };
+    let mut clbits: u64 = 0;
+    for instr in circuit.instructions() {
+        if let Some(cond) = instr.condition {
+            let bit = (clbits >> cond.bit) & 1 == 1;
+            if bit != cond.value {
+                continue;
+            }
+        }
+        match &instr.op {
+            Op::Gate(g, qs) => state.apply_gate(g, qs),
+            Op::Measure { qubit, clbit } => {
+                let outcome = state.measure(*qubit, rng);
+                if outcome {
+                    clbits |= 1 << clbit;
+                } else {
+                    clbits &= !(1 << clbit);
+                }
+            }
+            Op::Reset(q) => state.reset(*q, rng),
+            Op::Barrier => {}
+        }
+    }
+    Shot { clbits, state }
+}
+
+/// Histogram of classical outcomes over many shots.
+#[derive(Clone, Debug, Default)]
+pub struct Counts {
+    map: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl Counts {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one outcome.
+    pub fn record(&mut self, key: u64) {
+        *self.map.entry(key).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Count for a specific outcome.
+    pub fn get(&self, key: u64) -> u64 {
+        self.map.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Total number of recorded shots.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical probability of an outcome.
+    pub fn frequency(&self, key: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.get(key) as f64 / self.total as f64
+        }
+    }
+
+    /// Iterator over `(outcome, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &u64)> {
+        self.map.iter()
+    }
+}
+
+/// Runs `shots` independent shots, histogramming the classical register.
+pub fn run_shots<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    input: Option<&StateVector>,
+    shots: u64,
+    rng: &mut R,
+) -> Counts {
+    let mut counts = Counts::new();
+    for _ in 0..shots {
+        counts.record(run_shot(circuit, input, rng).clbits);
+    }
+    counts
+}
+
+/// One unnormalised measurement branch during exact density execution.
+#[derive(Clone, Debug)]
+pub struct DensityBranch {
+    /// Classical register contents along this branch.
+    pub clbits: u64,
+    /// Unnormalised density operator (trace = branch weight for physical
+    /// inputs).
+    pub rho: DensityMatrix,
+}
+
+/// Exactly evolves a density operator through `circuit`, enumerating all
+/// measurement branches. Returns the list of final branches; their sum is
+/// the output state of the induced channel.
+///
+/// The computation is **linear** in `input`, so probing with matrix units
+/// performs process tomography of circuits with measurement and classical
+/// feed-forward.
+pub fn execute_density_branches(circuit: &Circuit, input: &DensityMatrix) -> Vec<DensityBranch> {
+    assert_eq!(input.num_qubits(), circuit.num_qubits());
+    assert!(circuit.num_clbits() <= 64);
+    let mut branches = vec![DensityBranch { clbits: 0, rho: input.clone() }];
+    for instr in circuit.instructions() {
+        match &instr.op {
+            Op::Gate(g, qs) => {
+                let m = g.matrix();
+                for b in branches.iter_mut() {
+                    if let Some(cond) = instr.condition {
+                        if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
+                            continue;
+                        }
+                    }
+                    b.rho.apply_unitary(&m, qs);
+                }
+            }
+            Op::Measure { qubit, clbit } => {
+                let mut next = Vec::with_capacity(branches.len() * 2);
+                for b in branches.into_iter() {
+                    if let Some(cond) = instr.condition {
+                        if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
+                            next.push(b);
+                            continue;
+                        }
+                    }
+                    let mut b0 = b.clone();
+                    b0.rho.project(*qubit, false);
+                    b0.clbits &= !(1 << clbit);
+                    let mut b1 = b;
+                    b1.rho.project(*qubit, true);
+                    b1.clbits |= 1 << clbit;
+                    next.push(b0);
+                    next.push(b1);
+                }
+                branches = next;
+            }
+            Op::Reset(q) => {
+                // Reset = measure (discard) + conditional X; as a channel:
+                // ρ → |0⟩⟨0| P0 ρ P0 |0⟩⟨0| + X P1 ρ P1 X — no classical split.
+                let x = crate::gate::Gate::X.matrix();
+                for b in branches.iter_mut() {
+                    if let Some(cond) = instr.condition {
+                        if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
+                            continue;
+                        }
+                    }
+                    let mut r0 = b.rho.clone();
+                    r0.project(*q, false);
+                    let mut r1 = b.rho.clone();
+                    r1.project(*q, true);
+                    r1.apply_unitary(&x, &[*q]);
+                    r0.axpy(1.0, &r1);
+                    b.rho = r0;
+                }
+            }
+            Op::Barrier => {}
+        }
+    }
+    branches
+}
+
+/// Exactly evolves a density operator through `circuit`, summing all
+/// measurement branches — the induced CPTP map on the full register.
+pub fn execute_density(circuit: &Circuit, input: &DensityMatrix) -> DensityMatrix {
+    let branches = execute_density_branches(circuit, input);
+    let n = circuit.num_qubits();
+    let mut acc = DensityMatrix::from_matrix(n, qlinalg::Matrix::zeros(1 << n, 1 << n));
+    for b in branches {
+        acc.axpy(1.0, &b.rho);
+    }
+    acc
+}
+
+/// A leaf of the compiled measurement branch tree: a classical outcome
+/// pattern with its probability and the post-measurement pure state.
+#[derive(Clone, Debug)]
+pub struct BranchLeaf {
+    /// Probability of this classical outcome path.
+    pub probability: f64,
+    /// Classical register contents on this path.
+    pub clbits: u64,
+    /// Final normalised state on this path.
+    pub state: StateVector,
+}
+
+/// Pre-enumerated measurement branch tree for a circuit and fixed input.
+///
+/// Compiling costs one statevector simulation per measurement branch
+/// (≤ `2^m` for `m` measurements); sampling a shot afterwards is O(#leaves)
+/// with no gate application at all. Exactly equivalent in distribution to
+/// [`run_shot`] — asserted by tests.
+#[derive(Clone, Debug)]
+pub struct CompiledSampler {
+    leaves: Vec<BranchLeaf>,
+    cumulative: Vec<f64>,
+}
+
+impl CompiledSampler {
+    /// Enumerates all measurement branches of `circuit` on `input`.
+    pub fn compile(circuit: &Circuit, input: Option<&StateVector>) -> Self {
+        assert!(circuit.num_clbits() <= 64);
+        let init = match input {
+            Some(sv) => sv.clone(),
+            None => StateVector::new(circuit.num_qubits()),
+        };
+        struct Branch {
+            p: f64,
+            clbits: u64,
+            state: StateVector,
+        }
+        let mut branches = vec![Branch { p: 1.0, clbits: 0, state: init }];
+        for instr in circuit.instructions() {
+            match &instr.op {
+                Op::Gate(g, qs) => {
+                    for b in branches.iter_mut() {
+                        if let Some(cond) = instr.condition {
+                            if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
+                                continue;
+                            }
+                        }
+                        b.state.apply_gate(g, qs);
+                    }
+                }
+                Op::Measure { qubit, clbit } => {
+                    let mut next = Vec::with_capacity(branches.len() * 2);
+                    for b in branches.into_iter() {
+                        if let Some(cond) = instr.condition {
+                            if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
+                                next.push(b);
+                                continue;
+                            }
+                        }
+                        let p1 = b.state.prob_one(*qubit);
+                        if p1 < 1.0 - 1e-14 {
+                            let mut s0 = b.state.clone();
+                            s0.collapse(*qubit, false);
+                            next.push(Branch {
+                                p: b.p * (1.0 - p1),
+                                clbits: b.clbits & !(1 << clbit),
+                                state: s0,
+                            });
+                        }
+                        if p1 > 1e-14 {
+                            let mut s1 = b.state;
+                            s1.collapse(*qubit, true);
+                            next.push(Branch {
+                                p: b.p * p1,
+                                clbits: b.clbits | (1 << clbit),
+                                state: s1,
+                            });
+                        }
+                    }
+                    branches = next;
+                }
+                Op::Reset(q) => {
+                    let mut next = Vec::with_capacity(branches.len() * 2);
+                    for b in branches.into_iter() {
+                        if let Some(cond) = instr.condition {
+                            if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
+                                next.push(b);
+                                continue;
+                            }
+                        }
+                        let p1 = b.state.prob_one(*q);
+                        if p1 < 1.0 - 1e-14 {
+                            let mut s0 = b.state.clone();
+                            s0.collapse(*q, false);
+                            next.push(Branch { p: b.p * (1.0 - p1), clbits: b.clbits, state: s0 });
+                        }
+                        if p1 > 1e-14 {
+                            let mut s1 = b.state;
+                            s1.collapse(*q, true);
+                            s1.apply_gate(&crate::gate::Gate::X, &[*q]);
+                            next.push(Branch { p: b.p * p1, clbits: b.clbits, state: s1 });
+                        }
+                    }
+                    branches = next;
+                }
+                Op::Barrier => {}
+            }
+        }
+        let mut leaves: Vec<BranchLeaf> = branches
+            .into_iter()
+            .map(|b| BranchLeaf { probability: b.p, clbits: b.clbits, state: b.state })
+            .collect();
+        // Deterministic order helps reproducibility of seeded sampling.
+        leaves.sort_by_key(|l| l.clbits);
+        let mut cumulative = Vec::with_capacity(leaves.len());
+        let mut acc = 0.0;
+        for l in &leaves {
+            acc += l.probability;
+            cumulative.push(acc);
+        }
+        debug_assert!((acc - 1.0).abs() < 1e-9, "branch probabilities sum to {acc}");
+        Self { leaves, cumulative }
+    }
+
+    /// The enumerated leaves.
+    pub fn leaves(&self) -> &[BranchLeaf] {
+        &self.leaves
+    }
+
+    /// Draws one leaf according to the branch probabilities.
+    pub fn sample_leaf<R: Rng + ?Sized>(&self, rng: &mut R) -> &BranchLeaf {
+        let r: f64 = rng.gen::<f64>() * self.cumulative.last().copied().unwrap_or(1.0);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&r).unwrap())
+        {
+            Ok(i) => &self.leaves[(i + 1).min(self.leaves.len() - 1)],
+            Err(i) => &self.leaves[i.min(self.leaves.len() - 1)],
+        }
+    }
+
+    /// Exact expectation of Z on `qubit` over the full branch distribution.
+    pub fn exact_expval_z(&self, qubit: usize) -> f64 {
+        self.leaves
+            .iter()
+            .map(|l| l.probability * l.state.expval_z(qubit))
+            .sum()
+    }
+
+    /// One single-shot estimate of Z on `qubit`: draw a branch, then a
+    /// terminal measurement outcome; returns ±1.
+    pub fn sample_z<R: Rng + ?Sized>(&self, qubit: usize, rng: &mut R) -> f64 {
+        let leaf = self.sample_leaf(rng);
+        let p1 = leaf.state.prob_one(qubit);
+        if rng.gen::<f64>() < p1 {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bell_measure_circuit() -> Circuit {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        c
+    }
+
+    #[test]
+    fn bell_shots_are_correlated() {
+        let c = bell_measure_circuit();
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = run_shots(&c, None, 4000, &mut rng);
+        assert_eq!(counts.get(0b01) + counts.get(0b10), 0, "anticorrelated outcomes seen");
+        let f00 = counts.frequency(0b00);
+        assert!((f00 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn feed_forward_teleport_identity() {
+        // Teleport |ψ⟩ = Ry(0.9)|0⟩ from qubit 0 to qubit 2 and check ⟨Z⟩.
+        let mut c = Circuit::new(3, 2);
+        c.ry(0.9, 0);
+        c.h(1).cx(1, 2); // Bell pair on (1,2)
+        c.cx(0, 1).h(0);
+        c.measure(0, 0).measure(1, 1);
+        c.x_if(2, 1).z_if(2, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let expect = (0.9f64).cos();
+        // Exact via compiled sampler:
+        let sampler = CompiledSampler::compile(&c, None);
+        assert!((sampler.exact_expval_z(2) - expect).abs() < 1e-10);
+        // Statistical via per-shot simulation:
+        let mut acc = 0.0;
+        let shots = 20_000;
+        for _ in 0..shots {
+            let shot = run_shot(&c, None, &mut rng);
+            acc += shot.state.expval_z(2);
+        }
+        assert!((acc / shots as f64 - expect).abs() < 0.02);
+    }
+
+    #[test]
+    fn compiled_sampler_matches_run_shot_distribution() {
+        let c = bell_measure_circuit();
+        let sampler = CompiledSampler::compile(&c, None);
+        assert_eq!(sampler.leaves().len(), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = Counts::new();
+        for _ in 0..4000 {
+            counts.record(sampler.sample_leaf(&mut rng).clbits);
+        }
+        assert!((counts.frequency(0b00) - 0.5).abs() < 0.05);
+        assert_eq!(counts.get(0b01), 0);
+    }
+
+    #[test]
+    fn conditioned_measurement_branches() {
+        // Measure q0; only if it is 1, flip and measure q1.
+        let mut c = Circuit::new(2, 2);
+        c.h(0).measure(0, 0);
+        c.gate_if(Gate::X, &[1], 0, true);
+        c.measure(1, 1);
+        let sampler = CompiledSampler::compile(&c, None);
+        // Outcomes: c=00 (q0=0, q1 stays 0) and c=11.
+        let probs: Vec<(u64, f64)> = sampler
+            .leaves()
+            .iter()
+            .map(|l| (l.clbits, l.probability))
+            .collect();
+        assert_eq!(probs.len(), 2);
+        assert!(probs.iter().any(|&(c, p)| c == 0b00 && (p - 0.5).abs() < 1e-12));
+        assert!(probs.iter().any(|&(c, p)| c == 0b11 && (p - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn density_execution_matches_compiled_expectation() {
+        let mut c = Circuit::new(3, 2);
+        c.ry(1.3, 0);
+        c.h(1).cx(1, 2);
+        c.cx(0, 1).h(0);
+        c.measure(0, 0).measure(1, 1);
+        c.x_if(2, 1).z_if(2, 0);
+        let rho_out = execute_density(&c, &DensityMatrix::new(3));
+        assert!((rho_out.trace() - 1.0).abs() < 1e-10);
+        let reduced = rho_out.partial_trace(&[2]);
+        let z = reduced.expval_pauli(&crate::pauli::PauliString::single(1, 0, crate::pauli::Pauli::Z));
+        let sampler = CompiledSampler::compile(&c, None);
+        assert!((z - sampler.exact_expval_z(2)).abs() < 1e-10);
+        assert!((z - (1.3f64).cos()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn density_branches_carry_probabilities() {
+        let c = bell_measure_circuit();
+        let branches = execute_density_branches(&c, &DensityMatrix::new(2));
+        let total: f64 = branches.iter().map(|b| b.rho.trace()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let nonzero: Vec<_> = branches.iter().filter(|b| b.rho.trace() > 1e-12).collect();
+        assert_eq!(nonzero.len(), 2);
+        for b in nonzero {
+            assert!((b.rho.trace() - 0.5).abs() < 1e-12);
+            assert!(b.clbits == 0b00 || b.clbits == 0b11);
+        }
+    }
+
+    #[test]
+    fn reset_channel_in_density_execution() {
+        let mut c = Circuit::new(1, 0);
+        c.h(0);
+        c.reset(0);
+        let out = execute_density(&c, &DensityMatrix::new(1));
+        // Reset sends everything to |0⟩⟨0|.
+        assert!(out.approx_eq(&DensityMatrix::new(1), 1e-12));
+    }
+
+    #[test]
+    fn reset_in_shot_execution() {
+        let mut c = Circuit::new(1, 1);
+        c.h(0);
+        c.reset(0);
+        c.measure(0, 0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let counts = run_shots(&c, None, 500, &mut rng);
+        assert_eq!(counts.get(1), 0);
+        assert_eq!(counts.get(0), 500);
+    }
+
+    #[test]
+    fn counts_bookkeeping() {
+        let mut c = Counts::new();
+        c.record(3);
+        c.record(3);
+        c.record(1);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.get(3), 2);
+        assert!((c.frequency(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.get(7), 0);
+    }
+
+    #[test]
+    fn custom_input_state_is_used() {
+        let mut input = StateVector::new(1);
+        input.apply_gate(&Gate::X, &[0]);
+        let mut c = Circuit::new(1, 1);
+        c.measure(0, 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let counts = run_shots(&c, Some(&input), 100, &mut rng);
+        assert_eq!(counts.get(1), 100);
+    }
+
+    #[test]
+    fn sample_z_is_unbiased() {
+        let mut c = Circuit::new(1, 0);
+        c.ry(1.0, 0);
+        let sampler = CompiledSampler::compile(&c, None);
+        let exact = sampler.exact_expval_z(0);
+        assert!((exact - (1.0f64).cos()).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| sampler.sample_z(0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - exact).abs() < 0.02);
+    }
+}

@@ -1,0 +1,394 @@
+//! Gate library.
+//!
+//! Covers every gate the paper's circuits need (Figures 2, 3 and 5): the
+//! Cliffords `H`, `S`, `S†`, Paulis, the `R_y` rotation used to prepare
+//! `|Φ_k⟩`, CNOT/CZ for Bell preparation and measurement, plus a general
+//! single- and two-qubit unitary escape hatch.
+
+use crate::pauli::Pauli;
+use qlinalg::{c64, Complex64, Matrix, C_I, C_ONE, C_ZERO};
+use std::f64::consts::FRAC_1_SQRT_2;
+use std::fmt;
+
+/// A quantum gate with a fixed arity.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Gate {
+    /// Identity (1 qubit).
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate `S = diag(1, i)`.
+    S,
+    /// Inverse phase gate `S† = diag(1, −i)`.
+    Sdg,
+    /// T gate `diag(1, e^{iπ/4})`.
+    T,
+    /// Inverse T gate.
+    Tdg,
+    /// Square root of X.
+    SX,
+    /// Rotation about X: `exp(−iθX/2)`.
+    Rx(f64),
+    /// Rotation about Y: `exp(−iθY/2)`.
+    Ry(f64),
+    /// Rotation about Z: `exp(−iθZ/2)`.
+    Rz(f64),
+    /// Phase rotation `diag(1, e^{iλ})`.
+    Phase(f64),
+    /// General single-qubit unitary `U(θ, φ, λ)` (OpenQASM 3 convention).
+    U(f64, f64, f64),
+    /// Arbitrary single-qubit unitary given by its matrix.
+    Unitary1(Matrix),
+    /// CNOT; first operand is control, second is target.
+    CX,
+    /// Controlled-Z (symmetric).
+    CZ,
+    /// Controlled-Y.
+    CY,
+    /// SWAP.
+    Swap,
+    /// Controlled phase `diag(1,1,1,e^{iλ})`.
+    CPhase(f64),
+    /// Arbitrary two-qubit unitary given by its 4×4 matrix; operand order
+    /// `[q0, q1]` maps to matrix index bit 0 = `q0`, bit 1 = `q1`.
+    Unitary2(Matrix),
+}
+
+impl Gate {
+    /// Number of qubit operands.
+    pub fn arity(&self) -> usize {
+        use Gate::*;
+        match self {
+            I | X | Y | Z | H | S | Sdg | T | Tdg | SX | Rx(_) | Ry(_) | Rz(_) | Phase(_)
+            | U(..) | Unitary1(_) => 1,
+            CX | CZ | CY | Swap | CPhase(_) | Unitary2(_) => 2,
+        }
+    }
+
+    /// Dense matrix representation (`2×2` or `4×4`).
+    ///
+    /// For two-qubit gates the matrix index convention is little-endian in
+    /// the operand list: bit 0 of the index is the first operand.
+    pub fn matrix(&self) -> Matrix {
+        use Gate::*;
+        let s2 = FRAC_1_SQRT_2;
+        match self {
+            I => Matrix::identity(2),
+            X => Pauli::X.matrix(),
+            Y => Pauli::Y.matrix(),
+            Z => Pauli::Z.matrix(),
+            H => Matrix::from_rows(&[
+                vec![c64(s2, 0.0), c64(s2, 0.0)],
+                vec![c64(s2, 0.0), c64(-s2, 0.0)],
+            ]),
+            S => Matrix::from_rows(&[vec![C_ONE, C_ZERO], vec![C_ZERO, C_I]]),
+            Sdg => Matrix::from_rows(&[vec![C_ONE, C_ZERO], vec![C_ZERO, -C_I]]),
+            T => Matrix::from_rows(&[
+                vec![C_ONE, C_ZERO],
+                vec![C_ZERO, Complex64::cis(std::f64::consts::FRAC_PI_4)],
+            ]),
+            Tdg => Matrix::from_rows(&[
+                vec![C_ONE, C_ZERO],
+                vec![C_ZERO, Complex64::cis(-std::f64::consts::FRAC_PI_4)],
+            ]),
+            SX => Matrix::from_rows(&[
+                vec![c64(0.5, 0.5), c64(0.5, -0.5)],
+                vec![c64(0.5, -0.5), c64(0.5, 0.5)],
+            ]),
+            Rx(theta) => {
+                let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                Matrix::from_rows(&[vec![c64(c, 0.0), c64(0.0, -s)], vec![c64(0.0, -s), c64(c, 0.0)]])
+            }
+            Ry(theta) => {
+                let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                Matrix::from_rows(&[vec![c64(c, 0.0), c64(-s, 0.0)], vec![c64(s, 0.0), c64(c, 0.0)]])
+            }
+            Rz(theta) => Matrix::from_rows(&[
+                vec![Complex64::cis(-theta / 2.0), C_ZERO],
+                vec![C_ZERO, Complex64::cis(theta / 2.0)],
+            ]),
+            Phase(lam) => {
+                Matrix::from_rows(&[vec![C_ONE, C_ZERO], vec![C_ZERO, Complex64::cis(*lam)]])
+            }
+            U(theta, phi, lam) => {
+                let (ct, st) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                Matrix::from_rows(&[
+                    vec![c64(ct, 0.0), -Complex64::cis(*lam) * st],
+                    vec![Complex64::cis(*phi) * st, Complex64::cis(phi + lam) * ct],
+                ])
+            }
+            Unitary1(m) => {
+                assert_eq!(m.rows(), 2);
+                m.clone()
+            }
+            // Little-endian operand convention: for CX with operands
+            // [control=first, target=second], basis index bit0 = control.
+            CX => Matrix::from_fn(4, 4, |r, c| {
+                let (ctrl, tgt) = (c & 1, (c >> 1) & 1);
+                let out = if ctrl == 1 { (ctrl, tgt ^ 1) } else { (ctrl, tgt) };
+                if r == out.0 | (out.1 << 1) {
+                    C_ONE
+                } else {
+                    C_ZERO
+                }
+            }),
+            CZ => Matrix::from_fn(4, 4, |r, c| {
+                if r != c {
+                    C_ZERO
+                } else if c == 0b11 {
+                    -C_ONE
+                } else {
+                    C_ONE
+                }
+            }),
+            CY => Matrix::from_fn(4, 4, |r, c| {
+                let (ctrl, tgt) = (c & 1, (c >> 1) & 1);
+                if ctrl == 0 {
+                    if r == c {
+                        C_ONE
+                    } else {
+                        C_ZERO
+                    }
+                } else {
+                    // Y on target: |0⟩→i|1⟩, |1⟩→−i|0⟩
+                    let out = ctrl | ((tgt ^ 1) << 1);
+                    if r == out {
+                        if tgt == 0 {
+                            C_I
+                        } else {
+                            -C_I
+                        }
+                    } else {
+                        C_ZERO
+                    }
+                }
+            }),
+            Swap => Matrix::from_fn(4, 4, |r, c| {
+                let swapped = ((c & 1) << 1) | ((c >> 1) & 1);
+                if r == swapped {
+                    C_ONE
+                } else {
+                    C_ZERO
+                }
+            }),
+            CPhase(lam) => Matrix::from_fn(4, 4, |r, c| {
+                if r != c {
+                    C_ZERO
+                } else if c == 0b11 {
+                    Complex64::cis(*lam)
+                } else {
+                    C_ONE
+                }
+            }),
+            Unitary2(m) => {
+                assert_eq!(m.rows(), 4);
+                m.clone()
+            }
+        }
+    }
+
+    /// The inverse gate.
+    pub fn inverse(&self) -> Gate {
+        use Gate::*;
+        match self {
+            I | X | Y | Z | H | CX | CZ | CY | Swap => self.clone(),
+            S => Sdg,
+            Sdg => S,
+            T => Tdg,
+            Tdg => T,
+            SX => Unitary1(self.matrix().dagger()),
+            Rx(t) => Rx(-t),
+            Ry(t) => Ry(-t),
+            Rz(t) => Rz(-t),
+            Phase(l) => Phase(-l),
+            U(t, p, l) => U(-t, -l, -p),
+            CPhase(l) => CPhase(-l),
+            Unitary1(m) => Unitary1(m.dagger()),
+            Unitary2(m) => Unitary2(m.dagger()),
+        }
+    }
+
+    /// Short mnemonic for display/debugging.
+    pub fn name(&self) -> String {
+        use Gate::*;
+        match self {
+            I => "i".into(),
+            X => "x".into(),
+            Y => "y".into(),
+            Z => "z".into(),
+            H => "h".into(),
+            S => "s".into(),
+            Sdg => "sdg".into(),
+            T => "t".into(),
+            Tdg => "tdg".into(),
+            SX => "sx".into(),
+            Rx(t) => format!("rx({t:.4})"),
+            Ry(t) => format!("ry({t:.4})"),
+            Rz(t) => format!("rz({t:.4})"),
+            Phase(l) => format!("p({l:.4})"),
+            U(t, p, l) => format!("u({t:.4},{p:.4},{l:.4})"),
+            Unitary1(_) => "u1q".into(),
+            CX => "cx".into(),
+            CZ => "cz".into(),
+            CY => "cy".into(),
+            Swap => "swap".into(),
+            CPhase(l) => format!("cp({l:.4})"),
+            Unitary2(_) => "u2q".into(),
+        }
+    }
+
+    /// Gate for a bare Pauli operator.
+    pub fn from_pauli(p: Pauli) -> Gate {
+        match p {
+            Pauli::I => Gate::I,
+            Pauli::X => Gate::X,
+            Pauli::Y => Gate::Y,
+            Pauli::Z => Gate::Z,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fixed_gates_are_unitary() {
+        let gates = [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::SX,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.1),
+            Gate::Rz(2.3),
+            Gate::Phase(0.4),
+            Gate::U(0.3, 1.2, -0.8),
+            Gate::CX,
+            Gate::CZ,
+            Gate::CY,
+            Gate::Swap,
+            Gate::CPhase(1.0),
+        ];
+        for g in gates {
+            assert!(g.matrix().is_unitary(1e-12), "{g} not unitary");
+        }
+    }
+
+    #[test]
+    fn inverse_matrices_multiply_to_identity() {
+        let gates = [
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::SX,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.1),
+            Gate::Rz(2.3),
+            Gate::Phase(0.4),
+            Gate::U(0.3, 1.2, -0.8),
+            Gate::CX,
+            Gate::CPhase(1.0),
+        ];
+        for g in gates {
+            let m = g.matrix();
+            let minv = g.inverse().matrix();
+            let n = m.rows();
+            assert!(
+                m.matmul(&minv).approx_eq(&Matrix::identity(n), 1e-12),
+                "{g} inverse wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn hzh_equals_x() {
+        let h = Gate::H.matrix();
+        let z = Gate::Z.matrix();
+        let x = Gate::X.matrix();
+        assert!(h.matmul(&z).matmul(&h).approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn sh_z_hs_dagger_equals_y() {
+        // U2 = S·H conjugation of Z gives Y (paper Eq. 65):
+        // (SH) Z (SH)† = Y
+        let sh = Gate::S.matrix().matmul(&Gate::H.matrix());
+        let z = Gate::Z.matrix();
+        let y = Gate::Y.matrix();
+        assert!(sh.matmul(&z).matmul(&sh.dagger()).approx_eq(&y, 1e-12));
+    }
+
+    #[test]
+    fn cx_flips_target_when_control_set() {
+        let cx = Gate::CX.matrix();
+        // control = bit0 (first operand), target = bit1.
+        // |01⟩ (ctrl=1, tgt=0) → |11⟩  [index 1 → 3]
+        assert!(cx[(3, 1)].approx_eq(C_ONE, 1e-14));
+        assert!(cx[(1, 1)].approx_eq(C_ZERO, 1e-14));
+        // |00⟩ fixed
+        assert!(cx[(0, 0)].approx_eq(C_ONE, 1e-14));
+        // |11⟩ → |01⟩
+        assert!(cx[(1, 3)].approx_eq(C_ONE, 1e-14));
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        let sw = Gate::Swap.matrix();
+        assert!(sw[(2, 1)].approx_eq(C_ONE, 1e-14)); // |01⟩→|10⟩
+        assert!(sw[(1, 2)].approx_eq(C_ONE, 1e-14));
+        assert!(sw[(0, 0)].approx_eq(C_ONE, 1e-14));
+        assert!(sw[(3, 3)].approx_eq(C_ONE, 1e-14));
+    }
+
+    #[test]
+    fn ry_prepares_weighted_superposition() {
+        // Ry(θ)|0⟩ = cos(θ/2)|0⟩ + sin(θ/2)|1⟩ — used for |Φk⟩ preparation.
+        let theta = 1.234f64;
+        let m = Gate::Ry(theta).matrix();
+        assert!(m[(0, 0)].approx_eq(c64((theta / 2.0).cos(), 0.0), 1e-14));
+        assert!(m[(1, 0)].approx_eq(c64((theta / 2.0).sin(), 0.0), 1e-14));
+    }
+
+    #[test]
+    fn u_gate_reduces_to_known_gates() {
+        use std::f64::consts::PI;
+        // U(π/2, 0, π) = H
+        let u = Gate::U(PI / 2.0, 0.0, PI).matrix();
+        assert!(u.approx_eq(&Gate::H.matrix(), 1e-12));
+        // U(0, 0, λ) = Phase(λ)
+        let u = Gate::U(0.0, 0.0, 0.77).matrix();
+        assert!(u.approx_eq(&Gate::Phase(0.77).matrix(), 1e-12));
+    }
+
+    #[test]
+    fn sxsx_equals_x() {
+        let sx = Gate::SX.matrix();
+        assert!(sx.matmul(&sx).approx_eq(&Gate::X.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn arity_is_consistent_with_matrix_size() {
+        for g in [Gate::H, Gate::CX, Gate::Swap, Gate::Rz(0.1)] {
+            assert_eq!(g.matrix().rows(), 1 << g.arity());
+        }
+    }
+}

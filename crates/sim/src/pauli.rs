@@ -1,0 +1,328 @@
+//! Pauli operators and Pauli strings.
+//!
+//! The paper's observable is `Z` (Section IV) and its error analysis is
+//! phrased entirely in terms of Pauli errors introduced by NME
+//! teleportation (Eq. 22, 55–59), so Paulis get first-class treatment.
+
+use qlinalg::{c64, Matrix, C_I, C_ONE, C_ZERO};
+use std::fmt;
+
+/// Single-qubit Pauli operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X (bit flip).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z (phase flip).
+    Z,
+}
+
+impl Pauli {
+    /// All four Paulis in the conventional order `I, X, Y, Z`.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The 2×2 matrix representation.
+    pub fn matrix(self) -> Matrix {
+        match self {
+            Pauli::I => Matrix::identity(2),
+            Pauli::X => Matrix::from_rows(&[vec![C_ZERO, C_ONE], vec![C_ONE, C_ZERO]]),
+            Pauli::Y => Matrix::from_rows(&[vec![C_ZERO, -C_I], vec![C_I, C_ZERO]]),
+            Pauli::Z => Matrix::from_rows(&[vec![C_ONE, C_ZERO], vec![C_ZERO, -C_ONE]]),
+        }
+    }
+
+    /// Index in the `I, X, Y, Z` ordering.
+    pub fn index(self) -> usize {
+        match self {
+            Pauli::I => 0,
+            Pauli::X => 1,
+            Pauli::Y => 2,
+            Pauli::Z => 3,
+        }
+    }
+
+    /// Inverse of [`Pauli::index`].
+    pub fn from_index(i: usize) -> Pauli {
+        Pauli::ALL[i]
+    }
+
+    /// Product `self · other` up to phase: returns `(phase, pauli)` with
+    /// `self · other = phase · pauli`.
+    pub fn mul(self, other: Pauli) -> (qlinalg::Complex64, Pauli) {
+        use Pauli::*;
+        match (self, other) {
+            (I, p) | (p, I) => (C_ONE, p),
+            (X, X) | (Y, Y) | (Z, Z) => (C_ONE, I),
+            (X, Y) => (C_I, Z),
+            (Y, X) => (-C_I, Z),
+            (Y, Z) => (C_I, X),
+            (Z, Y) => (-C_I, X),
+            (Z, X) => (C_I, Y),
+            (X, Z) => (-C_I, Y),
+        }
+    }
+
+    /// `true` when the two Paulis commute.
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        self == Pauli::I || other == Pauli::I || self == other
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A tensor product of single-qubit Paulis over `n` qubits.
+///
+/// `ops[k]` acts on qubit `k` (little-endian, qubit 0 = least significant
+/// statevector bit).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PauliString {
+    ops: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// All-identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Self { ops: vec![Pauli::I; n] }
+    }
+
+    /// Builds from an explicit per-qubit list (`ops[k]` acts on qubit `k`).
+    pub fn new(ops: Vec<Pauli>) -> Self {
+        Self { ops }
+    }
+
+    /// Single-qubit observable `P` on qubit `q` of an `n`-qubit register.
+    pub fn single(n: usize, q: usize, p: Pauli) -> Self {
+        assert!(q < n, "qubit index out of range");
+        let mut ops = vec![Pauli::I; n];
+        ops[q] = p;
+        Self { ops }
+    }
+
+    /// Parses labels like `"ZIX"` — **leftmost character is the highest
+    /// qubit**, matching ket notation `|q_{n-1}…q_0⟩`.
+    pub fn from_label(label: &str) -> Self {
+        let ops = label
+            .chars()
+            .rev()
+            .map(|c| match c {
+                'I' => Pauli::I,
+                'X' => Pauli::X,
+                'Y' => Pauli::Y,
+                'Z' => Pauli::Z,
+                other => panic!("invalid Pauli label character '{other}'"),
+            })
+            .collect();
+        Self { ops }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The Pauli on qubit `q`.
+    pub fn op(&self, q: usize) -> Pauli {
+        self.ops[q]
+    }
+
+    /// Slice of per-qubit operators.
+    pub fn ops(&self) -> &[Pauli] {
+        &self.ops
+    }
+
+    /// Dense `2^n × 2^n` matrix (kron of factors, highest qubit first).
+    pub fn matrix(&self) -> Matrix {
+        let mut m = Matrix::identity(1);
+        for p in self.ops.iter().rev() {
+            m = m.kron(&p.matrix());
+        }
+        m
+    }
+
+    /// Weight: number of non-identity factors.
+    pub fn weight(&self) -> usize {
+        self.ops.iter().filter(|&&p| p != Pauli::I).count()
+    }
+
+    /// The eigenvalue `±1` of this Pauli string on computational basis
+    /// state `index`, **valid only for diagonal strings** (I/Z factors).
+    ///
+    /// # Panics
+    /// Panics if the string contains X or Y.
+    pub fn diagonal_eigenvalue(&self, index: usize) -> f64 {
+        let mut sign = 1.0;
+        for (q, &p) in self.ops.iter().enumerate() {
+            match p {
+                Pauli::I => {}
+                Pauli::Z => {
+                    if (index >> q) & 1 == 1 {
+                        sign = -sign;
+                    }
+                }
+                _ => panic!("diagonal_eigenvalue on non-diagonal Pauli string"),
+            }
+        }
+        sign
+    }
+
+    /// `true` when every factor is I or Z.
+    pub fn is_diagonal(&self) -> bool {
+        self.ops.iter().all(|&p| matches!(p, Pauli::I | Pauli::Z))
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in self.ops.iter().rev() {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Expands a density operator in the Pauli basis: returns the real
+/// coefficients `r_P = Tr[P·ρ] / 2^n` for all `4^n` Pauli strings of `n`
+/// qubits, ordered by base-4 digits (qubit 0 = least significant digit,
+/// digit order I,X,Y,Z).
+pub fn pauli_coefficients(rho: &Matrix, n: usize) -> Vec<f64> {
+    let total = 4usize.pow(n as u32);
+    let dim = 1usize << n;
+    assert_eq!(rho.rows(), dim);
+    let norm = 1.0 / dim as f64;
+    let mut out = Vec::with_capacity(total);
+    for code in 0..total {
+        let ps = pauli_string_from_code(code, n);
+        let m = ps.matrix();
+        let tr = m.matmul(rho).trace();
+        out.push(tr.re * norm);
+    }
+    out
+}
+
+/// Decodes a base-4 code into a Pauli string (digit `k` = Pauli on qubit `k`).
+pub fn pauli_string_from_code(code: usize, n: usize) -> PauliString {
+    let mut ops = Vec::with_capacity(n);
+    let mut c = code;
+    for _ in 0..n {
+        ops.push(Pauli::from_index(c & 3));
+        c >>= 2;
+    }
+    PauliString::new(ops)
+}
+
+/// Reconstructs a density operator from its Pauli coefficients
+/// (inverse of [`pauli_coefficients`]).
+pub fn density_from_pauli_coefficients(coeffs: &[f64], n: usize) -> Matrix {
+    let dim = 1usize << n;
+    let mut rho = Matrix::zeros(dim, dim);
+    for (code, &r) in coeffs.iter().enumerate() {
+        let m = pauli_string_from_code(code, n).matrix();
+        rho.axpy(c64(r, 0.0), &m);
+    }
+    rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pauli_products_follow_algebra() {
+        let (ph, p) = Pauli::X.mul(Pauli::Y);
+        assert_eq!(p, Pauli::Z);
+        assert!(ph.approx_eq(C_I, 1e-14));
+        let (ph, p) = Pauli::Y.mul(Pauli::X);
+        assert_eq!(p, Pauli::Z);
+        assert!(ph.approx_eq(-C_I, 1e-14));
+        let (ph, p) = Pauli::Z.mul(Pauli::Z);
+        assert_eq!(p, Pauli::I);
+        assert!(ph.approx_eq(C_ONE, 1e-14));
+    }
+
+    #[test]
+    fn product_matches_matrix_product() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let (phase, c) = a.mul(b);
+                let lhs = a.matrix().matmul(&b.matrix());
+                let rhs = c.matrix().scale(phase);
+                assert!(lhs.approx_eq(&rhs, 1e-14), "{a}·{b} != {phase:?}{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn commutation_structure() {
+        assert!(Pauli::X.commutes_with(Pauli::X));
+        assert!(Pauli::X.commutes_with(Pauli::I));
+        assert!(!Pauli::X.commutes_with(Pauli::Z));
+        assert!(!Pauli::Y.commutes_with(Pauli::Z));
+    }
+
+    #[test]
+    fn label_round_trip_is_little_endian() {
+        let ps = PauliString::from_label("ZX");
+        // leftmost 'Z' is qubit 1, rightmost 'X' is qubit 0
+        assert_eq!(ps.op(0), Pauli::X);
+        assert_eq!(ps.op(1), Pauli::Z);
+        assert_eq!(format!("{ps}"), "ZX");
+    }
+
+    #[test]
+    fn string_matrix_matches_kron() {
+        let ps = PauliString::from_label("XZ");
+        let expect = Pauli::X.matrix().kron(&Pauli::Z.matrix());
+        assert!(ps.matrix().approx_eq(&expect, 1e-14));
+    }
+
+    #[test]
+    fn diagonal_eigenvalues_of_zz() {
+        let zz = PauliString::from_label("ZZ");
+        assert_eq!(zz.diagonal_eigenvalue(0b00), 1.0);
+        assert_eq!(zz.diagonal_eigenvalue(0b01), -1.0);
+        assert_eq!(zz.diagonal_eigenvalue(0b10), -1.0);
+        assert_eq!(zz.diagonal_eigenvalue(0b11), 1.0);
+    }
+
+    #[test]
+    fn weight_counts_non_identity() {
+        assert_eq!(PauliString::from_label("IXI").weight(), 1);
+        assert_eq!(PauliString::from_label("ZZY").weight(), 3);
+        assert_eq!(PauliString::identity(4).weight(), 0);
+    }
+
+    #[test]
+    fn pauli_coefficient_round_trip() {
+        // ρ = |+⟩⟨+| on 1 qubit: coefficients r_I = 1/2, r_X = 1/2.
+        let half = c64(0.5, 0.0);
+        let rho = Matrix::from_rows(&[vec![half, half], vec![half, half]]);
+        let coeffs = pauli_coefficients(&rho, 1);
+        assert!((coeffs[0] - 0.5).abs() < 1e-12); // I
+        assert!((coeffs[1] - 0.5).abs() < 1e-12); // X
+        assert!(coeffs[2].abs() < 1e-12); // Y
+        assert!(coeffs[3].abs() < 1e-12); // Z
+        let back = density_from_pauli_coefficients(&coeffs, 1);
+        assert!(back.approx_eq(&rho, 1e-12));
+    }
+
+    #[test]
+    fn single_places_operator_correctly() {
+        let ps = PauliString::single(3, 1, Pauli::Z);
+        assert_eq!(ps.op(0), Pauli::I);
+        assert_eq!(ps.op(1), Pauli::Z);
+        assert_eq!(ps.op(2), Pauli::I);
+    }
+}

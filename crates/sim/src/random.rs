@@ -1,0 +1,136 @@
+//! Haar-random unitaries and states.
+//!
+//! Implements exactly the workload generator of the paper's experiment
+//! (Section IV): "A unitary matrix W is randomly sampled \[30\] and applied
+//! to the initial state |0⟩", with \[30\] = Mezzadri's QR-of-Ginibre recipe.
+//! Gaussian variates come from a Box–Muller transform so no distribution
+//! crate is needed.
+
+use crate::statevector::StateVector;
+use qlinalg::{c64, Complex64, Matrix};
+use rand::Rng;
+
+/// Draws a standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a complex Ginibre matrix: i.i.d. entries `(N(0,1) + i·N(0,1))/√2`.
+pub fn ginibre<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Matrix {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    Matrix::from_fn(n, n, |_, _| {
+        c64(standard_normal(rng) * s, standard_normal(rng) * s)
+    })
+}
+
+/// Samples a Haar-distributed unitary on `U(n)` (Mezzadri 2007): QR-factor
+/// a Ginibre matrix and absorb the phases of `diag(R)` into `Q`.
+pub fn haar_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Matrix {
+    let g = ginibre(n, rng);
+    qlinalg::qr(&g).haar_unitary_q()
+}
+
+/// Samples a Haar-random pure state of `num_qubits` qubits: `W|0…0⟩` for
+/// Haar-random `W` (equivalently a random unit vector).
+pub fn haar_state<R: Rng + ?Sized>(num_qubits: usize, rng: &mut R) -> StateVector {
+    let dim = 1usize << num_qubits;
+    // The first column of a Haar unitary is a Haar-random unit vector; we
+    // can sample it directly as a normalised Gaussian vector, which is
+    // cheaper than a full QR for larger registers.
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let amps: Vec<Complex64> = (0..dim)
+        .map(|_| c64(standard_normal(rng) * s, standard_normal(rng) * s))
+        .collect();
+    StateVector::from_amplitudes_normalised(num_qubits, amps)
+}
+
+/// Samples a Haar-random single-qubit unitary `W` and returns it together
+/// with the exact `⟨Z⟩` of `W|0⟩` — the paper's per-instance workload
+/// (`⟨Z⟩_{W|0⟩} = ⟨0|W†ZW|0⟩`).
+pub fn haar_single_qubit_workload<R: Rng + ?Sized>(rng: &mut R) -> (Matrix, f64) {
+    let w = haar_unitary(2, rng);
+    // ⟨Z⟩ = |W00|² − |W10|²  (the first column is W|0⟩).
+    let z = w[(0, 0)].norm_sqr() - w[(1, 0)].norm_sqr();
+    (w, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn haar_unitary_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [2, 3, 4] {
+            let u = haar_unitary(n, &mut rng);
+            assert!(u.is_unitary(1e-9), "not unitary for n={n}");
+        }
+    }
+
+    #[test]
+    fn haar_state_is_normalised() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in 1..=4 {
+            let sv = haar_state(n, &mut rng);
+            assert!((sv.norm() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn haar_single_qubit_z_is_uniform_on_minus_one_one() {
+        // For Haar-random single-qubit states, ⟨Z⟩ is uniform on [−1, 1]:
+        // E[⟨Z⟩] = 0 and Var[⟨Z⟩] = 1/3.
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let zs: Vec<f64> = (0..n).map(|_| haar_single_qubit_workload(&mut rng).1).collect();
+        let mean = zs.iter().sum::<f64>() / n as f64;
+        let var = zs.iter().map(|z| (z - mean) * (z - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0 / 3.0).abs() < 0.02, "var {var}");
+        assert!(zs.iter().all(|z| (-1.0..=1.0).contains(z)));
+    }
+
+    #[test]
+    fn haar_unitary_first_column_matches_workload_z() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (w, z) = haar_single_qubit_workload(&mut rng);
+        let mut sv = StateVector::new(1);
+        sv.apply_matrix1(&w, 0);
+        assert!((sv.expval_z(0) - z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn haar_column_phases_are_uniform() {
+        // Weak distributional check distinguishing corrected from raw QR:
+        // entries of the first column should have uniformly distributed
+        // phases; raw QR biases the diagonal phase.
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 4000;
+        let mut sum_cos = 0.0;
+        for _ in 0..n {
+            let u = haar_unitary(2, &mut rng);
+            sum_cos += u[(0, 0)].arg().cos();
+        }
+        assert!(
+            (sum_cos / n as f64).abs() < 0.05,
+            "first-entry phase biased: {}",
+            sum_cos / n as f64
+        );
+    }
+}

@@ -1,0 +1,710 @@
+//! Statevector simulation with strided in-place gate kernels.
+//!
+//! The hot loops follow the standard bit-stride scheme: a single-qubit gate
+//! on qubit `q` touches amplitude pairs `(i, i + 2^q)`; a two-qubit gate
+//! touches quadruples. Everything is applied in place with no per-gate
+//! allocation, per the workspace performance guide.
+
+use crate::circuit::{Circuit, Op};
+use crate::gate::Gate;
+use crate::pauli::{Pauli, PauliString};
+use qlinalg::vector;
+use qlinalg::{c64, Complex64, Matrix, C_ONE, C_ZERO};
+use rand::Rng;
+
+/// A pure quantum state of `n` qubits stored as `2^n` complex amplitudes,
+/// little-endian (qubit 0 = least significant index bit).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// The all-zeros state `|0…0⟩`.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 30, "statevector too large");
+        let mut amps = vec![C_ZERO; 1 << n];
+        amps[0] = C_ONE;
+        Self { n, amps }
+    }
+
+    /// Builds a state from explicit amplitudes (must have length `2^n` and
+    /// unit norm within `1e-8`).
+    pub fn from_amplitudes(n: usize, amps: Vec<Complex64>) -> Self {
+        assert_eq!(amps.len(), 1 << n, "amplitude count mismatch");
+        let norm = vector::norm(&amps);
+        assert!((norm - 1.0).abs() < 1e-8, "state not normalised (norm {norm})");
+        Self { n, amps }
+    }
+
+    /// Builds an unnormalised state and normalises it.
+    pub fn from_amplitudes_normalised(n: usize, mut amps: Vec<Complex64>) -> Self {
+        assert_eq!(amps.len(), 1 << n);
+        vector::normalize(&mut amps);
+        Self { n, amps }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Amplitude slice.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Single amplitude.
+    #[inline]
+    pub fn amplitude(&self, index: usize) -> Complex64 {
+        self.amps[index]
+    }
+
+    /// 2-norm of the state (should be 1 for physical states).
+    pub fn norm(&self) -> f64 {
+        vector::norm(&self.amps)
+    }
+
+    /// Tensor product `self ⊗ other`, with `other` occupying the **lower**
+    /// qubit indices of the result (so `a.tensor(b)` is `|a⟩⊗|b⟩` in the
+    /// big-endian ket picture `|a b⟩`).
+    pub fn tensor(&self, other: &StateVector) -> StateVector {
+        StateVector {
+            n: self.n + other.n,
+            amps: vector::kron_vec(&self.amps, &other.amps),
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Gate application
+    // ----------------------------------------------------------------
+
+    /// Applies a gate to the given qubit operands.
+    pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) {
+        debug_assert_eq!(gate.arity(), qubits.len());
+        match gate {
+            Gate::I => {}
+            Gate::X => self.apply_x(qubits[0]),
+            Gate::Z => self.apply_z(qubits[0]),
+            Gate::S => self.apply_phase(qubits[0], Complex64::i()),
+            Gate::Sdg => self.apply_phase(qubits[0], c64(0.0, -1.0)),
+            Gate::T => self.apply_phase(qubits[0], Complex64::cis(std::f64::consts::FRAC_PI_4)),
+            Gate::Tdg => self.apply_phase(qubits[0], Complex64::cis(-std::f64::consts::FRAC_PI_4)),
+            Gate::Phase(l) => self.apply_phase(qubits[0], Complex64::cis(*l)),
+            Gate::CX => self.apply_cx(qubits[0], qubits[1]),
+            Gate::CZ => self.apply_cz(qubits[0], qubits[1]),
+            Gate::Swap => self.apply_swap(qubits[0], qubits[1]),
+            g => {
+                let m = g.matrix();
+                match qubits.len() {
+                    1 => self.apply_matrix1(&m, qubits[0]),
+                    2 => self.apply_matrix2(&m, qubits[0], qubits[1]),
+                    _ => unreachable!("gates are 1- or 2-qubit"),
+                }
+            }
+        }
+    }
+
+    /// Applies a dense 2×2 unitary to qubit `q`.
+    pub fn apply_matrix1(&mut self, m: &Matrix, q: usize) {
+        debug_assert_eq!(m.rows(), 2);
+        let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+        let step = 1usize << q;
+        let dim = self.amps.len();
+        let mut base = 0usize;
+        while base < dim {
+            for i in base..base + step {
+                let a = self.amps[i];
+                let b = self.amps[i + step];
+                self.amps[i] = m00 * a + m01 * b;
+                self.amps[i + step] = m10 * a + m11 * b;
+            }
+            base += step << 1;
+        }
+    }
+
+    /// Applies a dense 4×4 unitary to qubits `(q0, q1)` where `q0` carries
+    /// bit 0 of the matrix index and `q1` bit 1.
+    pub fn apply_matrix2(&mut self, m: &Matrix, q0: usize, q1: usize) {
+        debug_assert_eq!(m.rows(), 4);
+        debug_assert_ne!(q0, q1);
+        let dim = self.amps.len();
+        let b0 = 1usize << q0;
+        let b1 = 1usize << q1;
+        let mut rows = [[C_ZERO; 4]; 4];
+        for r in 0..4 {
+            for c in 0..4 {
+                rows[r][c] = m[(r, c)];
+            }
+        }
+        for i in 0..dim {
+            if i & b0 != 0 || i & b1 != 0 {
+                continue;
+            }
+            let idx = [i, i | b0, i | b1, i | b0 | b1];
+            let v = [self.amps[idx[0]], self.amps[idx[1]], self.amps[idx[2]], self.amps[idx[3]]];
+            for r in 0..4 {
+                let row = &rows[r];
+                let mut acc = row[0] * v[0];
+                acc = row[1].mul_add(v[1], acc);
+                acc = row[2].mul_add(v[2], acc);
+                acc = row[3].mul_add(v[3], acc);
+                self.amps[idx[r]] = acc;
+            }
+        }
+    }
+
+    /// Applies a dense `2^k × 2^k` unitary to an arbitrary ordered qubit
+    /// subset (`qubits[i]` is bit `i` of the matrix index).
+    pub fn apply_matrix(&mut self, m: &Matrix, qubits: &[usize]) {
+        let k = qubits.len();
+        debug_assert_eq!(m.rows(), 1 << k);
+        match k {
+            1 => return self.apply_matrix1(m, qubits[0]),
+            2 => return self.apply_matrix2(m, qubits[0], qubits[1]),
+            _ => {}
+        }
+        let dim = self.amps.len();
+        let sub = 1usize << k;
+        let mask: usize = qubits.iter().map(|&q| 1usize << q).sum();
+        let mut gathered = vec![C_ZERO; sub];
+        for i in 0..dim {
+            if i & mask != 0 {
+                continue;
+            }
+            for (s, g) in gathered.iter_mut().enumerate() {
+                let mut idx = i;
+                for (b, &q) in qubits.iter().enumerate() {
+                    if (s >> b) & 1 == 1 {
+                        idx |= 1 << q;
+                    }
+                }
+                *g = self.amps[idx];
+            }
+            for r in 0..sub {
+                let mut acc = C_ZERO;
+                for (s, &g) in gathered.iter().enumerate() {
+                    acc = m[(r, s)].mul_add(g, acc);
+                }
+                let mut idx = i;
+                for (b, &q) in qubits.iter().enumerate() {
+                    if (r >> b) & 1 == 1 {
+                        idx |= 1 << q;
+                    }
+                }
+                self.amps[idx] = acc;
+            }
+        }
+    }
+
+    #[inline]
+    fn apply_x(&mut self, q: usize) {
+        let step = 1usize << q;
+        let dim = self.amps.len();
+        let mut base = 0usize;
+        while base < dim {
+            for i in base..base + step {
+                self.amps.swap(i, i + step);
+            }
+            base += step << 1;
+        }
+    }
+
+    #[inline]
+    fn apply_z(&mut self, q: usize) {
+        let step = 1usize << q;
+        let dim = self.amps.len();
+        let mut base = step;
+        while base < dim {
+            for i in base..base + step {
+                self.amps[i] = -self.amps[i];
+            }
+            base += step << 1;
+        }
+    }
+
+    #[inline]
+    fn apply_phase(&mut self, q: usize, phase: Complex64) {
+        let step = 1usize << q;
+        let dim = self.amps.len();
+        let mut base = step;
+        while base < dim {
+            for i in base..base + step {
+                self.amps[i] *= phase;
+            }
+            base += step << 1;
+        }
+    }
+
+    #[inline]
+    fn apply_cx(&mut self, control: usize, target: usize) {
+        let cb = 1usize << control;
+        let tb = 1usize << target;
+        let dim = self.amps.len();
+        for i in 0..dim {
+            // Visit each swap pair once: control set, target clear.
+            if i & cb != 0 && i & tb == 0 {
+                self.amps.swap(i, i | tb);
+            }
+        }
+    }
+
+    #[inline]
+    fn apply_cz(&mut self, a: usize, b: usize) {
+        let ab = (1usize << a) | (1usize << b);
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & ab == ab {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    #[inline]
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        let ba = 1usize << a;
+        let bb = 1usize << b;
+        let dim = self.amps.len();
+        for i in 0..dim {
+            if i & ba != 0 && i & bb == 0 {
+                self.amps.swap(i, (i & !ba) | bb);
+            }
+        }
+    }
+
+    /// Applies every instruction of a **unitary** circuit.
+    ///
+    /// # Panics
+    /// Panics on measurement/reset/conditioned instructions — use
+    /// [`crate::executor`] for those.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.num_qubits(), self.n, "qubit count mismatch");
+        for instr in circuit.instructions() {
+            assert!(instr.condition.is_none(), "conditioned instruction in apply_circuit");
+            match &instr.op {
+                Op::Gate(g, qs) => self.apply_gate(g, qs),
+                Op::Barrier => {}
+                other => panic!("non-unitary op {other:?} in apply_circuit"),
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Measurement
+    // ----------------------------------------------------------------
+
+    /// Probability that measuring qubit `q` yields 1.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        let bit = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Projects qubit `q` onto `outcome` and renormalises; returns the
+    /// probability of that outcome (the state is unchanged if it is 0).
+    pub fn collapse(&mut self, q: usize, outcome: bool) -> f64 {
+        let bit = 1usize << q;
+        let want = if outcome { bit } else { 0 };
+        let mut p = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            if i & bit == want {
+                p += a.norm_sqr();
+            }
+        }
+        if p <= 0.0 {
+            return 0.0;
+        }
+        let scale = 1.0 / p.sqrt();
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & bit == want {
+                *a = a.scale(scale);
+            } else {
+                *a = C_ZERO;
+            }
+        }
+        p
+    }
+
+    /// Measures qubit `q` in the Z basis, collapsing the state.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        let p1 = self.prob_one(q);
+        let outcome = rng.gen::<f64>() < p1;
+        self.collapse(q, outcome);
+        outcome
+    }
+
+    /// Resets qubit `q` to `|0⟩` (measure, then flip if 1).
+    pub fn reset<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) {
+        if self.measure(q, rng) {
+            self.apply_x(q);
+        }
+    }
+
+    /// All `2^n` computational-basis probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Draws a full Z-basis measurement outcome **without** collapsing.
+    pub fn sample_z_basis<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if r < acc {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    // ----------------------------------------------------------------
+    // Observables
+    // ----------------------------------------------------------------
+
+    /// Exact expectation value `⟨ψ|P|ψ⟩` of a Pauli string.
+    pub fn expval_pauli(&self, p: &PauliString) -> f64 {
+        assert_eq!(p.num_qubits(), self.n);
+        // ⟨ψ|P|ψ⟩ = Σ_i conj(ψ_i) · phase_i · ψ_{i ⊕ flip}
+        let mut flip = 0usize;
+        for (q, &op) in p.ops().iter().enumerate() {
+            if matches!(op, Pauli::X | Pauli::Y) {
+                flip |= 1 << q;
+            }
+        }
+        let mut acc = C_ZERO;
+        for (i, a) in self.amps.iter().enumerate() {
+            let j = i ^ flip;
+            // phase of P|j⟩ component landing on |i⟩
+            let mut phase = C_ONE;
+            for (q, &op) in p.ops().iter().enumerate() {
+                let bj = (j >> q) & 1;
+                match op {
+                    Pauli::I => {}
+                    Pauli::X => {}
+                    Pauli::Y => {
+                        // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩
+                        phase *= if bj == 0 { Complex64::i() } else { c64(0.0, -1.0) };
+                    }
+                    Pauli::Z => {
+                        if bj == 1 {
+                            phase = -phase;
+                        }
+                    }
+                }
+            }
+            acc += a.conj() * phase * self.amps[j];
+        }
+        debug_assert!(acc.im.abs() < 1e-9, "Pauli expectation not real: {acc:?}");
+        acc.re
+    }
+
+    /// Exact `⟨Z⟩` on qubit `q` — the paper's observable.
+    pub fn expval_z(&self, q: usize) -> f64 {
+        let bit = 1usize << q;
+        let mut acc = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            acc += if i & bit == 0 { p } else { -p };
+        }
+        acc
+    }
+
+    /// Density operator `|ψ⟩⟨ψ|` of the full register.
+    pub fn to_density(&self) -> Matrix {
+        vector::outer(&self.amps, &self.amps)
+    }
+
+    /// Reduced density operator on the listed qubits (ordered: `keep[i]`
+    /// becomes qubit `i` of the result), tracing out the rest.
+    pub fn reduced_density(&self, keep: &[usize]) -> Matrix {
+        let k = keep.len();
+        let kd = 1usize << k;
+        let rest: Vec<usize> = (0..self.n).filter(|q| !keep.contains(q)).collect();
+        let rd = 1usize << rest.len();
+        let mut rho = Matrix::zeros(kd, kd);
+        let index_of = |kept_bits: usize, rest_bits: usize| -> usize {
+            let mut idx = 0usize;
+            for (b, &q) in keep.iter().enumerate() {
+                idx |= ((kept_bits >> b) & 1) << q;
+            }
+            for (b, &q) in rest.iter().enumerate() {
+                idx |= ((rest_bits >> b) & 1) << q;
+            }
+            idx
+        };
+        for r in 0..kd {
+            for c in 0..kd {
+                let mut acc = C_ZERO;
+                for e in 0..rd {
+                    let a = self.amps[index_of(r, e)];
+                    let b = self.amps[index_of(c, e)];
+                    acc += a * b.conj();
+                }
+                rho[(r, c)] = acc;
+            }
+        }
+        rho
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn initial_state_is_all_zeros() {
+        let sv = StateVector::new(3);
+        assert!(sv.amplitude(0).approx_eq(C_ONE, TOL));
+        assert!((sv.norm() - 1.0).abs() < TOL);
+        assert_eq!(sv.amplitudes().len(), 8);
+    }
+
+    #[test]
+    fn x_flips_qubit() {
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(&Gate::X, &[1]);
+        assert!(sv.amplitude(0b10).approx_eq(C_ONE, TOL));
+    }
+
+    #[test]
+    fn h_creates_uniform_superposition() {
+        let mut sv = StateVector::new(1);
+        sv.apply_gate(&Gate::H, &[0]);
+        let s2 = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(sv.amplitude(0).approx_eq(c64(s2, 0.0), TOL));
+        assert!(sv.amplitude(1).approx_eq(c64(s2, 0.0), TOL));
+    }
+
+    #[test]
+    fn bell_state_via_fast_paths() {
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(&Gate::H, &[0]);
+        sv.apply_gate(&Gate::CX, &[0, 1]);
+        let s2 = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(sv.amplitude(0b00).approx_eq(c64(s2, 0.0), TOL));
+        assert!(sv.amplitude(0b11).approx_eq(c64(s2, 0.0), TOL));
+        assert!(sv.amplitude(0b01).abs() < TOL);
+        assert!(sv.amplitude(0b10).abs() < TOL);
+    }
+
+    #[test]
+    fn fast_paths_match_dense_kernels() {
+        // Every special-cased gate must agree with generic matrix application.
+        let mut rng = StdRng::seed_from_u64(7);
+        let gates_1q = [Gate::X, Gate::Z, Gate::S, Gate::Sdg, Gate::T, Gate::Tdg, Gate::Phase(0.9)];
+        for g in gates_1q {
+            for q in 0..3 {
+                let mut sv = random_state(3, &mut rng);
+                let mut sv2 = sv.clone();
+                sv.apply_gate(&g, &[q]);
+                sv2.apply_matrix1(&g.matrix(), q);
+                assert!(
+                    vector::approx_eq(sv.amplitudes(), sv2.amplitudes(), 1e-12),
+                    "fast path mismatch for {g} on q{q}"
+                );
+            }
+        }
+        let gates_2q = [Gate::CX, Gate::CZ, Gate::Swap];
+        for g in gates_2q {
+            for (a, b) in [(0, 1), (1, 0), (0, 2), (2, 1)] {
+                let mut sv = random_state(3, &mut rng);
+                let mut sv2 = sv.clone();
+                sv.apply_gate(&g, &[a, b]);
+                sv2.apply_matrix2(&g.matrix(), a, b);
+                assert!(
+                    vector::approx_eq(sv.amplitudes(), sv2.amplitudes(), 1e-12),
+                    "fast path mismatch for {g} on ({a},{b})"
+                );
+            }
+        }
+    }
+
+    fn random_state(n: usize, rng: &mut StdRng) -> StateVector {
+        let amps: Vec<Complex64> = (0..(1 << n))
+            .map(|_| c64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect();
+        StateVector::from_amplitudes_normalised(n, amps)
+    }
+
+    #[test]
+    fn apply_matrix_three_qubit_matches_embedding() {
+        use crate::circuit::embed_unitary;
+        let mut rng = StdRng::seed_from_u64(11);
+        let sv0 = random_state(3, &mut rng);
+        // Toffoli-like random 8x8 unitary from QR.
+        let raw = Matrix::from_fn(8, 8, |_, _| c64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5));
+        let u = qlinalg::qr(&raw).q;
+        let mut sv = sv0.clone();
+        sv.apply_matrix(&u, &[0, 1, 2]);
+        let full = embed_unitary(&u, &[0, 1, 2], 3);
+        let expect = full.matvec(sv0.amplitudes());
+        assert!(vector::approx_eq(sv.amplitudes(), &expect, 1e-10));
+        // And on a permuted qubit order.
+        let mut sv = sv0.clone();
+        sv.apply_matrix(&u, &[2, 0, 1]);
+        let full = embed_unitary(&u, &[2, 0, 1], 3);
+        let expect = full.matvec(sv0.amplitudes());
+        assert!(vector::approx_eq(sv.amplitudes(), &expect, 1e-10));
+    }
+
+    #[test]
+    fn gates_preserve_norm() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sv = random_state(4, &mut rng);
+        for g in [Gate::H, Gate::T, Gate::Ry(0.77), Gate::U(1.0, 0.5, -0.3)] {
+            sv.apply_gate(&g, &[2]);
+            assert!((sv.norm() - 1.0).abs() < 1e-10);
+        }
+        sv.apply_gate(&Gate::CX, &[1, 3]);
+        assert!((sv.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn prob_one_and_collapse_consistent() {
+        let mut sv = StateVector::new(1);
+        sv.apply_gate(&Gate::Ry(1.0), &[0]);
+        let p1 = sv.prob_one(0);
+        assert!((p1 - (0.5f64).sin().powi(2)).abs() < 1e-12);
+        let mut sv1 = sv.clone();
+        let got = sv1.collapse(0, true);
+        assert!((got - p1).abs() < 1e-12);
+        assert!((sv1.prob_one(0) - 1.0).abs() < 1e-12);
+        assert!((sv1.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_statistics_follow_born_rule() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ones = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let mut sv = StateVector::new(1);
+            sv.apply_gate(&Gate::Ry(2.0 * (0.3f64).asin()), &[0]); // p1 = 0.09
+            if sv.measure(0, &mut rng) {
+                ones += 1;
+            }
+        }
+        let freq = ones as f64 / trials as f64;
+        assert!((freq - 0.09).abs() < 0.01, "freq {freq} too far from 0.09");
+    }
+
+    #[test]
+    fn expval_z_matches_probabilities() {
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(&Gate::Ry(1.1), &[0]);
+        sv.apply_gate(&Gate::H, &[1]);
+        let p1 = sv.prob_one(0);
+        assert!((sv.expval_z(0) - (1.0 - 2.0 * p1)).abs() < 1e-12);
+        assert!(sv.expval_z(1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expval_pauli_on_bell_state() {
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(&Gate::H, &[0]);
+        sv.apply_gate(&Gate::CX, &[0, 1]);
+        assert!((sv.expval_pauli(&PauliString::from_label("XX")) - 1.0).abs() < 1e-12);
+        assert!((sv.expval_pauli(&PauliString::from_label("ZZ")) - 1.0).abs() < 1e-12);
+        assert!((sv.expval_pauli(&PauliString::from_label("YY")) + 1.0).abs() < 1e-12);
+        assert!(sv.expval_pauli(&PauliString::from_label("ZI")).abs() < 1e-12);
+        assert!(sv.expval_pauli(&PauliString::from_label("IX")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expval_pauli_matches_dense_matrix() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sv = random_state(3, &mut rng);
+        for label in ["XYZ", "ZZI", "IYX", "YYY", "XIZ"] {
+            let ps = PauliString::from_label(label);
+            let dense = ps.matrix();
+            let v = dense.matvec(sv.amplitudes());
+            let expect = vector::inner(sv.amplitudes(), &v).re;
+            assert!(
+                (sv.expval_pauli(&ps) - expect).abs() < 1e-10,
+                "expval mismatch for {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_z_basis_distribution() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(&Gate::H, &[0]);
+        sv.apply_gate(&Gate::H, &[1]);
+        let mut counts = [0usize; 4];
+        let trials = 40_000;
+        for _ in 0..trials {
+            counts[sv.sample_z_basis(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / trials as f64;
+            assert!((f - 0.25).abs() < 0.02, "uniform sampling off: {f}");
+        }
+    }
+
+    #[test]
+    fn reduced_density_of_bell_is_maximally_mixed() {
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(&Gate::H, &[0]);
+        sv.apply_gate(&Gate::CX, &[0, 1]);
+        let rho = sv.reduced_density(&[0]);
+        assert!(rho.approx_eq(&Matrix::identity(2).scale_re(0.5), 1e-12));
+        let rho1 = sv.reduced_density(&[1]);
+        assert!(rho1.approx_eq(&Matrix::identity(2).scale_re(0.5), 1e-12));
+    }
+
+    #[test]
+    fn reduced_density_of_product_state_is_pure() {
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(&Gate::Ry(0.9), &[0]);
+        sv.apply_gate(&Gate::H, &[1]);
+        let rho = sv.reduced_density(&[0]);
+        let purity = rho.matmul(&rho).trace().re;
+        assert!((purity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tensor_product_order() {
+        let mut a = StateVector::new(1);
+        a.apply_gate(&Gate::X, &[0]); // |1⟩
+        let b = StateVector::new(1); // |0⟩
+        let ab = a.tensor(&b); // |1⟩⊗|0⟩ = |10⟩ → index 2
+        assert!(ab.amplitude(0b10).approx_eq(C_ONE, TOL));
+    }
+
+    #[test]
+    fn reset_forces_zero() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let mut sv = StateVector::new(2);
+            sv.apply_gate(&Gate::H, &[0]);
+            sv.apply_gate(&Gate::CX, &[0, 1]);
+            sv.reset(0, &mut rng);
+            assert!(sv.prob_one(0) < 1e-12);
+            assert!((sv.norm() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn apply_circuit_runs_unitary_sequence() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).cx(0, 1).z(1);
+        let mut sv = StateVector::new(2);
+        sv.apply_circuit(&c);
+        let s2 = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(sv.amplitude(0b00).approx_eq(c64(s2, 0.0), TOL));
+        assert!(sv.amplitude(0b11).approx_eq(c64(-s2, 0.0), TOL));
+    }
+}

@@ -1,0 +1,65 @@
+//! Distributed execution of an entangling circuit: cut *two* wires of a
+//! GHZ-type preparation so that the sender and receiver devices each hold
+//! half of the computation.
+//!
+//! The sender prepares an entangled 2-qubit state; both wires are then
+//! cut (the paper's Figure 4 scenario, twice in parallel) and the
+//! receiver measures the joint observable `Z⊗Z`. With product QPDs the
+//! overhead multiplies — κ_total = κ² — which is why raising per-cut
+//! entanglement matters so much for multi-cut workloads (paper §VI).
+//!
+//! Run with: `cargo run --release --example distributed_ghz`
+
+use nme_wire_cutting::qpd::{estimate_allocated, Allocator};
+use nme_wire_cutting::qsim::{Circuit, PauliString, StateVector};
+use nme_wire_cutting::wirecut::multi::{ParallelWireCut, PreparedMultiCut};
+use nme_wire_cutting::wirecut::NmeCut;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Sender-side circuit: a tilted GHZ-like state Ry(0.7)·CX across the
+    // two qubits that will cross the device boundary.
+    let mut sender = Circuit::new(2, 0);
+    sender.ry(0.7, 0).cx(0, 1);
+
+    // Uncut reference value of ⟨ZZ⟩.
+    let mut sv = StateVector::new(2);
+    sv.apply_circuit(&sender);
+    let exact = sv.expval_pauli(&PauliString::from_label("ZZ"));
+    println!("exact ⟨ZZ⟩ of the uncut circuit: {exact:+.6}");
+    println!();
+
+    let shots = 6000u64;
+    let mut rng = StdRng::seed_from_u64(7);
+    println!("cutting both wires, {shots} shots per estimate:");
+    println!();
+    println!("   f(Φk)   κ per cut   κ total   estimate    |error|");
+    println!("  ----------------------------------------------------");
+    for f in [0.5, 0.7, 0.9, 1.0] {
+        let cut = ParallelWireCut::uniform(NmeCut::from_overlap(f), 2);
+        let prepared = PreparedMultiCut::new(&cut, &sender, &PauliString::from_label("ZZ"));
+        // The product QPD still reproduces the exact value:
+        assert!((prepared.exact_value() - exact).abs() < 1e-8);
+        let est = estimate_allocated(
+            &prepared.spec,
+            &prepared.samplers(),
+            shots,
+            Allocator::Proportional,
+            &mut rng,
+        );
+        let per_cut = NmeCut::from_overlap(f);
+        println!(
+            "   {f:.2}     {:.4}     {:.4}    {est:+.6}   {:.6}",
+            nme_wire_cutting::wirecut::WireCut::kappa(&per_cut),
+            cut.kappa(),
+            (est - exact).abs()
+        );
+    }
+
+    println!();
+    println!("with maximally entangled pairs (f = 1.0) both cuts degrade into");
+    println!("teleportations and the overhead disappears entirely: this is");
+    println!("distributed quantum computation with classical communication only");
+    println!("at the QPD level, quantum resources at the state level.");
+}

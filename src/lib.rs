@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the public API of the NME wire-cutting workspace.
+#![forbid(unsafe_code)]
+pub use entangle;
+pub use experiments;
+pub use qlinalg;
+pub use qpd;
+pub use qsim;
+pub use wirecut;

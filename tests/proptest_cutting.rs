@@ -1,0 +1,117 @@
+//! Property-based tests on the wire cuts themselves: for *any* resource
+//! parameter and *any* input state, the defining identities of the paper
+//! must hold exactly.
+
+use nme_wire_cutting::entangle::PhiK;
+use nme_wire_cutting::qsim::{haar_unitary, Pauli};
+use nme_wire_cutting::wirecut::{
+    identity_distance, theory, uncut_expectation, NmeCut, PreparedCut, WireCut,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn theorem2_channel_identity_for_any_k(k in 0.0f64..1.0) {
+        let cut = NmeCut::new(k);
+        let d = identity_distance(&cut);
+        prop_assert!(d < 1e-8, "identity violated at k={k}: {d}");
+    }
+
+    #[test]
+    fn kappa_attains_corollary1_for_any_k(k in 0.0f64..1.0) {
+        let cut = NmeCut::new(k);
+        prop_assert!((cut.kappa() - theory::gamma_phi_k(k)).abs() < 1e-10);
+        // And Theorem 1 via the overlap agrees.
+        let f = PhiK::new(k).overlap();
+        prop_assert!((cut.kappa() - theory::gamma_from_overlap(f)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exact_decomposition_matches_uncut_value(k in 0.0f64..1.0, seed in 0u64..100_000, obs_idx in 0usize..3) {
+        let obs = [Pauli::X, Pauli::Y, Pauli::Z][obs_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = haar_unitary(2, &mut rng);
+        let expect = uncut_expectation(&w, obs);
+        let prepared = PreparedCut::new(&NmeCut::new(k), &w, obs);
+        prop_assert!(
+            (prepared.exact_value() - expect).abs() < 1e-8,
+            "decomposition broken at k={k}, obs={obs:?}: {} vs {expect}",
+            prepared.exact_value()
+        );
+    }
+
+    #[test]
+    fn overhead_interpolates_between_three_and_one(k in 0.0f64..1.0) {
+        let gamma = theory::gamma_phi_k(k);
+        prop_assert!((1.0 - 1e-12..=3.0 + 1e-12).contains(&gamma));
+    }
+
+    #[test]
+    fn estimator_is_unbiased_for_random_inputs(k in 0.1f64..1.0, seed in 0u64..10_000) {
+        // Average many cheap estimates; the mean must approach the exact
+        // value within a few standard errors.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = haar_unitary(2, &mut rng);
+        let exact = uncut_expectation(&w, Pauli::Z);
+        let prepared = PreparedCut::new(&NmeCut::new(k), &w, Pauli::Z);
+        let reps = 40;
+        let shots = 400;
+        let mean: f64 = (0..reps)
+            .map(|_| {
+                nme_wire_cutting::qpd::estimate_allocated(
+                    &prepared.spec,
+                    &prepared.samplers(),
+                    shots,
+                    nme_wire_cutting::qpd::Allocator::Proportional,
+                    &mut rng,
+                )
+            })
+            .sum::<f64>() / reps as f64;
+        // SE ≤ κ/√(reps·shots) ≤ 3/126 ≈ 0.024; allow 5 SEs.
+        prop_assert!((mean - exact).abs() < 0.12, "bias at k={k}: mean {mean} vs exact {exact}");
+    }
+
+    #[test]
+    fn pure_state_overlap_consistency(k in 0.0f64..1.0) {
+        // Eq. 10 == Schmidt route == distillation-norm route, for any k.
+        let phi = PhiK::new(k);
+        let closed = phi.overlap();
+        let schmidt = nme_wire_cutting::entangle::max_overlap_pure(&phi.statevector());
+        let dec = nme_wire_cutting::entangle::schmidt(&phi.statevector(), 1);
+        let dist = nme_wire_cutting::entangle::overlap_via_distillation_norm(&dec.coefficients);
+        prop_assert!((closed - schmidt).abs() < 1e-9);
+        prop_assert!((closed - dist).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_unitaries_do_not_change_overlap(k in 0.0f64..1.0, seed in 0u64..100_000) {
+        // f is LOCC-monotone and local unitaries are reversible: applying
+        // them leaves f(ψ) invariant (paper Eq. 7–8).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sv = PhiK::new(k).statevector();
+        let before = nme_wire_cutting::entangle::max_overlap_pure(&sv);
+        let ua = haar_unitary(2, &mut rng);
+        let ub = haar_unitary(2, &mut rng);
+        sv.apply_matrix1(&ua, 0);
+        sv.apply_matrix1(&ub, 1);
+        let after = nme_wire_cutting::entangle::max_overlap_pure(&sv);
+        prop_assert!((before - after).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bell_overlaps_define_valid_probabilities(k in 0.0f64..1.0) {
+        let q = PhiK::new(k).bell_overlaps();
+        prop_assert!(q.iter().all(|&x| x >= -1e-12));
+        prop_assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pair_consumption_between_one_and_two(k in 0.0f64..1.0) {
+        let pairs = theory::pairs_per_sample(k);
+        prop_assert!((1.0 - 1e-12..=2.0 + 1e-12).contains(&pairs));
+    }
+}

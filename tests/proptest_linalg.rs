@@ -1,0 +1,116 @@
+//! Property-based tests for the linear-algebra substrate: the invariants
+//! every downstream computation silently relies on.
+
+use nme_wire_cutting::qlinalg::{
+    c64, eigh, lstsq, qr, svd, unitary_with_first_column, Complex64, Matrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: complex matrix with entries in [-1, 1]².
+fn matrix_strategy(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n * n).prop_map(move |entries| {
+        Matrix::from_fn(n, n, |i, j| {
+            let (re, im) = entries[i * n + j];
+            c64(re, im)
+        })
+    })
+}
+
+/// Strategy: nonzero complex vector of length `n`, normalised.
+fn unit_vector_strategy(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n)
+        .prop_filter("nonzero", |v| v.iter().any(|(re, im)| re.abs() + im.abs() > 0.1))
+        .prop_map(|v| {
+            let mut out: Vec<Complex64> = v.into_iter().map(|(re, im)| c64(re, im)).collect();
+            nme_wire_cutting::qlinalg::vector::normalize(&mut out);
+            out
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qr_reconstructs_and_q_unitary(a in matrix_strategy(4)) {
+        let d = qr(&a);
+        prop_assert!(d.q.is_unitary(1e-8));
+        prop_assert!(d.q.matmul(&d.r).approx_eq(&a, 1e-8));
+        for i in 0..4 {
+            for j in 0..i {
+                prop_assert!(d.r[(i, j)].abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_with_sorted_nonnegative_sigma(a in matrix_strategy(4)) {
+        let d = svd(&a);
+        prop_assert!(d.reconstruct().approx_eq(&a, 1e-7));
+        for w in d.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(d.sigma.iter().all(|&s| s >= -1e-12));
+        // Frobenius norm equals the 2-norm of singular values.
+        let fro = a.fro_norm();
+        let sig: f64 = d.sigma.iter().map(|s| s * s).sum::<f64>().sqrt();
+        prop_assert!((fro - sig).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigh_reconstructs_hermitian(a in matrix_strategy(4)) {
+        let h = a.add(&a.dagger()).scale_re(0.5);
+        let e = eigh(&h);
+        prop_assert!(e.reconstruct().approx_eq(&h, 1e-7));
+        prop_assert!(e.vectors.is_unitary(1e-7));
+        let tr: f64 = e.values.iter().sum();
+        prop_assert!((tr - h.trace().re).abs() < 1e-8);
+    }
+
+    #[test]
+    fn lstsq_solves_consistent_systems(a in matrix_strategy(4), xs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 4)) {
+        // Regularise: A + 2I is comfortably nonsingular for entries in [-1,1].
+        let reg = a.add(&Matrix::identity(4).scale_re(2.0 + a.fro_norm()));
+        let x_true: Vec<Complex64> = xs.into_iter().map(|(re, im)| c64(re, im)).collect();
+        let b = reg.matvec(&x_true);
+        let x = lstsq(&reg, &b);
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            prop_assert!(got.approx_eq(*want, 1e-6), "{got:?} vs {want:?}");
+        }
+    }
+
+    #[test]
+    fn completion_unitary_works_for_any_unit_vector(v in unit_vector_strategy(4)) {
+        let u = unitary_with_first_column(&v);
+        prop_assert!(u.is_unitary(1e-8));
+        for (i, want) in v.iter().enumerate() {
+            prop_assert!(u[(i, 0)].approx_eq(*want, 1e-9));
+        }
+    }
+
+    #[test]
+    fn kron_is_associative_and_mixed_product(a in matrix_strategy(2), b in matrix_strategy(2), c in matrix_strategy(2)) {
+        let left = a.kron(&b).kron(&c);
+        let right = a.kron(&b.kron(&c));
+        prop_assert!(left.approx_eq(&right, 1e-10));
+        // (A⊗B)(A⊗B) = A²⊗B²
+        let sq = a.kron(&b).matmul(&a.kron(&b));
+        let direct = a.matmul(&a).kron(&b.matmul(&b));
+        prop_assert!(sq.approx_eq(&direct, 1e-9));
+    }
+
+    #[test]
+    fn dagger_antimultiplicative(a in matrix_strategy(3), b in matrix_strategy(3)) {
+        let lhs = a.matmul(&b).dagger();
+        let rhs = b.dagger().matmul(&a.dagger());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn trace_is_similarity_invariant(a in matrix_strategy(3)) {
+        // Tr[QAQ†] = Tr[A] for unitary Q from QR of a fixed matrix.
+        let seed = Matrix::from_fn(3, 3, |i, j| c64((i + 2 * j) as f64 * 0.31 - 1.0, (i * j) as f64 * 0.17));
+        let q = qr(&seed).q;
+        let conj = q.matmul(&a).matmul(&q.dagger());
+        prop_assert!(conj.trace().approx_eq(a.trace(), 1e-9));
+    }
+}

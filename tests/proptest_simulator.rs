@@ -1,0 +1,157 @@
+//! Property-based tests for the simulator: unitarity, Born statistics,
+//! agreement between statevector and density-matrix backends, and the
+//! branch-tree sampler's exactness.
+
+use nme_wire_cutting::qsim::{
+    execute_density, haar_unitary, Circuit, CompiledSampler, DensityMatrix, Gate, Pauli,
+    PauliString, StateVector,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random unitary circuit description on `n` qubits.
+#[derive(Clone, Debug)]
+enum GatePick {
+    H(usize),
+    S(usize),
+    T(usize),
+    Ry(usize, f64),
+    Rz(usize, f64),
+    Cx(usize, usize),
+    Cz(usize, usize),
+}
+
+fn gate_strategy(n: usize) -> impl Strategy<Value = GatePick> {
+    prop_oneof![
+        (0..n).prop_map(GatePick::H),
+        (0..n).prop_map(GatePick::S),
+        (0..n).prop_map(GatePick::T),
+        ((0..n), -3.0f64..3.0).prop_map(|(q, t)| GatePick::Ry(q, t)),
+        ((0..n), -3.0f64..3.0).prop_map(|(q, t)| GatePick::Rz(q, t)),
+        ((0..n), (0..n)).prop_filter("distinct", |(a, b)| a != b).prop_map(|(a, b)| GatePick::Cx(a, b)),
+        ((0..n), (0..n)).prop_filter("distinct", |(a, b)| a != b).prop_map(|(a, b)| GatePick::Cz(a, b)),
+    ]
+}
+
+fn build(n: usize, picks: &[GatePick]) -> Circuit {
+    let mut c = Circuit::new(n, 0);
+    for p in picks {
+        match *p {
+            GatePick::H(q) => c.h(q),
+            GatePick::S(q) => c.s(q),
+            GatePick::T(q) => c.t(q),
+            GatePick::Ry(q, t) => c.ry(t, q),
+            GatePick::Rz(q, t) => c.rz(t, q),
+            GatePick::Cx(a, b) => c.cx(a, b),
+            GatePick::Cz(a, b) => c.cz(a, b),
+        };
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_circuits_preserve_norm(picks in proptest::collection::vec(gate_strategy(3), 1..24)) {
+        let c = build(3, &picks);
+        let mut sv = StateVector::new(3);
+        sv.apply_circuit(&c);
+        prop_assert!((sv.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circuit_matrix_matches_statevector(picks in proptest::collection::vec(gate_strategy(2), 1..16)) {
+        let c = build(2, &picks);
+        let u = c.to_matrix();
+        prop_assert!(u.is_unitary(1e-9));
+        let mut sv = StateVector::new(2);
+        sv.apply_circuit(&c);
+        let col = u.col(0);
+        prop_assert!(nme_wire_cutting::qlinalg::vector::approx_eq(sv.amplitudes(), &col, 1e-9));
+    }
+
+    #[test]
+    fn inverse_circuit_restores_state(picks in proptest::collection::vec(gate_strategy(3), 1..20)) {
+        let c = build(3, &picks);
+        let mut sv = StateVector::new(3);
+        sv.apply_circuit(&c);
+        sv.apply_circuit(&c.inverse());
+        prop_assert!(sv.amplitude(0).approx_eq(nme_wire_cutting::qlinalg::C_ONE, 1e-8));
+    }
+
+    #[test]
+    fn density_and_statevector_agree(picks in proptest::collection::vec(gate_strategy(2), 1..14)) {
+        let c = build(2, &picks);
+        let mut sv = StateVector::new(2);
+        sv.apply_circuit(&c);
+        let via_density = execute_density(&c, &DensityMatrix::new(2));
+        prop_assert!(via_density.matrix().approx_eq(&sv.to_density(), 1e-9));
+    }
+
+    #[test]
+    fn pauli_expectations_bounded(picks in proptest::collection::vec(gate_strategy(3), 1..20), label in prop_oneof![Just("ZII"), Just("IXI"), Just("ZZZ"), Just("XYZ")]) {
+        let c = build(3, &picks);
+        let mut sv = StateVector::new(3);
+        sv.apply_circuit(&c);
+        let e = sv.expval_pauli(&PauliString::from_label(label));
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e), "⟨{label}⟩ = {e}");
+    }
+
+    #[test]
+    fn measurement_probabilities_sum_to_one(picks in proptest::collection::vec(gate_strategy(3), 1..20), q in 0usize..3) {
+        let c = build(3, &picks);
+        let mut sv = StateVector::new(3);
+        sv.apply_circuit(&c);
+        let p1 = sv.prob_one(q);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p1));
+        let mut sv0 = sv.clone();
+        let mut sv1 = sv.clone();
+        let got0 = sv0.collapse(q, false);
+        let got1 = sv1.collapse(q, true);
+        prop_assert!((got0 + got1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compiled_sampler_branch_probabilities_sum_to_one(picks in proptest::collection::vec(gate_strategy(3), 1..16), seed in 0u64..1000) {
+        // Append two measurements with feed-forward to exercise branching.
+        let mut c = Circuit::new(3, 2);
+        c.compose(&build(3, &picks));
+        c.measure(0, 0);
+        c.x_if(2, 0);
+        c.measure(1, 1);
+        c.z_if(2, 1);
+        let sampler = CompiledSampler::compile(&c, None);
+        let total: f64 = sampler.leaves().iter().map(|l| l.probability).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Exact expectation equals density-matrix execution.
+        let rho = execute_density(&c, &DensityMatrix::new(3));
+        let z = rho.partial_trace(&[2]).expval_pauli(&PauliString::single(1, 0, Pauli::Z));
+        prop_assert!((sampler.exact_expval_z(2) - z).abs() < 1e-9);
+        // And sampled leaves stay normalised.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let leaf = sampler.sample_leaf(&mut rng);
+        prop_assert!((leaf.state.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haar_unitaries_are_unitary(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = haar_unitary(2, &mut rng);
+        prop_assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn embed_unitary_commutes_with_application(picks in proptest::collection::vec(gate_strategy(3), 1..8), q in 0usize..3) {
+        // Applying a 1q gate via the embedding matrix equals the kernel.
+        let c = build(3, &picks);
+        let mut sv = StateVector::new(3);
+        sv.apply_circuit(&c);
+        let g = Gate::T;
+        let full = nme_wire_cutting::qsim::embed_unitary(&g.matrix(), &[q], 3);
+        let expect = full.matvec(sv.amplitudes());
+        sv.apply_gate(&g, &[q]);
+        prop_assert!(nme_wire_cutting::qlinalg::vector::approx_eq(sv.amplitudes(), &expect, 1e-9));
+    }
+}
