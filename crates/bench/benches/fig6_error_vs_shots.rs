@@ -11,7 +11,11 @@ fn per_state_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6/per_state");
     group.sample_size(20);
     for &states in &[1usize, 8, 32] {
-        let cfg = Fig6Config { num_states: states, threads: 1, ..Fig6Config::default() };
+        let cfg = Fig6Config {
+            num_states: states,
+            threads: 1,
+            ..Fig6Config::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(states), &cfg, |b, cfg| {
             b.iter(|| run(cfg));
         });
@@ -23,7 +27,11 @@ fn parallel_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6/threads");
     group.sample_size(10);
     for &threads in &[1usize, 2, 4, 8] {
-        let cfg = Fig6Config { num_states: 128, threads, ..Fig6Config::default() };
+        let cfg = Fig6Config {
+            num_states: 128,
+            threads,
+            ..Fig6Config::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(threads), &cfg, |b, cfg| {
             b.iter(|| run(cfg));
         });
@@ -34,15 +42,26 @@ fn parallel_scaling(c: &mut Criterion) {
 fn regenerate_artifact(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6/full_table");
     group.sample_size(10);
-    let cfg = Fig6Config { num_states: 200, ..Fig6Config::default() };
+    let cfg = Fig6Config {
+        num_states: 200,
+        ..Fig6Config::default()
+    };
     group.bench_function("200_states", |b| b.iter(|| run(&cfg)));
     group.finish();
     // Leave a fresh artefact behind.
-    let res = run(&Fig6Config { num_states: 200, ..Fig6Config::default() });
+    let res = run(&Fig6Config {
+        num_states: 200,
+        ..Fig6Config::default()
+    });
     let path = experiments::results_dir().join("bench_fig6_error_vs_shots.csv");
     res.to_table().write_csv(&path).expect("write csv");
     assert!(res.final_errors_ordered_by_entanglement());
 }
 
-criterion_group!(benches, per_state_kernel, parallel_scaling, regenerate_artifact);
+criterion_group!(
+    benches,
+    per_state_kernel,
+    parallel_scaling,
+    regenerate_artifact
+);
 criterion_main!(benches);

@@ -9,16 +9,26 @@ fn tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("tables");
     group.sample_size(20);
     group.bench_function("overlap_eq10_appendixA", |b| b.iter(|| overlap_table(21)));
-    group.bench_function("bell_overlaps_eq55_58", |b| b.iter(|| bell_overlap_table(21)));
+    group.bench_function("bell_overlaps_eq55_58", |b| {
+        b.iter(|| bell_overlap_table(21))
+    });
     group.bench_function("pair_consumption", |b| b.iter(|| consumption_table(21)));
     group.bench_function("endpoints_channel_checks", |b| b.iter(endpoints_table));
     group.finish();
 
     let dir = experiments::results_dir();
-    overlap_table(21).write_csv(&dir.join("bench_overlap_formulas.csv")).unwrap();
-    bell_overlap_table(21).write_csv(&dir.join("bench_bell_overlaps.csv")).unwrap();
-    consumption_table(21).write_csv(&dir.join("bench_pair_consumption.csv")).unwrap();
-    endpoints_table().write_csv(&dir.join("bench_endpoints.csv")).unwrap();
+    overlap_table(21)
+        .write_csv(&dir.join("bench_overlap_formulas.csv"))
+        .unwrap();
+    bell_overlap_table(21)
+        .write_csv(&dir.join("bench_bell_overlaps.csv"))
+        .unwrap();
+    consumption_table(21)
+        .write_csv(&dir.join("bench_pair_consumption.csv"))
+        .unwrap();
+    endpoints_table()
+        .write_csv(&dir.join("bench_endpoints.csv"))
+        .unwrap();
 }
 
 criterion_group!(benches, tables);

@@ -21,16 +21,30 @@ fn shot_sampling(c: &mut Criterion) {
     let samplers = prepared.samplers();
     for &shots in &[1000u64, 10_000] {
         group.throughput(Throughput::Elements(shots));
-        group.bench_with_input(BenchmarkId::new("proportional", shots), &shots, |b, &shots| {
-            let mut rng = StdRng::seed_from_u64(7);
-            b.iter(|| {
-                estimate_allocated(&prepared.spec, &samplers, shots, Allocator::Proportional, &mut rng)
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("stochastic", shots), &shots, |b, &shots| {
-            let mut rng = StdRng::seed_from_u64(7);
-            b.iter(|| estimate_stochastic(&prepared.spec, &samplers, shots, &mut rng));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("proportional", shots),
+            &shots,
+            |b, &shots| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| {
+                    estimate_allocated(
+                        &prepared.spec,
+                        &samplers,
+                        shots,
+                        Allocator::Proportional,
+                        &mut rng,
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stochastic", shots),
+            &shots,
+            |b, &shots| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| estimate_stochastic(&prepared.spec, &samplers, shots, &mut rng));
+            },
+        );
     }
     group.finish();
 }
@@ -68,19 +82,35 @@ fn parallel_runner(c: &mut Criterion) {
     let mut group = c.benchmark_group("qpd/parallel_map");
     group.sample_size(10);
     for &threads in &[1usize, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| {
-                experiments::parallel_map_indexed(64, threads, |i| {
-                    let mut rng = StdRng::seed_from_u64(experiments::item_seed(1, i as u64));
-                    let w = qsim::haar_unitary(2, &mut rng);
-                    let p = PreparedCut::new(&NmeCut::new(0.5), &w, Pauli::Z);
-                    estimate_allocated(&p.spec, &p.samplers(), 500, Allocator::Proportional, &mut rng)
-                })
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    experiments::parallel_map_indexed(64, threads, |i| {
+                        let mut rng = StdRng::seed_from_u64(experiments::item_seed(1, i as u64));
+                        let w = qsim::haar_unitary(2, &mut rng);
+                        let p = PreparedCut::new(&NmeCut::new(0.5), &w, Pauli::Z);
+                        estimate_allocated(
+                            &p.spec,
+                            &p.samplers(),
+                            500,
+                            Allocator::Proportional,
+                            &mut rng,
+                        )
+                    })
+                });
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, shot_sampling, sweep, cut_compilation, parallel_runner);
+criterion_group!(
+    benches,
+    shot_sampling,
+    sweep,
+    cut_compilation,
+    parallel_runner
+);
 criterion_main!(benches);

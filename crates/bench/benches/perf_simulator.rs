@@ -93,5 +93,11 @@ fn haar_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, gate_kernels, circuit_execution, density_tomography, haar_sampling);
+criterion_group!(
+    benches,
+    gate_kernels,
+    circuit_execution,
+    density_tomography,
+    haar_sampling
+);
 criterion_main!(benches);

@@ -26,7 +26,9 @@ fn tomography(c: &mut Criterion) {
 
     let rows = experiments::teleport_channel::run(21);
     let path = experiments::results_dir().join("bench_teleport_channel.csv");
-    experiments::teleport_channel::to_table(&rows).write_csv(&path).unwrap();
+    experiments::teleport_channel::to_table(&rows)
+        .write_csv(&path)
+        .unwrap();
 }
 
 criterion_group!(benches, tomography);

@@ -229,7 +229,11 @@ mod tests {
         // test has teeth.
         let mut acc = Superoperator::zero(4, 4);
         for (i, term) in CzGateCut.terms().iter().enumerate() {
-            let coeff = if i == 3 { -term.coefficient } else { term.coefficient };
+            let coeff = if i == 3 {
+                -term.coefficient
+            } else {
+                term.coefficient
+            };
             acc.axpy(coeff, &gate_term_channel(term));
         }
         assert!(acc.distance(&cz_channel()) > 0.1);

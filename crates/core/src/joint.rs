@@ -68,9 +68,7 @@ pub fn mub_bases_two_qubit() -> Vec<Matrix> {
 pub fn are_mutually_unbiased(a: &Matrix, b: &Matrix, tol: f64) -> bool {
     let d = a.rows();
     let overlap = a.dagger().matmul(b);
-    (0..d).all(|i| {
-        (0..d).all(|j| (overlap[(i, j)].norm_sqr() - 1.0 / d as f64).abs() < tol)
-    })
+    (0..d).all(|i| (0..d).all(|j| (overlap[(i, j)].norm_sqr() - 1.0 / d as f64).abs() < tol))
 }
 
 /// Joint wire cut over `n ∈ {1, 2}` wires with `κ = 2^{n+1} − 1`.
@@ -131,8 +129,8 @@ impl JointWireCut {
         for q in 0..n {
             c.measure(q, q);
         }
-        for q in 0..n {
-            c.x_if(receiver[q], q);
+        for (q, &r) in receiver.iter().enumerate().take(n) {
+            c.x_if(r, q);
         }
         match n {
             1 => {
@@ -176,8 +174,8 @@ impl JointWireCut {
         for q in 0..n {
             c.measure(q, q);
         }
-        for q in 0..n {
-            c.x_if(receiver[q], q);
+        for (q, &r) in receiver.iter().enumerate().take(n) {
+            c.x_if(r, q);
         }
         for q in 0..n {
             c.cx(ancilla[q], receiver[q]);
@@ -293,9 +291,8 @@ pub fn mub_identity_deviation(bases: &[Matrix]) -> f64 {
     // Target: ρ → ρ + Tr(ρ)·I  =  identity + d·(trace ∘ maximally-mixed·d)…
     // build directly: S_target = I_channel + |vec(I)⟩⟨vec(I)|-style map.
     let mut target = Superoperator::identity(d);
-    let replace = Superoperator::from_linear_map(d, d, |rho| {
-        Matrix::identity(d).scale(rho.trace())
-    });
+    let replace =
+        Superoperator::from_linear_map(d, d, |rho| Matrix::identity(d).scale(rho.trace()));
     target.axpy(1.0, &replace);
     acc.distance(&target)
 }
@@ -379,12 +376,8 @@ mod tests {
         let cut = JointWireCut::new(2);
         let spec = cut.spec();
         let terms = cut.terms();
-        let compiled = PreparedMultiCut::from_terms(
-            spec,
-            &terms,
-            &prep,
-            &PauliString::from_label("ZZ"),
-        );
+        let compiled =
+            PreparedMultiCut::from_terms(spec, &terms, &prep, &PauliString::from_label("ZZ"));
         assert!(
             (compiled.exact_value() - 1.0).abs() < 1e-8,
             "joint cut ⟨ZZ⟩ = {}",
@@ -394,7 +387,9 @@ mod tests {
 
     #[test]
     fn embed_input_multi_round_trip() {
-        let rho = Matrix::from_fn(4, 4, |i, j| c64((i + j) as f64 * 0.05, (i as f64 - j as f64) * 0.01));
+        let rho = Matrix::from_fn(4, 4, |i, j| {
+            c64((i + j) as f64 * 0.05, (i as f64 - j as f64) * 0.01)
+        });
         let herm = rho.add(&rho.dagger()).scale_re(0.5);
         let full = embed_input_multi(&herm, &[0, 2], 4);
         let back = full.partial_trace(&[0, 2]);

@@ -59,7 +59,10 @@ pub fn pauli_channel_eigenvalues(q: [f64; 4]) -> [f64; 4] {
 pub fn inverse_pauli_weights(q: [f64; 4]) -> [f64; 4] {
     let lam = pauli_channel_eigenvalues(q);
     for &l in &lam {
-        assert!(l.abs() > 1e-9, "Pauli channel not invertible: eigenvalue {l}");
+        assert!(
+            l.abs() > 1e-9,
+            "Pauli channel not invertible: eigenvalue {l}"
+        );
     }
     let x = pauli_character_matrix();
     let mut d = [0.0f64; 4];
@@ -202,10 +205,7 @@ mod tests {
         let x = pauli_character_matrix();
         for i in 0..4 {
             for j in 0..4 {
-                let mut acc = 0.0;
-                for k in 0..4 {
-                    acc += x[i][k] * x[k][j];
-                }
+                let acc: f64 = (0..4).map(|k| x[i][k] * x[k][j]).sum();
                 let expect = if i == j { 4.0 } else { 0.0 };
                 assert!((acc - expect).abs() < 1e-12);
             }
@@ -227,8 +227,8 @@ mod tests {
         let cut = BellDiagonalCut::werner(p);
         let lam = pauli_channel_eigenvalues(cut.weights);
         assert!((lam[0] - 1.0).abs() < 1e-12);
-        for i in 1..4 {
-            assert!((lam[i] - p).abs() < 1e-12, "λ_{i} = {}", lam[i]);
+        for (i, &l) in lam.iter().enumerate().skip(1) {
+            assert!((l - p).abs() < 1e-12, "λ_{i} = {l}");
         }
         // κ = (3/p − 1)/2 for Werner.
         let expect = (3.0 / p - 1.0) / 2.0;
@@ -259,7 +259,10 @@ mod tests {
         let qz = (k - 1.0) * (k - 1.0) / d;
         let kappa = inversion_kappa([qi, 0.0, 0.0, qz]);
         let gamma_pure = crate::theory::gamma_phi_k(k);
-        assert!(kappa > gamma_pure + 1e-6, "κ={kappa} vs pure γ={gamma_pure}");
+        assert!(
+            kappa > gamma_pure + 1e-6,
+            "κ={kappa} vs pure γ={gamma_pure}"
+        );
         let gamma_mixed = optimal_gamma_bell_diagonal([qi, 0.0, 0.0, qz]);
         assert!(kappa >= gamma_mixed - 1e-9);
     }

@@ -175,13 +175,22 @@ impl PreparedMultiTerm {
             .map(|l| {
                 let mut acc = 0.0;
                 for (idx, p) in l.state.probabilities().iter().enumerate() {
-                    let sign = if (idx & z_mask).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                    let sign = if (idx & z_mask).count_ones().is_multiple_of(2) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     acc += sign * p;
                 }
                 l.probability * acc
             })
             .sum();
-        Self { sampler, z_mask, exact, num_qubits: n }
+        Self {
+            sampler,
+            z_mask,
+            exact,
+            num_qubits: n,
+        }
     }
 }
 
@@ -190,7 +199,7 @@ impl TermSampler for PreparedMultiTerm {
         let leaf = self.sampler.sample_leaf(rng);
         let idx = leaf.state.sample_z_basis(rng);
         debug_assert!(idx < (1 << self.num_qubits));
-        if (idx & self.z_mask).count_ones() % 2 == 0 {
+        if (idx & self.z_mask).count_ones().is_multiple_of(2) {
             1.0
         } else {
             -1.0
@@ -298,7 +307,11 @@ mod tests {
         prep.ry(theta, 0).cx(0, 1);
         let cut = ParallelWireCut::uniform(HaradaCut, 2);
         let zz = PreparedMultiCut::new(&cut, &prep, &PauliString::from_label("ZZ"));
-        assert!((zz.exact_value() - 1.0).abs() < 1e-9, "⟨ZZ⟩ = {}", zz.exact_value());
+        assert!(
+            (zz.exact_value() - 1.0).abs() < 1e-9,
+            "⟨ZZ⟩ = {}",
+            zz.exact_value()
+        );
         let zi = PreparedMultiCut::new(&cut, &prep, &PauliString::from_label("IZ"));
         assert!(
             (zi.exact_value() - theta.cos()).abs() < 1e-9,
@@ -310,10 +323,7 @@ mod tests {
     #[test]
     fn mixed_cut_types_compose() {
         // Wire 0 cut with Harada, wire 1 with NME(k=1) teleportation.
-        let cut = ParallelWireCut::new(vec![
-            Box::new(HaradaCut),
-            Box::new(NmeCut::new(1.0)),
-        ]);
+        let cut = ParallelWireCut::new(vec![Box::new(HaradaCut), Box::new(NmeCut::new(1.0))]);
         assert!((cut.kappa() - 3.0).abs() < 1e-12);
         let mut prep = Circuit::new(2, 0);
         prep.ry(0.7, 0).ry(1.1, 1);

@@ -39,7 +39,9 @@ impl NmeCut {
 
     /// Creates the cut for a target entanglement level `f(Φ_k)`.
     pub fn from_overlap(f: f64) -> Self {
-        Self { phi: PhiK::from_overlap(f) }
+        Self {
+            phi: PhiK::from_overlap(f),
+        }
     }
 
     /// The resource state.
@@ -165,7 +167,9 @@ impl WireCut for TeleportationPassthrough {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::term::{identity_distance, reconstructed_channel, term_channel, verify_locc_structure};
+    use crate::term::{
+        identity_distance, reconstructed_channel, term_channel, verify_locc_structure,
+    };
     use qsim::Superoperator;
 
     #[test]
@@ -198,8 +202,8 @@ mod tests {
         assert!((cut.kappa() - 3.0).abs() < 1e-12);
         // The reconstructed channels agree (both are the identity), and
         // the negative terms are literally the same circuit.
-        let d = reconstructed_channel(&cut)
-            .distance(&reconstructed_channel(&crate::harada::HaradaCut));
+        let d =
+            reconstructed_channel(&cut).distance(&reconstructed_channel(&crate::harada::HaradaCut));
         assert!(d < 1e-9);
     }
 

@@ -39,7 +39,11 @@ pub fn append_teleportation(
 /// receiver (C). `resource_prep` must prepare the resource state on
 /// qubits (1, 2) from `|00⟩`.
 pub fn teleportation_circuit(resource_prep: &Circuit) -> Circuit {
-    assert_eq!(resource_prep.num_qubits(), 3, "resource prep must act on the 3-qubit register");
+    assert_eq!(
+        resource_prep.num_qubits(),
+        3,
+        "resource prep must act on the 3-qubit register"
+    );
     let mut c = Circuit::new(3, 2);
     c.compose(resource_prep);
     append_teleportation(&mut c, 0, 1, 2, 0, 1);
@@ -78,7 +82,9 @@ pub fn teleportation_channel_simulated(resource_prep: &Circuit) -> Superoperator
         // Full input: data ρ on qubit 0, |0⟩⟨0| on qubits 1, 2 (the
         // resource prep inside the circuit populates them).
         let zero = DensityMatrix::new(1);
-        let full = zero.tensor(&zero).tensor(&DensityMatrix::from_matrix(1, rho_in.clone()));
+        let full = zero
+            .tensor(&zero)
+            .tensor(&DensityMatrix::from_matrix(1, rho_in.clone()));
         let out = execute_density(&circuit, &full);
         out.partial_trace(&[2]).into_matrix()
     })
@@ -192,7 +198,11 @@ mod tests {
         let x_exp: f64 = sampler
             .leaves()
             .iter()
-            .map(|l| l.probability * l.state.expval_pauli(&qsim::PauliString::single(3, 2, Pauli::X)))
+            .map(|l| {
+                l.probability
+                    * l.state
+                        .expval_pauli(&qsim::PauliString::single(3, 2, Pauli::X))
+            })
             .sum();
         assert!((x_exp - lam).abs() < 1e-10, "⟨X⟩ = {x_exp}, expected {lam}");
     }

@@ -31,7 +31,10 @@ pub fn gamma_from_overlap(f: f64) -> f64 {
 /// Inverse of [`gamma_from_overlap`]: the overlap needed for a target
 /// overhead `γ ∈ [1, 3]`.
 pub fn overlap_from_gamma(gamma: f64) -> f64 {
-    assert!((1.0 - 1e-12..=3.0 + 1e-12).contains(&gamma), "gamma out of range");
+    assert!(
+        (1.0 - 1e-12..=3.0 + 1e-12).contains(&gamma),
+        "gamma out of range"
+    );
     2.0 / (gamma + 1.0)
 }
 

@@ -72,7 +72,10 @@ pub fn bell_diagonal(q: [f64; 4]) -> Matrix {
 /// The Werner state `p·|Φ⟩⟨Φ| + (1−p)·I/4` (a Bell-diagonal state with
 /// weights `(p + (1−p)/4, (1−p)/4, (1−p)/4, (1−p)/4)`).
 pub fn werner(p: f64) -> Matrix {
-    assert!((-1.0 / 3.0..=1.0).contains(&p), "Werner parameter out of range");
+    assert!(
+        (-1.0 / 3.0..=1.0).contains(&p),
+        "Werner parameter out of range"
+    );
     let mixed = Matrix::identity(4).scale_re((1.0 - p) / 4.0);
     let mut rho = phi_plus_density().scale_re(p);
     rho = rho.add(&mixed);
@@ -146,8 +149,8 @@ mod tests {
         let rho = werner(p);
         let ov = bell_overlaps(&rho);
         assert!((ov[0] - (p + (1.0 - p) / 4.0)).abs() < 1e-12);
-        for i in 1..4 {
-            assert!((ov[i] - (1.0 - p) / 4.0).abs() < 1e-12);
+        for &o in ov.iter().skip(1) {
+            assert!((o - (1.0 - p) / 4.0).abs() < 1e-12);
         }
     }
 

@@ -33,7 +33,10 @@ pub fn m_distillation_norm(schmidt_coefficients: &[f64], m: usize) -> f64 {
     assert!(m >= 1, "m must be positive");
     assert!(!schmidt_coefficients.is_empty(), "empty Schmidt vector");
     let mut v: Vec<f64> = schmidt_coefficients.to_vec();
-    assert!(v.iter().all(|&z| z >= -1e-15), "negative Schmidt coefficient");
+    assert!(
+        v.iter().all(|&z| z >= -1e-15),
+        "negative Schmidt coefficient"
+    );
     v.sort_by(|a, b| b.partial_cmp(a).unwrap());
     let d = v.len();
     let m_f = m as f64;
@@ -173,7 +176,10 @@ mod tests {
         let coeffs = [0.8, 0.5, 0.33166247903554];
         let norm = m_distillation_norm(&coeffs, 1);
         let closed = m_distillation_norm_closed_form(&coeffs, 1);
-        assert!((norm - closed).abs() < 1e-9, "water-fill {norm} vs closed {closed}");
+        assert!(
+            (norm - closed).abs() < 1e-9,
+            "water-fill {norm} vs closed {closed}"
+        );
         // m=1 dual: maximise ⟨u,v⟩ with ‖u‖₂ ≤ 1, u ≤ 1 ⇒ best is u = v
         // (feasible since ‖v‖₂ = 1): norm = ‖v‖₂² = 1... only when v is
         // normalised and max v_i ≤ 1.

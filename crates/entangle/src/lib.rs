@@ -24,11 +24,14 @@ pub mod measures;
 pub mod phi_k;
 pub mod schmidt;
 
-pub use bell::{bell_diagonal, bell_overlap, bell_overlaps, bell_state, phi_plus, phi_plus_density, werner};
-pub use distillation::{m_distillation_norm, m_distillation_norm_closed_form, overlap_via_distillation_norm};
+pub use bell::{
+    bell_diagonal, bell_overlap, bell_overlaps, bell_state, phi_plus, phi_plus_density, werner,
+};
+pub use distillation::{
+    m_distillation_norm, m_distillation_norm_closed_form, overlap_via_distillation_norm,
+};
 pub use measures::{
-    concurrence_pure, entanglement_entropy, fully_entangled_fraction, max_overlap,
-    max_overlap_pure,
+    concurrence_pure, entanglement_entropy, fully_entangled_fraction, max_overlap, max_overlap_pure,
 };
 pub use phi_k::{PhiK, FIG6_OVERLAPS};
 pub use schmidt::{schmidt, SchmidtDecomposition};

@@ -19,7 +19,10 @@ pub struct PhiK {
 impl PhiK {
     /// Creates the resource state with parameter `k ≥ 0`.
     pub fn new(k: f64) -> Self {
-        assert!(k.is_finite() && k >= 0.0, "k must be finite and non-negative");
+        assert!(
+            k.is_finite() && k >= 0.0,
+            "k must be finite and non-negative"
+        );
         Self { k }
     }
 
@@ -27,13 +30,18 @@ impl PhiK {
     /// inverting Eq. 10 on the branch `k ∈ [0, 1]`:
     /// `k = (1 − √(1 − (2f−1)²)) / (2f−1)` for `f > 1/2`, `k = 0` at `f = 1/2`.
     pub fn from_overlap(f: f64) -> Self {
-        assert!((0.5..=1.0 + 1e-12).contains(&f), "overlap must be in [1/2, 1]");
+        assert!(
+            (0.5..=1.0 + 1e-12).contains(&f),
+            "overlap must be in [1/2, 1]"
+        );
         let g = 2.0 * f - 1.0;
         if g <= 1e-14 {
             return Self { k: 0.0 };
         }
         let disc = (1.0 - g * g).max(0.0);
-        Self { k: (1.0 - disc.sqrt()) / g }
+        Self {
+            k: (1.0 - disc.sqrt()) / g,
+        }
     }
 
     /// The parameter `k`.
@@ -58,13 +66,23 @@ impl PhiK {
     pub fn bell_overlaps(self) -> [f64; 4] {
         let k = self.k;
         let d = 2.0 * (k * k + 1.0);
-        [(k + 1.0) * (k + 1.0) / d, 0.0, 0.0, (k - 1.0) * (k - 1.0) / d]
+        [
+            (k + 1.0) * (k + 1.0) / d,
+            0.0,
+            0.0,
+            (k - 1.0) * (k - 1.0) / d,
+        ]
     }
 
     /// Amplitudes `(K, 0, 0, kK)` of `|Φ_k⟩`.
     pub fn amplitudes(self) -> [Complex64; 4] {
         let kk = self.normalisation();
-        [c64(kk, 0.0), c64(0.0, 0.0), c64(0.0, 0.0), c64(self.k * kk, 0.0)]
+        [
+            c64(kk, 0.0),
+            c64(0.0, 0.0),
+            c64(0.0, 0.0),
+            c64(self.k * kk, 0.0),
+        ]
     }
 
     /// `|Φ_k⟩` as a two-qubit statevector.

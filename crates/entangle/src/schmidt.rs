@@ -71,8 +71,7 @@ impl SchmidtDecomposition {
             }
             for b in 0..self.d_b {
                 for a in 0..self.d_a {
-                    amps[b * self.d_a + a] +=
-                        self.basis_b[(b, k)] * self.basis_a[(a, k)] * lam;
+                    amps[b * self.d_a + a] += self.basis_b[(b, k)] * self.basis_a[(a, k)] * lam;
                 }
             }
         }
@@ -84,7 +83,11 @@ impl SchmidtDecomposition {
     /// coefficient, so `k ∈ [0, 1]` and the state is locally equivalent to
     /// `|Φ_k⟩ = (|00⟩ + k|11⟩)/√(1+k²)`.
     pub fn canonical_k(&self) -> f64 {
-        assert_eq!(self.coefficients.len(), 2, "canonical_k requires two qubits");
+        assert_eq!(
+            self.coefficients.len(),
+            2,
+            "canonical_k requires two qubits"
+        );
         let p0 = self.coefficients[0];
         let p1 = self.coefficients[1];
         assert!(p0 > 0.0, "zero state");
@@ -172,7 +175,11 @@ mod tests {
         assert_eq!(d.rank(1e-10), 2);
         assert!((d.entropy() - 1.0).abs() < 1e-10);
         let back = d.reconstruct();
-        assert!(vector::approx_eq_up_to_phase(back.amplitudes(), sv.amplitudes(), 1e-9));
+        assert!(vector::approx_eq_up_to_phase(
+            back.amplitudes(),
+            sv.amplitudes(),
+            1e-9
+        ));
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies in display order.
-    pub const ALL: [Strategy; 3] = [Strategy::Proportional, Strategy::Uniform, Strategy::Stochastic];
+    pub const ALL: [Strategy; 3] = [
+        Strategy::Proportional,
+        Strategy::Uniform,
+        Strategy::Stochastic,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -69,8 +73,17 @@ impl Default for AllocationConfig {
 
 /// Mean absolute error per (overlap, strategy).
 pub fn run(config: &AllocationConfig) -> Table {
-    let threads = if config.threads == 0 { default_threads() } else { config.threads };
-    let mut t = Table::new(&["overlap_f", "err_proportional", "err_uniform", "err_stochastic"]);
+    let threads = if config.threads == 0 {
+        default_threads()
+    } else {
+        config.threads
+    };
+    let mut t = Table::new(&[
+        "overlap_f",
+        "err_proportional",
+        "err_uniform",
+        "err_stochastic",
+    ]);
     for &f in &config.overlaps {
         let cut = NmeCut::from_overlap(f);
         let per_state: Vec<[f64; 3]> = parallel_map_indexed(config.num_states, threads, |s| {

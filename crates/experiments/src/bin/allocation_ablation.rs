@@ -6,7 +6,11 @@ use experiments::allocation::{run, AllocationConfig};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick {
-        AllocationConfig { num_states: 12, repetitions: 12, ..AllocationConfig::default() }
+        AllocationConfig {
+            num_states: 12,
+            repetitions: 12,
+            ..AllocationConfig::default()
+        }
     } else {
         AllocationConfig::default()
     };

@@ -7,7 +7,10 @@ use experiments::fig6::{run, Fig6Config};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick {
-        Fig6Config { num_states: 100, ..Fig6Config::default() }
+        Fig6Config {
+            num_states: 100,
+            ..Fig6Config::default()
+        }
     } else {
         Fig6Config::default()
     };
@@ -16,7 +19,11 @@ fn main() {
         config.num_states,
         config.overlaps.len(),
         config.shot_checkpoints.len(),
-        if config.threads == 0 { experiments::default_threads() } else { config.threads },
+        if config.threads == 0 {
+            experiments::default_threads()
+        } else {
+            config.threads
+        },
     );
     let start = std::time::Instant::now();
     let result = run(&config);

@@ -6,7 +6,11 @@ use experiments::joint_cut::{run, JointConfig};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick {
-        JointConfig { num_states: 4, repetitions: 6, ..JointConfig::default() }
+        JointConfig {
+            num_states: 4,
+            repetitions: 6,
+            ..JointConfig::default()
+        }
     } else {
         JointConfig::default()
     };

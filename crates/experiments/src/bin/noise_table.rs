@@ -7,7 +7,11 @@ use experiments::noise::{run, NoiseConfig};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick {
-        NoiseConfig { num_states: 4, repetitions: 6, ..NoiseConfig::default() }
+        NoiseConfig {
+            num_states: 4,
+            repetitions: 6,
+            ..NoiseConfig::default()
+        }
     } else {
         NoiseConfig::default()
     };

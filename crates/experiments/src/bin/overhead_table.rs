@@ -6,7 +6,11 @@ use experiments::overhead::{run, to_table, OverheadConfig};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick {
-        OverheadConfig { repetitions: 40, num_states: 6, ..OverheadConfig::default() }
+        OverheadConfig {
+            repetitions: 40,
+            num_states: 6,
+            ..OverheadConfig::default()
+        }
     } else {
         OverheadConfig::default()
     };

@@ -2,37 +2,61 @@
 //! writing all CSVs under `results/` — the one-command regeneration of
 //! the paper's evaluation.
 
-use experiments::{allocation, fig6, joint_cut, multicut, noise, overhead, tables, teleport_channel, werner};
+use experiments::{
+    allocation, fig6, joint_cut, multicut, noise, overhead, tables, teleport_channel, werner,
+};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let dir = experiments::results_dir();
     println!("== E3/E4/E6/E7: closed-form tables ==");
-    tables::overlap_table(21).write_csv(&dir.join("overlap_formulas.csv")).unwrap();
-    tables::bell_overlap_table(21).write_csv(&dir.join("bell_overlaps.csv")).unwrap();
-    tables::consumption_table(21).write_csv(&dir.join("pair_consumption.csv")).unwrap();
-    tables::endpoints_table().write_csv(&dir.join("endpoints.csv")).unwrap();
+    tables::overlap_table(21)
+        .write_csv(&dir.join("overlap_formulas.csv"))
+        .unwrap();
+    tables::bell_overlap_table(21)
+        .write_csv(&dir.join("bell_overlaps.csv"))
+        .unwrap();
+    tables::consumption_table(21)
+        .write_csv(&dir.join("pair_consumption.csv"))
+        .unwrap();
+    tables::endpoints_table()
+        .write_csv(&dir.join("endpoints.csv"))
+        .unwrap();
 
     println!("== E5: teleportation channel tomography ==");
     let rows = teleport_channel::run(21);
-    teleport_channel::to_table(&rows).write_csv(&dir.join("teleport_channel.csv")).unwrap();
+    teleport_channel::to_table(&rows)
+        .write_csv(&dir.join("teleport_channel.csv"))
+        .unwrap();
     teleport_channel::werner_channel_table(11)
         .write_csv(&dir.join("teleport_channel_werner.csv"))
         .unwrap();
 
     println!("== E1: Figure 6 ==");
     let cfg = if quick {
-        fig6::Fig6Config { num_states: 100, ..Default::default() }
+        fig6::Fig6Config {
+            num_states: 100,
+            ..Default::default()
+        }
     } else {
         fig6::Fig6Config::default()
     };
     let res = fig6::run(&cfg);
-    res.to_table().write_csv(&dir.join("fig6_error_vs_shots.csv")).unwrap();
-    println!("   ordering check: {}", res.final_errors_ordered_by_entanglement());
+    res.to_table()
+        .write_csv(&dir.join("fig6_error_vs_shots.csv"))
+        .unwrap();
+    println!(
+        "   ordering check: {}",
+        res.final_errors_ordered_by_entanglement()
+    );
 
     println!("== E2: overhead vs entanglement ==");
     let cfg = if quick {
-        overhead::OverheadConfig { repetitions: 40, num_states: 6, ..Default::default() }
+        overhead::OverheadConfig {
+            repetitions: 40,
+            num_states: 6,
+            ..Default::default()
+        }
     } else {
         overhead::OverheadConfig::default()
     };
@@ -42,11 +66,17 @@ fn main() {
 
     println!("== E8: allocation ablation ==");
     let cfg = if quick {
-        allocation::AllocationConfig { num_states: 12, repetitions: 12, ..Default::default() }
+        allocation::AllocationConfig {
+            num_states: 12,
+            repetitions: 12,
+            ..Default::default()
+        }
     } else {
         allocation::AllocationConfig::default()
     };
-    allocation::run(&cfg).write_csv(&dir.join("allocation_ablation.csv")).unwrap();
+    allocation::run(&cfg)
+        .write_csv(&dir.join("allocation_ablation.csv"))
+        .unwrap();
 
     println!("== E9: multi-cut scaling ==");
     let cfg = if quick {
@@ -59,31 +89,51 @@ fn main() {
     } else {
         multicut::MultiCutConfig::default()
     };
-    multicut::run(&cfg).write_csv(&dir.join("multicut_scaling.csv")).unwrap();
+    multicut::run(&cfg)
+        .write_csv(&dir.join("multicut_scaling.csv"))
+        .unwrap();
 
     println!("== E10: Werner resources ==");
     let cfg = if quick {
-        werner::WernerConfig { num_states: 6, repetitions: 8, ..Default::default() }
+        werner::WernerConfig {
+            num_states: 6,
+            repetitions: 8,
+            ..Default::default()
+        }
     } else {
         werner::WernerConfig::default()
     };
-    werner::run(&cfg).write_csv(&dir.join("werner_resources.csv")).unwrap();
+    werner::run(&cfg)
+        .write_csv(&dir.join("werner_resources.csv"))
+        .unwrap();
 
     println!("== E11: joint parallel wire cutting ==");
     let cfg = if quick {
-        joint_cut::JointConfig { num_states: 4, repetitions: 6, ..Default::default() }
+        joint_cut::JointConfig {
+            num_states: 4,
+            repetitions: 6,
+            ..Default::default()
+        }
     } else {
         joint_cut::JointConfig::default()
     };
-    joint_cut::run(&cfg).write_csv(&dir.join("joint_cut.csv")).unwrap();
+    joint_cut::run(&cfg)
+        .write_csv(&dir.join("joint_cut.csv"))
+        .unwrap();
 
     println!("== E12: noise resilience ==");
     let cfg = if quick {
-        noise::NoiseConfig { num_states: 4, repetitions: 6, ..Default::default() }
+        noise::NoiseConfig {
+            num_states: 4,
+            repetitions: 6,
+            ..Default::default()
+        }
     } else {
         noise::NoiseConfig::default()
     };
-    noise::run(&cfg).write_csv(&dir.join("noise_bias.csv")).unwrap();
+    noise::run(&cfg)
+        .write_csv(&dir.join("noise_bias.csv"))
+        .unwrap();
 
     println!("all results written to {}", dir.display());
 }

@@ -7,7 +7,11 @@ use experiments::werner::{run, WernerConfig};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick {
-        WernerConfig { num_states: 6, repetitions: 8, ..WernerConfig::default() }
+        WernerConfig {
+            num_states: 6,
+            repetitions: 8,
+            ..WernerConfig::default()
+        }
     } else {
         WernerConfig::default()
     };

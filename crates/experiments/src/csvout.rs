@@ -119,7 +119,10 @@ mod tests {
         let csv = t.to_csv();
         let mut lines = csv.lines();
         assert_eq!(lines.next().unwrap(), "shots,error");
-        assert!(lines.next().unwrap().starts_with("250.0000000000,0.1250000000"));
+        assert!(lines
+            .next()
+            .unwrap()
+            .starts_with("250.0000000000,0.1250000000"));
     }
 
     #[test]

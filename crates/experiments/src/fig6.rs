@@ -60,7 +60,11 @@ pub struct Fig6Result {
 
 /// Runs the Figure 6 experiment.
 pub fn run(config: &Fig6Config) -> Fig6Result {
-    let threads = if config.threads == 0 { default_threads() } else { config.threads };
+    let threads = if config.threads == 0 {
+        default_threads()
+    } else {
+        config.threads
+    };
     let overlaps = config.overlaps.clone();
     let checkpoints = config.shot_checkpoints.clone();
     // Cuts are input-independent; build them once.
@@ -74,16 +78,19 @@ pub fn run(config: &Fig6Config) -> Fig6Result {
         cuts.iter()
             .map(|cut| {
                 let prepared = PreparedCut::new(cut, &w, Pauli::Z);
-                let estimates =
-                    proportional_sweep(&prepared.spec, &prepared.samplers(), &checkpoints, &mut rng);
+                let estimates = proportional_sweep(
+                    &prepared.spec,
+                    &prepared.samplers(),
+                    &checkpoints,
+                    &mut rng,
+                );
                 estimates.iter().map(|e| (e - exact).abs()).collect()
             })
             .collect()
     });
 
     // Aggregate.
-    let mut grids =
-        vec![vec![RunningStats::new(); checkpoints.len()]; overlaps.len()];
+    let mut grids = vec![vec![RunningStats::new(); checkpoints.len()]; overlaps.len()];
     for state_grid in &per_state {
         for (o, row) in state_grid.iter().enumerate() {
             for (c, &err) in row.iter().enumerate() {
@@ -99,7 +106,11 @@ pub fn run(config: &Fig6Config) -> Fig6Result {
         .iter()
         .map(|row| row.iter().map(|s| s.std_err()).collect())
         .collect();
-    Fig6Result { config: config.clone(), mean_abs_error, std_err }
+    Fig6Result {
+        config: config.clone(),
+        mean_abs_error,
+        std_err,
+    }
 }
 
 impl Fig6Result {
@@ -127,8 +138,9 @@ impl Fig6Result {
     /// checkpoint (used by tests and the self-check in the binary).
     pub fn final_errors_ordered_by_entanglement(&self) -> bool {
         let last = self.config.shot_checkpoints.len() - 1;
-        let final_errors: Vec<f64> =
-            (0..self.config.overlaps.len()).map(|o| self.mean_abs_error[o][last]).collect();
+        let final_errors: Vec<f64> = (0..self.config.overlaps.len())
+            .map(|o| self.mean_abs_error[o][last])
+            .collect();
         final_errors.windows(2).all(|w| w[0] >= w[1] * 0.85)
     }
 }
@@ -194,7 +206,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let a = run(&small_config());
-        let b = run(&Fig6Config { threads: 4, ..small_config() });
+        let b = run(&Fig6Config {
+            threads: 4,
+            ..small_config()
+        });
         for (ra, rb) in a.mean_abs_error.iter().zip(b.mean_abs_error.iter()) {
             for (x, y) in ra.iter().zip(rb.iter()) {
                 assert!((x - y).abs() < 1e-14, "nondeterministic result");

@@ -66,7 +66,11 @@ fn exact_zz(prep: &Circuit) -> f64 {
 /// `(wires, kappa_joint, kappa_product, identity_distance, err_joint,
 /// err_product)`.
 pub fn run(config: &JointConfig) -> Table {
-    let threads = if config.threads == 0 { default_threads() } else { config.threads };
+    let threads = if config.threads == 0 {
+        default_threads()
+    } else {
+        config.threads
+    };
     let mut t = Table::new(&[
         "wires",
         "kappa_joint",
@@ -163,7 +167,11 @@ mod tests {
 
     #[test]
     fn joint_error_no_worse_than_product_at_two_wires() {
-        let t = run(&JointConfig { num_states: 8, repetitions: 10, ..small() });
+        let t = run(&JointConfig {
+            num_states: 8,
+            repetitions: 10,
+            ..small()
+        });
         let row = &t.rows()[1];
         let (ej, ep) = (row[4], row[5]);
         assert!(

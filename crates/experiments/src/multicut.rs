@@ -73,7 +73,11 @@ fn exact_zz(prep: &Circuit) -> f64 {
 /// Runs the multi-cut scaling experiment; rows are
 /// `(wires, overlap_f, kappa_total, mean_abs_error)`.
 pub fn run(config: &MultiCutConfig) -> Table {
-    let threads = if config.threads == 0 { default_threads() } else { config.threads };
+    let threads = if config.threads == 0 {
+        default_threads()
+    } else {
+        config.threads
+    };
     let mut t = Table::new(&["wires", "overlap_f", "kappa_total", "mean_abs_error"]);
     for &w in &config.wire_counts {
         for &f in &config.overlaps {
@@ -131,7 +135,10 @@ mod tests {
         // rows: (1, 0.5), (1, 1.0), (2, 0.5), (2, 1.0)
         let k1 = t.rows()[0][2];
         let k2 = t.rows()[2][2];
-        assert!((k2 - k1 * k1).abs() < 1e-9, "κ² scaling broken: {k1} vs {k2}");
+        assert!(
+            (k2 - k1 * k1).abs() < 1e-9,
+            "κ² scaling broken: {k1} vs {k2}"
+        );
         // f = 1.0: κ stays 1 regardless of wires.
         assert!((t.rows()[1][2] - 1.0).abs() < 1e-9);
         assert!((t.rows()[3][2] - 1.0).abs() < 1e-9);

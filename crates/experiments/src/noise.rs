@@ -23,24 +23,24 @@ use wirecut::{NmeCut, WireCut};
 
 /// Exact expectation of Z on the output of one cut term executed under a
 /// noise model, for input `W|0⟩`.
-pub fn noisy_term_expectation(
-    term: &wirecut::CutTerm,
-    w: &Matrix,
-    noise: &NoiseModel,
-) -> f64 {
+pub fn noisy_term_expectation(term: &wirecut::CutTerm, w: &Matrix, noise: &NoiseModel) -> f64 {
     let n = term.circuit.num_qubits();
     let mut circuit = Circuit::new(n, term.circuit.num_clbits());
     circuit.unitary1(w.clone(), term.input_qubit);
     circuit.compose(&term.circuit);
     // Input density: |0…0⟩ everywhere (the W preparation is inside and is
     // itself subject to gate noise, like on a real device).
-    let rho_in = embed_input(&Matrix::from_fn(2, 2, |i, j| {
-        if i == 0 && j == 0 {
-            qlinalg::C_ONE
-        } else {
-            qlinalg::C_ZERO
-        }
-    }), term.input_qubit, n);
+    let rho_in = embed_input(
+        &Matrix::from_fn(2, 2, |i, j| {
+            if i == 0 && j == 0 {
+                qlinalg::C_ONE
+            } else {
+                qlinalg::C_ZERO
+            }
+        }),
+        term.input_qubit,
+        n,
+    );
     let out = execute_density_noisy(&circuit, &rho_in, noise);
     out.partial_trace(&[term.output_qubit])
         .expval_pauli(&PauliString::single(1, 0, Pauli::Z))
@@ -95,7 +95,11 @@ impl Default for NoiseConfig {
 /// sampler at its exact noisy expectation (shot noise on top of the
 /// noise-induced bias) with the paper's proportional allocation.
 pub fn run(config: &NoiseConfig) -> Table {
-    let threads = if config.threads == 0 { default_threads() } else { config.threads };
+    let threads = if config.threads == 0 {
+        default_threads()
+    } else {
+        config.threads
+    };
     let mut t = Table::new(&["k", "p", "kappa", "bias_exact", "total_err_at_budget"]);
     for &k in &config.k_values {
         let cut = NmeCut::new(k);
@@ -124,7 +128,9 @@ pub fn run(config: &NoiseConfig) -> Table {
                     // expectations.
                     let samplers: Vec<BernoulliTerm> = noisy_vals
                         .iter()
-                        .map(|&e| BernoulliTerm { expectation: e.clamp(-1.0, 1.0) })
+                        .map(|&e| BernoulliTerm {
+                            expectation: e.clamp(-1.0, 1.0),
+                        })
                         .collect();
                     let refs: Vec<&dyn TermSampler> =
                         samplers.iter().map(|s| s as &dyn TermSampler).collect();
@@ -193,7 +199,12 @@ mod tests {
         // the total error.
         let t = run(&small());
         let row = &t.rows()[3]; // k=1, p=0.02
-        assert!(row[4] >= row[3] * 0.5, "total err {} below bias {}", row[4], row[3]);
+        assert!(
+            row[4] >= row[3] * 0.5,
+            "total err {} below bias {}",
+            row[4],
+            row[3]
+        );
     }
 
     #[test]

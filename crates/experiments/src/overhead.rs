@@ -89,7 +89,11 @@ pub fn predicted_variance(spec: &qpd::QpdSpec, exact_terms: &[f64], total_shots:
 
 /// Runs the overhead measurement.
 pub fn run(config: &OverheadConfig) -> Vec<OverheadRow> {
-    let threads = if config.threads == 0 { default_threads() } else { config.threads };
+    let threads = if config.threads == 0 {
+        default_threads()
+    } else {
+        config.threads
+    };
     config
         .k_values
         .iter()
@@ -107,7 +111,7 @@ pub fn run(config: &OverheadConfig) -> Vec<OverheadRow> {
                     let exact_terms: Vec<f64> = prepared
                         .terms
                         .iter()
-                        .map(|t| qpd::TermSampler::exact_expectation(t))
+                        .map(qpd::TermSampler::exact_expectation)
                         .collect();
                     let pred = predicted_variance(&prepared.spec, &exact_terms, config.shots);
                     let estimates: Vec<f64> = (0..config.repetitions)
@@ -127,7 +131,7 @@ pub fn run(config: &OverheadConfig) -> Vec<OverheadRow> {
                     let base_terms: Vec<f64> = base
                         .terms
                         .iter()
-                        .map(|t| qpd::TermSampler::exact_expectation(t))
+                        .map(qpd::TermSampler::exact_expectation)
                         .collect();
                     let base_pred = predicted_variance(&base.spec, &base_terms, config.shots);
                     (measured, pred, base_pred)
@@ -135,7 +139,11 @@ pub fn run(config: &OverheadConfig) -> Vec<OverheadRow> {
             let measured = mean(&per_state.iter().map(|x| x.0).collect::<Vec<_>>());
             let predicted = mean(&per_state.iter().map(|x| x.1).collect::<Vec<_>>());
             let base = mean(&per_state.iter().map(|x| x.2).collect::<Vec<_>>());
-            let kappa_emp = if base > 0.0 { (measured / base).sqrt() } else { f64::NAN };
+            let kappa_emp = if base > 0.0 {
+                (measured / base).sqrt()
+            } else {
+                f64::NAN
+            };
             OverheadRow {
                 k,
                 overlap: entangle::PhiK::new(k).overlap(),

@@ -46,7 +46,9 @@ where
             });
         }
     })
-    .expect("worker thread panicked");
+    // Re-raise a worker panic with its original payload so assertion
+    // messages from parallel experiment code reach the test harness.
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
     let mut results = sink.into_inner();
     results.sort_by_key(|(i, _)| *i);
     debug_assert_eq!(results.len(), n);
@@ -65,8 +67,7 @@ pub fn default_threads() -> usize {
 /// (splitmix64 step — avoids adjacent-seed correlations in the
 /// experiment RNGs).
 pub fn item_seed(base: u64, i: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(i.wrapping_add(1)));
+    let mut z = base.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(i.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)

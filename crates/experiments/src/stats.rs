@@ -96,7 +96,11 @@ pub fn rmse(xs: &[f64], reference: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    (xs.iter().map(|x| (x - reference) * (x - reference)).sum::<f64>() / xs.len() as f64).sqrt()
+    (xs.iter()
+        .map(|x| (x - reference) * (x - reference))
+        .sum::<f64>()
+        / xs.len() as f64)
+        .sqrt()
 }
 
 #[cfg(test)]

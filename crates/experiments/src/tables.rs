@@ -7,15 +7,15 @@
 //! documents the agreement.
 
 use crate::csvout::Table;
-use entangle::{
-    bell_overlaps, max_overlap_pure, overlap_via_distillation_norm, schmidt, PhiK,
-};
+use entangle::{bell_overlaps, max_overlap_pure, overlap_via_distillation_norm, schmidt, PhiK};
 use wirecut::{theory, HaradaCut, NmeCut, PengCut, TeleportationPassthrough, WireCut};
 
 /// Default `k` grid for the tables.
 pub fn k_grid(points: usize) -> Vec<f64> {
     assert!(points >= 2);
-    (0..points).map(|i| i as f64 / (points - 1) as f64).collect()
+    (0..points)
+        .map(|i| i as f64 / (points - 1) as f64)
+        .collect()
 }
 
 /// **E3** — `f(Φ_k)`: Eq. 10 closed form vs the direct maximal-overlap
@@ -91,7 +91,11 @@ pub fn endpoints_table() -> Table {
     let cases: Vec<(f64, Box<dyn WireCut>, f64)> = vec![
         (0.0, Box::new(PengCut), theory::KAPPA_PENG),
         (1.0, Box::new(HaradaCut), theory::GAMMA_NO_ENTANGLEMENT),
-        (2.0, Box::new(NmeCut::new(0.0)), theory::GAMMA_NO_ENTANGLEMENT),
+        (
+            2.0,
+            Box::new(NmeCut::new(0.0)),
+            theory::GAMMA_NO_ENTANGLEMENT,
+        ),
         (3.0, Box::new(NmeCut::new(0.5)), theory::gamma_phi_k(0.5)),
         (4.0, Box::new(NmeCut::new(1.0)), 1.0),
         (5.0, Box::new(TeleportationPassthrough), 1.0),
@@ -111,8 +115,16 @@ mod tests {
     fn overlap_table_rows_agree_across_routes() {
         let t = overlap_table(11);
         for row in t.rows() {
-            assert!((row[1] - row[2]).abs() < 1e-9, "Schmidt route off at k={}", row[0]);
-            assert!((row[1] - row[3]).abs() < 1e-9, "distillation route off at k={}", row[0]);
+            assert!(
+                (row[1] - row[2]).abs() < 1e-9,
+                "Schmidt route off at k={}",
+                row[0]
+            );
+            assert!(
+                (row[1] - row[3]).abs() < 1e-9,
+                "distillation route off at k={}",
+                row[0]
+            );
         }
     }
 
@@ -124,7 +136,7 @@ mod tests {
             assert!(row[4].abs() < 1e-10); // qY
             assert!((row[1] - row[2]).abs() < 1e-10); // qI closed vs numeric
             assert!((row[5] - row[6]).abs() < 1e-10); // qZ closed vs numeric
-            // Overlaps sum to 1.
+                                                      // Overlaps sum to 1.
             assert!((row[2] + row[3] + row[4] + row[6] - 1.0).abs() < 1e-10);
         }
     }
@@ -157,7 +169,12 @@ mod tests {
                 "κ mismatch for case {}",
                 row[0]
             );
-            assert!(row[3] < 1e-9, "identity distance {} for case {}", row[3], row[0]);
+            assert!(
+                row[3] < 1e-9,
+                "identity distance {} for case {}",
+                row[3],
+                row[0]
+            );
         }
     }
 

@@ -73,7 +73,12 @@ pub fn to_table(rows: &[ChannelRow]) -> Table {
 /// Werner-resource variant: depolarising teleportation channel with all
 /// three Pauli eigenvalues equal to `p`.
 pub fn werner_channel_table(points: usize) -> Table {
-    let mut t = Table::new(&["p", "lambda_xyz", "entanglement_fidelity", "average_fidelity"]);
+    let mut t = Table::new(&[
+        "p",
+        "lambda_xyz",
+        "entanglement_fidelity",
+        "average_fidelity",
+    ]);
     for i in 0..points {
         let p = i as f64 / (points - 1) as f64;
         let rho = werner(p);

@@ -52,7 +52,11 @@ impl Default for WernerConfig {
 
 /// Runs the Werner-resource experiment.
 pub fn run(config: &WernerConfig) -> Table {
-    let threads = if config.threads == 0 { default_threads() } else { config.threads };
+    let threads = if config.threads == 0 {
+        default_threads()
+    } else {
+        config.threads
+    };
     let mut t = Table::new(&[
         "p",
         "fef",

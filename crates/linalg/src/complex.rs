@@ -67,7 +67,10 @@ impl Complex64 {
     /// Complex conjugate `re - i·im`.
     #[inline(always)]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `re² + im²`. Cheaper than [`Complex64::abs`]; prefer
@@ -93,13 +96,19 @@ impl Complex64 {
     #[inline(always)]
     pub fn inv(self) -> Self {
         let d = self.norm_sqr();
-        Self { re: self.re / d, im: -self.im / d }
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Constructs `r·e^{iθ}` from polar coordinates.
     #[inline(always)]
     pub fn from_polar(r: f64, theta: f64) -> Self {
-        Self { re: r * theta.cos(), im: r * theta.sin() }
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
     }
 
     /// Complex exponential `e^{self}`.
@@ -111,7 +120,10 @@ impl Complex64 {
     /// Unit phase `e^{iθ}` — the workhorse for phase/rotation gates.
     #[inline(always)]
     pub fn cis(theta: f64) -> Self {
-        Self { re: theta.cos(), im: theta.sin() }
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Principal square root.
@@ -124,7 +136,10 @@ impl Complex64 {
     /// Multiply by a real scalar.
     #[inline(always)]
     pub fn scale(self, s: f64) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// `true` when both components are finite.
@@ -154,7 +169,10 @@ impl Add for Complex64 {
     type Output = Self;
     #[inline(always)]
     fn add(self, rhs: Self) -> Self {
-        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -162,7 +180,10 @@ impl Sub for Complex64 {
     type Output = Self;
     #[inline(always)]
     fn sub(self, rhs: Self) -> Self {
-        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -180,6 +201,7 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Self;
     #[inline(always)]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z * w^-1
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }
@@ -189,7 +211,10 @@ impl Neg for Complex64 {
     type Output = Self;
     #[inline(always)]
     fn neg(self) -> Self {
-        Self { re: -self.re, im: -self.im }
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -213,7 +238,10 @@ impl Div<f64> for Complex64 {
     type Output = Self;
     #[inline(always)]
     fn div(self, rhs: f64) -> Self {
-        Self { re: self.re / rhs, im: self.im / rhs }
+        Self {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
     }
 }
 

@@ -121,7 +121,10 @@ pub fn sqrtm_psd(a: &Matrix) -> Matrix {
     let mut vd = e.vectors.clone();
     for j in 0..n {
         let lam = e.values[j];
-        assert!(lam > -1e-9, "sqrtm_psd: matrix has negative eigenvalue {lam}");
+        assert!(
+            lam > -1e-9,
+            "sqrtm_psd: matrix has negative eigenvalue {lam}"
+        );
         let r = lam.max(0.0).sqrt();
         for i in 0..n {
             vd[(i, j)] = vd[(i, j)].scale(r);

@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![C_ZERO; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![C_ZERO; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -38,7 +42,11 @@ impl Matrix {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_slice(rows: usize, cols: usize, data: &[Complex64]) -> Self {
         assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
-        Self { rows, cols, data: data.to_vec() }
+        Self {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
     }
 
     /// Builds a matrix from a row-major vector, taking ownership.
@@ -58,7 +66,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a function of the index pair.
@@ -126,7 +138,11 @@ impl Matrix {
     /// Entrywise complex conjugate.
     pub fn conj(&self) -> Self {
         let data = self.data.iter().map(|z| z.conj()).collect();
-        Self { rows: self.rows, cols: self.cols, data }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Conjugate transpose (Hermitian adjoint) `A†`.
@@ -164,13 +180,21 @@ impl Matrix {
     /// Scales every entry by a complex scalar.
     pub fn scale(&self, s: Complex64) -> Self {
         let data = self.data.iter().map(|&z| z * s).collect();
-        Self { rows: self.rows, cols: self.cols, data }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scales every entry by a real scalar.
     pub fn scale_re(&self, s: f64) -> Self {
         let data = self.data.iter().map(|&z| z * s).collect();
-        Self { rows: self.rows, cols: self.cols, data }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place accumulate `self += s * other`, the hot path when summing
@@ -207,16 +231,16 @@ impl Matrix {
     /// Matrix-vector product `self · v`.
     pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
-        let mut out = vec![C_ZERO; self.rows];
-        for i in 0..self.rows {
-            let row = self.row(i);
-            let mut acc = C_ZERO;
-            for (&a, &x) in row.iter().zip(v.iter()) {
-                acc = a.mul_add(x, acc);
-            }
-            out[i] = acc;
-        }
-        out
+        (0..self.rows)
+            .map(|i| {
+                let row = self.row(i);
+                let mut acc = C_ZERO;
+                for (&a, &x) in row.iter().zip(v.iter()) {
+                    acc = a.mul_add(x, acc);
+                }
+                acc
+            })
+            .collect()
     }
 
     /// Kronecker product `self ⊗ rhs`.
@@ -270,7 +294,11 @@ impl Matrix {
             .zip(other.data.iter())
             .map(|(&a, &b)| a + b)
             .collect();
-        Self { rows: self.rows, cols: self.cols, data }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Entrywise difference (non-operator form usable on references).
@@ -282,7 +310,11 @@ impl Matrix {
             .zip(other.data.iter())
             .map(|(&a, &b)| a - b)
             .collect();
-        Self { rows: self.rows, cols: self.cols, data }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Extracts column `j` as a vector.
@@ -424,7 +456,10 @@ mod tests {
 
     #[test]
     fn kron_dimensions_and_values() {
-        let a = Matrix::from_rows(&[vec![C_ONE, c64(2.0, 0.0)], vec![c64(3.0, 0.0), c64(4.0, 0.0)]]);
+        let a = Matrix::from_rows(&[
+            vec![C_ONE, c64(2.0, 0.0)],
+            vec![c64(3.0, 0.0), c64(4.0, 0.0)],
+        ]);
         let b = Matrix::identity(2);
         let k = a.kron(&b);
         assert_eq!(k.rows(), 4);

@@ -43,7 +43,11 @@ pub fn qr(a: &Matrix) -> QrDecomposition {
             }
             // Choose the sign that avoids cancellation: alpha = -e^{iθ}·‖x‖
             // where θ is the phase of x0.
-            let phase = if x0.abs() > 0.0 { x0 * (1.0 / x0.abs()) } else { C_ONE };
+            let phase = if x0.abs() > 0.0 {
+                x0 * (1.0 / x0.abs())
+            } else {
+                C_ONE
+            };
             -phase * nx
         };
         v[0] -= alpha;
@@ -101,9 +105,13 @@ impl QrDecomposition {
         let mut out = self.q.clone();
         for j in 0..n.min(self.r.cols()) {
             let d = self.r[(j, j)];
-            let phase = if d.abs() > 0.0 { d * (1.0 / d.abs()) } else { C_ONE };
+            let phase = if d.abs() > 0.0 {
+                d * (1.0 / d.abs())
+            } else {
+                C_ONE
+            };
             for i in 0..n {
-                out[(i, j)] = out[(i, j)] * phase;
+                out[(i, j)] *= phase;
             }
         }
         out
@@ -130,7 +138,10 @@ pub fn lstsq(a: &Matrix, b: &[Complex64]) -> Vec<Complex64> {
             acc -= r[(i, j)] * x[j];
         }
         let d = r[(i, i)];
-        assert!(d.abs() > 1e-13, "lstsq: rank-deficient matrix (R[{i},{i}] ~ 0)");
+        assert!(
+            d.abs() > 1e-13,
+            "lstsq: rank-deficient matrix (R[{i},{i}] ~ 0)"
+        );
         x[i] = acc * d.inv();
     }
     x
@@ -142,7 +153,10 @@ pub fn lstsq(a: &Matrix, b: &[Complex64]) -> Vec<Complex64> {
 pub fn unitary_with_first_column(column: &[Complex64]) -> Matrix {
     let n = column.len();
     let nrm = crate::vector::norm(column);
-    assert!((nrm - 1.0).abs() < 1e-9, "first column must be a unit vector");
+    assert!(
+        (nrm - 1.0).abs() < 1e-9,
+        "first column must be a unit vector"
+    );
     let mut cols: Vec<Vec<Complex64>> = vec![column.to_vec()];
     for b in 0..n {
         if cols.len() == n {
@@ -216,7 +230,10 @@ mod tests {
             let a = sample_matrix(n, 42 + n as u64);
             let d = qr(&a);
             let back = d.q.matmul(&d.r);
-            assert!(back.approx_eq(&a, 1e-10), "QR reconstruction failed for n={n}");
+            assert!(
+                back.approx_eq(&a, 1e-10),
+                "QR reconstruction failed for n={n}"
+            );
         }
     }
 
@@ -269,7 +286,10 @@ mod tests {
         let b = a.matvec(&x_true);
         let x = solve(&a, &b);
         for (got, want) in x.iter().zip(x_true.iter()) {
-            assert!(got.approx_eq(*want, 1e-8), "solve mismatch {got:?} vs {want:?}");
+            assert!(
+                got.approx_eq(*want, 1e-8),
+                "solve mismatch {got:?} vs {want:?}"
+            );
         }
     }
 

@@ -31,7 +31,11 @@ pub fn svd(a: &Matrix) -> Svd {
     if m < n {
         let t = svd(&a.transpose().conj());
         // A = conj(T)ᵀ where T = A†: if A† = U Σ V†, then A = V Σ U†.
-        return Svd { u: t.v, sigma: t.sigma, v: t.u };
+        return Svd {
+            u: t.v,
+            sigma: t.sigma,
+            v: t.u,
+        };
     }
 
     let mut w = a.clone(); // m × n working copy whose columns converge to U·Σ
@@ -141,7 +145,11 @@ pub fn svd(a: &Matrix) -> Svd {
         }
     }
 
-    Svd { u, sigma, v: v_sorted }
+    Svd {
+        u,
+        sigma,
+        v: v_sorted,
+    }
 }
 
 impl Svd {
@@ -190,7 +198,10 @@ mod tests {
         for n in [1, 2, 3, 4] {
             let a = sample(n, n, 10 + n as u64);
             let d = svd(&a);
-            assert!(d.reconstruct().approx_eq(&a, 1e-9), "SVD reconstruct failed n={n}");
+            assert!(
+                d.reconstruct().approx_eq(&a, 1e-9),
+                "SVD reconstruct failed n={n}"
+            );
         }
     }
 

@@ -98,11 +98,7 @@ pub fn largest_remainder(weights: &[f64], total: u64) -> Vec<u64> {
 /// Samples a multinomial allocation: draws `total` term indices i.i.d.
 /// with probabilities `pᵢ = |cᵢ|/κ` — the allocation induced by the
 /// stochastic Monte Carlo estimator of Eq. 12.
-pub fn stochastic_allocation<R: Rng + ?Sized>(
-    spec: &QpdSpec,
-    total: u64,
-    rng: &mut R,
-) -> Vec<u64> {
+pub fn stochastic_allocation<R: Rng + ?Sized>(spec: &QpdSpec, total: u64, rng: &mut R) -> Vec<u64> {
     let probs = spec.probabilities();
     let mut cumulative = Vec::with_capacity(probs.len());
     let mut acc = 0.0;
@@ -218,13 +214,20 @@ mod tests {
                 .zip(sigmas.iter())
                 .zip(alloc.iter())
                 .map(|((t, &s), &n)| {
-                    if n == 0 { 0.0 } else { t.coefficient.powi(2) * s * s / n as f64 }
+                    if n == 0 {
+                        0.0
+                    } else {
+                        t.coefficient.powi(2) * s * s / n as f64
+                    }
                 })
                 .sum()
         };
         let v_ney = var(&neyman_allocation(&spec, &sigmas, total));
         let v_prop = var(&Allocator::Proportional.allocate(&spec, total));
-        assert!(v_ney <= v_prop * 1.001, "Neyman {v_ney} worse than proportional {v_prop}");
+        assert!(
+            v_ney <= v_prop * 1.001,
+            "Neyman {v_ney} worse than proportional {v_prop}"
+        );
     }
 
     #[test]

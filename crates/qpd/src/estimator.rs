@@ -204,11 +204,7 @@ mod tests {
     /// A Harada-style 3-term decomposition of a target expectation 0.44:
     /// +1·(0.3) + 1·(0.5) − 1·(0.36) = 0.44.
     fn fixture() -> (QpdSpec, Vec<BernoulliTerm>) {
-        let spec = QpdSpec::from_parts(&[
-            (1.0, "a", 0.0),
-            (1.0, "b", 0.0),
-            (-1.0, "c", 0.0),
-        ]);
+        let spec = QpdSpec::from_parts(&[(1.0, "a", 0.0), (1.0, "b", 0.0), (-1.0, "c", 0.0)]);
         let terms = vec![
             BernoulliTerm { expectation: 0.3 },
             BernoulliTerm { expectation: 0.5 },

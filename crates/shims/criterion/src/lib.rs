@@ -1,0 +1,380 @@
+//! In-tree stand-in for the `criterion` crate, used because this
+//! workspace builds fully offline. It keeps criterion's API shape —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! [`criterion_group!`]/[`criterion_main!`] — but replaces the
+//! statistical engine with a plain wall-clock loop: warm up, run batches
+//! until a time budget is spent, report the best-batch mean per
+//! iteration (the least noisy cheap estimator). Output is one line per
+//! benchmark: `name ... time: <mean> (<iters> iters)` plus throughput
+//! when configured.
+//!
+//! The shim honours criterion's CLI convention far enough for `cargo
+//! test --benches` to stay quick: any `--test` argument (criterion's
+//! test-mode flag) runs each benchmark exactly once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks. The group inherits the
+    /// driver's measurement budget; `sample_size` adjustments stay local
+    /// to the group (as in real criterion).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_time,
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().label();
+        run_one(self.test_mode, self.measurement_time, &label, None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput
+/// setting, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count for **this group only**. The shim
+    /// sizes runs by wall-clock budget instead, so this scales the
+    /// group's budget mildly to respect "fewer samples = faster run"
+    /// intent.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let scale = (n as f64 / 100.0).clamp(0.1, 1.0);
+        self.measurement_time = Duration::from_micros((200_000.0 * scale) as u64);
+        self
+    }
+
+    /// Declares the work per iteration so the report includes
+    /// elements-per-second.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label());
+        run_one(
+            self.criterion.test_mode,
+            self.measurement_time,
+            &label,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through (criterion's
+    /// parameterised form).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label());
+        run_one(
+            self.criterion.test_mode,
+            self.measurement_time,
+            &label,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (output is already flushed per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, an optional parameter, or
+/// both, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identifier with only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: Some(function.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function: Some(function),
+            parameter: None,
+        }
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the batch size chosen by the harness.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_duration(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_one<F>(
+    test_mode: bool,
+    budget: Duration,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if test_mode {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("{label} ... ok (test mode)");
+        return;
+    }
+
+    // Calibration pass: one iteration, to size batches.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let batch = (budget.as_nanos() / 8 / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+    // Measurement: repeated batches within the budget; keep the best
+    // (least-interference) batch.
+    let mut best_nanos_per_iter = f64::INFINITY;
+    let mut total = Duration::ZERO;
+    let mut batches = 0u32;
+    while total < budget || batches < 2 {
+        let mut bencher = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        total += bencher.elapsed;
+        batches += 1;
+        let nanos = bencher.elapsed.as_nanos() as f64 / batch as f64;
+        if nanos < best_nanos_per_iter {
+            best_nanos_per_iter = nanos;
+        }
+        if batches >= 1000 {
+            break;
+        }
+    }
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / (best_nanos_per_iter / 1e9);
+            format!("  thrpt: {per_sec:.3e} elem/s")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / (best_nanos_per_iter / 1e9);
+            format!("  thrpt: {per_sec:.3e} B/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{label:<60} time: {:>12}  ({} × {batch} iters){rate}",
+        format_duration(best_nanos_per_iter),
+        batches,
+    );
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`. Only the simple
+/// `criterion_group!(name, fn, ...)` form is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut criterion = Criterion {
+            measurement_time: Duration::from_millis(5),
+            test_mode: false,
+        };
+        let mut ran = 0u32;
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_function("count", |b| {
+            ran += 1;
+            b.iter(|| black_box(2u64 + 2));
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n));
+        });
+        group.finish();
+        assert!(ran >= 2, "calibration + measurement batches expected");
+    }
+
+    #[test]
+    fn sample_size_is_per_group() {
+        let mut criterion = Criterion {
+            measurement_time: Duration::from_millis(5),
+            test_mode: false,
+        };
+        let mut first = criterion.benchmark_group("a");
+        first.sample_size(10);
+        first.finish();
+        // A later group must see the driver's budget, not the previous
+        // group's reduced one.
+        let second = criterion.benchmark_group("b");
+        assert_eq!(second.measurement_time, Duration::from_millis(5));
+        second.finish();
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 7).label(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter("x").label(), "x");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut criterion = Criterion {
+            measurement_time: Duration::from_secs(100),
+            test_mode: true,
+        };
+        let mut calls = 0u32;
+        criterion.bench_function("once", |b| {
+            calls += 1;
+            b.iter(|| ());
+        });
+        assert_eq!(calls, 1);
+    }
+}

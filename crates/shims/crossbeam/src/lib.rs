@@ -1,0 +1,167 @@
+//! In-tree stand-in for the `crossbeam` crate, used because this
+//! workspace builds fully offline. Only [`scope`] is provided, built on
+//! `std::thread::scope` (stable since 1.63) with crossbeam's signature:
+//! the closure receives a [`Scope`] handle whose `spawn` passes the scope
+//! back into the worker closure, and the call returns `Err` carrying the
+//! **original panic payload** of the first worker that panicked (so
+//! callers can `resume_unwind` it and assertion messages survive),
+//! instead of propagating the panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex};
+
+type Payload = Box<dyn Any + Send + 'static>;
+
+/// Handle for spawning scoped worker threads, mirroring
+/// `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    first_panic: Arc<Mutex<Option<Payload>>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker thread bound to the scope. The closure receives
+    /// the scope handle (crossbeam's nested-spawn signature); workers may
+    /// borrow from the enclosing stack frame.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope {
+            inner: self.inner,
+            first_panic: Arc::clone(&self.first_panic),
+        };
+        let first_panic = Arc::clone(&self.first_panic);
+        self.inner.spawn(move || {
+            match std::panic::catch_unwind(AssertUnwindSafe(|| f(&handle))) {
+                Ok(value) => value,
+                Err(payload) => {
+                    // Keep the first payload for scope() to return; the
+                    // panic hook has already printed the message/location.
+                    let message = format_payload(payload.as_ref());
+                    let mut slot = first_panic
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    drop(slot);
+                    // Re-panic so std::thread::scope still observes a
+                    // panicked child (and joins the remaining workers).
+                    std::panic::resume_unwind(Box::new(DuplicatePanic(message)))
+                }
+            }
+        })
+    }
+}
+
+/// Marker payload for the re-raised panic inside a worker; the original
+/// payload travels back through [`scope`]'s `Err` instead. The carried
+/// string exists for anyone downcasting the marker itself.
+struct DuplicatePanic(#[allow(dead_code)] String);
+
+fn format_payload(payload: &(dyn Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_owned()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        String::from("worker panicked with a non-string payload")
+    }
+}
+
+/// Creates a scope in which borrowing, joined-by-construction threads can
+/// be spawned. Returns `Err` with the first worker's original panic
+/// payload if any worker panicked (or the scope closure's own payload if
+/// it panicked itself), matching crossbeam's contract.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let first_panic: Arc<Mutex<Option<Payload>>> = Arc::new(Mutex::new(None));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            f(&Scope {
+                inner: s,
+                first_panic: Arc::clone(&first_panic),
+            })
+        })
+    }));
+    let recorded = first_panic
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
+    match (result, recorded) {
+        (_, Some(payload)) => Err(payload),
+        (Ok(value), None) => Ok(value),
+        (Err(payload), None) => Err(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            "done"
+        })
+        .unwrap();
+        assert_eq!(out, "done");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err_with_original_payload() {
+        let result = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        let payload = result.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+    }
+
+    #[test]
+    fn formatted_panic_payload_survives() {
+        let qubit = 3;
+        let payload = super::scope(|s| {
+            s.spawn(move |_| panic!("bad qubit {qubit}"));
+        })
+        .unwrap_err();
+        assert_eq!(
+            payload.downcast_ref::<String>().map(String::as_str),
+            Some("bad qubit 3")
+        );
+    }
+
+    #[test]
+    fn closure_panic_also_becomes_err() {
+        let result: Result<(), _> = super::scope(|_| panic!("outer"));
+        assert_eq!(result.unwrap_err().downcast_ref::<&str>(), Some(&"outer"));
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

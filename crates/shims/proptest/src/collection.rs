@@ -1,0 +1,102 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng as _;
+
+/// Length specification for [`vec()`]: an exact length or a half-open
+/// range, mirroring `proptest::collection::SizeRange`.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            start: exact,
+            end: exact + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(range: core::ops::Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty vec size range");
+        SizeRange {
+            start: range.start,
+            end: range.end,
+        }
+    }
+}
+
+/// Strategy for vectors whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Output of [`vec()`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let len = if self.size.end - self.size.start == 1 {
+            self.size.start
+        } else {
+            self.size.start + rng.gen_range(0..self.size.end - self.size.start)
+        };
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Retry filtered elements locally so one rejection does not
+            // discard the whole vector.
+            let mut element = None;
+            for _ in 0..100 {
+                if let Some(v) = self.element.sample(rng) {
+                    element = Some(v);
+                    break;
+                }
+            }
+            out.push(element?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::vec;
+    use crate::rng_from_seed;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = rng_from_seed(4);
+        let exact = vec(0.0f64..1.0, 5).sample(&mut rng).unwrap();
+        assert_eq!(exact.len(), 5);
+        for _ in 0..50 {
+            let ranged = vec(0.0f64..1.0, 2..6).sample(&mut rng).unwrap();
+            assert!((2..6).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn elements_obey_inner_strategy() {
+        let mut rng = rng_from_seed(5);
+        let v = vec((1.0f64..2.0).prop_filter("upper", |x| *x > 1.1), 8)
+            .sample(&mut rng)
+            .unwrap();
+        assert_eq!(v.len(), 8);
+        assert!(v.iter().all(|&x| x > 1.1 && x < 2.0));
+    }
+}

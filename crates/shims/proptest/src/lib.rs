@@ -1,0 +1,193 @@
+//! In-tree stand-in for the `proptest` crate, used because this
+//! workspace builds fully offline. It keeps proptest's *surface* — the
+//! [`proptest!`] macro, [`Strategy`] combinators
+//! (`prop_map`, `prop_filter`), range/tuple/[`Just`]
+//! strategies, [`prop_oneof!`], [`collection::vec()`] and
+//! [`ProptestConfig`] — while replacing the engine with straightforward
+//! seeded random sampling:
+//!
+//! * every case is drawn from a deterministic per-test RNG, so failures
+//!   reproduce exactly across runs and machines;
+//! * there is **no shrinking** — a failing case reports the sampled
+//!   inputs via the panic message of the inner assertion instead;
+//! * `prop_filter` rejections resample (with a global cap) rather than
+//!   tracking local-rejection budgets.
+//!
+//! The property tests in `tests/` run unmodified against either this
+//! shim or the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// proptest's default of 256 cases.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG driving sampling. Re-exported for the [`proptest!`] macro
+/// expansion; not part of the public proptest API.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Builds the case RNG from a seed. Re-exported for the [`proptest!`]
+/// macro expansion so consumers need no direct `rand` dependency.
+pub fn rng_from_seed(seed: u64) -> TestRng {
+    <TestRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+/// Derives the deterministic base seed for a named test: FNV-1a over the
+/// test name, so every test gets a distinct but stable stream.
+pub fn seed_for_test(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Everything a property test needs in scope, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests.
+///
+/// Supports the subset of the real macro's grammar used in this
+/// workspace: an optional `#![proptest_config(...)]` header followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items. Each test
+/// samples its strategies from a deterministic per-test RNG until the
+/// configured number of cases has run; `prop_filter` rejections resample
+/// without consuming a case (capped at 100× the case count).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $($(#[$meta:meta])* fn $name:ident ($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $cfg;
+                let base_seed = $crate::seed_for_test(concat!(module_path!(), "::", stringify!($name)));
+                let max_rejects = config.cases.saturating_mul(100);
+                let mut rejects: u32 = 0;
+                let mut case: u32 = 0;
+                let mut stream: u64 = 0;
+                $(let $arg = &($strat);)+
+                while case < config.cases {
+                    stream = stream.wrapping_add(1);
+                    let mut rng = $crate::rng_from_seed(
+                        base_seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(
+                        let $arg = match $arg.sample(&mut rng) {
+                            Some(value) => value,
+                            None => {
+                                rejects += 1;
+                                assert!(
+                                    rejects <= max_rejects,
+                                    "proptest shim: too many prop_filter rejections in {}",
+                                    stringify!($name),
+                                );
+                                continue;
+                            }
+                        };
+                    )+
+                    case += 1;
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a property holds for the sampled inputs (shim: plain
+/// `assert!`; the real macro returns an `Err` that triggers shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two expressions are equal for the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts two expressions are unequal for the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type (the real macro also supports weights; the uniform form is the
+/// only one used in-tree).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.25f64..0.75, n in 1usize..9) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn map_filter_compose(v in crate::collection::vec((0.0f64..1.0).prop_map(|x| x * 2.0).prop_filter("nonzero", |x| *x > 0.01), 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x > 0.01 && x < 2.0));
+        }
+
+        #[test]
+        fn oneof_hits_all_branches(label in prop_oneof![Just("a"), Just("b")]) {
+            prop_assert!(label == "a" || label == "b");
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(super::seed_for_test("x"), super::seed_for_test("x"));
+        assert_ne!(super::seed_for_test("x"), super::seed_for_test("y"));
+    }
+}

@@ -1,0 +1,250 @@
+//! The [`Strategy`] trait and its combinators: ranges, tuples,
+//! [`Just`], `prop_map`, `prop_filter`, boxing and [`Union`]
+//! (the engine behind [`prop_oneof!`](crate::prop_oneof)).
+
+use crate::TestRng;
+use rand::Rng as _;
+
+/// A recipe for sampling values of one type, mirroring
+/// `proptest::strategy::Strategy` (without shrinking).
+///
+/// `sample` returns `None` when a `prop_filter` rejects the draw; the
+/// test runner resamples without consuming a case.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value, or `None` if a filter rejected the draw.
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `predicate`; `reason` labels the filter in
+    /// diagnostics (kept for API compatibility).
+    fn prop_filter<R, F>(self, reason: R, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            predicate,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        (**self).sample(rng)
+    }
+}
+
+/// A strategy that always produces a clone of its payload.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: String,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.sample(rng).filter(|v| (self.predicate)(v))
+    }
+}
+
+/// A type-erased strategy, as returned by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        self.0.sample(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies of one value type; the engine
+/// behind [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options`; must be nonempty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! requires at least one strategy"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        let pick = rng.gen_range(0..self.options.len());
+        self.options[pick].sample(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty => $sample:expr),+ $(,)?) => {
+        $(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    #[allow(clippy::redundant_closure_call)]
+                    Some(($sample)(self, rng))
+                }
+            }
+        )+
+    };
+}
+
+range_strategy! {
+    f64 => |r: &core::ops::Range<f64>, rng: &mut TestRng| {
+        r.start + rng.gen::<f64>() * (r.end - r.start)
+    },
+    f32 => |r: &core::ops::Range<f32>, rng: &mut TestRng| {
+        r.start + rng.gen::<f32>() * (r.end - r.start)
+    },
+    usize => |r: &core::ops::Range<usize>, rng: &mut TestRng| {
+        rng.gen_range(r.clone())
+    },
+    u64 => |r: &core::ops::Range<u64>, rng: &mut TestRng| {
+        r.start + rng.gen_range(0..(r.end - r.start) as usize) as u64
+    },
+    u32 => |r: &core::ops::Range<u32>, rng: &mut TestRng| {
+        r.start + rng.gen_range(0..(r.end - r.start) as usize) as u32
+    },
+    i32 => |r: &core::ops::Range<i32>, rng: &mut TestRng| {
+        r.start + rng.gen_range(0..(r.end - r.start) as usize) as i32
+    },
+    i64 => |r: &core::ops::Range<i64>, rng: &mut TestRng| {
+        r.start + rng.gen_range(0..(r.end - r.start) as usize) as i64
+    },
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    Some(($($name.sample(rng)?,)+))
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn range_and_tuple_sampling() {
+        let mut rng = rng_from_seed(1);
+        for _ in 0..200 {
+            let x = (0.5f64..2.0).sample(&mut rng).unwrap();
+            assert!((0.5..2.0).contains(&x));
+            let (a, b) = ((0usize..3), (10u64..12)).sample(&mut rng).unwrap();
+            assert!(a < 3 && (10..12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn filter_rejects_as_none() {
+        let strategy = (0.0f64..1.0).prop_filter("upper half", |x| *x > 0.5);
+        let mut rng = rng_from_seed(2);
+        let mut seen_none = false;
+        let mut seen_some = false;
+        for _ in 0..100 {
+            match strategy.sample(&mut rng) {
+                Some(x) => {
+                    assert!(x > 0.5);
+                    seen_some = true;
+                }
+                None => seen_none = true,
+            }
+        }
+        assert!(seen_none && seen_some);
+    }
+
+    #[test]
+    fn union_covers_options() {
+        let union = Union::new(vec![Just(1u32).boxed(), Just(2u32).boxed()]);
+        let mut rng = rng_from_seed(3);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[union.sample(&mut rng).unwrap() as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}

@@ -39,19 +39,31 @@ pub fn unvec_density(v: &[Complex64], d: usize) -> Matrix {
 impl Superoperator {
     /// The identity channel on dimension `d`.
     pub fn identity(d: usize) -> Self {
-        Self { d_in: d, d_out: d, mat: Matrix::identity(d * d) }
+        Self {
+            d_in: d,
+            d_out: d,
+            mat: Matrix::identity(d * d),
+        }
     }
 
     /// The zero map.
     pub fn zero(d_in: usize, d_out: usize) -> Self {
-        Self { d_in, d_out, mat: Matrix::zeros(d_out * d_out, d_in * d_in) }
+        Self {
+            d_in,
+            d_out,
+            mat: Matrix::zeros(d_out * d_out, d_in * d_in),
+        }
     }
 
     /// Channel `ρ → UρU†` from a unitary.
     pub fn from_unitary(u: &Matrix) -> Self {
         assert!(u.is_square());
         let d = u.rows();
-        Self { d_in: d, d_out: d, mat: u.kron(&u.conj()) }
+        Self {
+            d_in: d,
+            d_out: d,
+            mat: u.kron(&u.conj()),
+        }
     }
 
     /// Channel `ρ → Σ_k K_k ρ K_k†` from Kraus operators (all `d_out × d_in`).
@@ -143,7 +155,11 @@ impl Superoperator {
 
     /// Scales the channel by a real factor.
     pub fn scale(&self, s: f64) -> Superoperator {
-        Superoperator { d_in: self.d_in, d_out: self.d_out, mat: self.mat.scale_re(s) }
+        Superoperator {
+            d_in: self.d_in,
+            d_out: self.d_out,
+            mat: self.mat.scale_re(s),
+        }
     }
 
     /// Distance to another superoperator in max-entry norm — the headline
@@ -260,7 +276,10 @@ mod tests {
         let s = Superoperator::from_unitary(&h);
         let z = Pauli::Z.matrix();
         let out = s.apply(&z);
-        assert!(out.approx_eq(&Pauli::X.matrix(), 1e-12), "HZH ≠ X via channel");
+        assert!(
+            out.approx_eq(&Pauli::X.matrix(), 1e-12),
+            "HZH ≠ X via channel"
+        );
         assert!(s.is_trace_preserving(1e-12));
     }
 
@@ -285,9 +304,7 @@ mod tests {
     fn from_linear_map_reproduces_unitary_channel() {
         let u = Gate::S.matrix();
         let direct = Superoperator::from_unitary(&u);
-        let probed = Superoperator::from_linear_map(2, 2, |rho| {
-            u.matmul(rho).matmul(&u.dagger())
-        });
+        let probed = Superoperator::from_linear_map(2, 2, |rho| u.matmul(rho).matmul(&u.dagger()));
         assert!(probed.matrix().approx_eq(direct.matrix(), 1e-12));
     }
 

@@ -60,7 +60,11 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit.
     pub fn new(num_qubits: usize, num_clbits: usize) -> Self {
-        Self { num_qubits, num_clbits, instructions: Vec::new() }
+        Self {
+            num_qubits,
+            num_clbits,
+            instructions: Vec::new(),
+        }
     }
 
     /// Number of qubits.
@@ -114,13 +118,20 @@ impl Circuit {
             Op::Barrier => {}
         }
         if let Some(c) = instr.condition {
-            assert!(c.bit < self.num_clbits, "condition bit {} out of range", c.bit);
+            assert!(
+                c.bit < self.num_clbits,
+                "condition bit {} out of range",
+                c.bit
+            );
         }
     }
 
     /// Appends an unconditioned gate.
     pub fn gate(&mut self, g: Gate, qubits: &[usize]) -> &mut Self {
-        self.push(Instruction { op: Op::Gate(g, qubits.to_vec()), condition: None })
+        self.push(Instruction {
+            op: Op::Gate(g, qubits.to_vec()),
+            condition: None,
+        })
     }
 
     /// Appends a gate conditioned on classical `bit == value`.
@@ -197,15 +208,24 @@ impl Circuit {
 
     /// Z-basis measurement of `qubit` into `clbit`.
     pub fn measure(&mut self, qubit: usize, clbit: usize) -> &mut Self {
-        self.push(Instruction { op: Op::Measure { qubit, clbit }, condition: None })
+        self.push(Instruction {
+            op: Op::Measure { qubit, clbit },
+            condition: None,
+        })
     }
     /// Reset `qubit` to |0⟩.
     pub fn reset(&mut self, q: usize) -> &mut Self {
-        self.push(Instruction { op: Op::Reset(q), condition: None })
+        self.push(Instruction {
+            op: Op::Reset(q),
+            condition: None,
+        })
     }
     /// Barrier marker.
     pub fn barrier(&mut self) -> &mut Self {
-        self.push(Instruction { op: Op::Barrier, condition: None })
+        self.push(Instruction {
+            op: Op::Barrier,
+            condition: None,
+        })
     }
     /// X on `q` conditioned on classical bit `bit` being 1 — the
     /// teleportation feed-forward correction.
@@ -230,9 +250,7 @@ impl Circuit {
         assert!(clbit_map.len() >= other.num_clbits, "clbit map too short");
         for instr in &other.instructions {
             let op = match &instr.op {
-                Op::Gate(g, qs) => {
-                    Op::Gate(g.clone(), qs.iter().map(|&q| qubit_map[q]).collect())
-                }
+                Op::Gate(g, qs) => Op::Gate(g.clone(), qs.iter().map(|&q| qubit_map[q]).collect()),
                 Op::Measure { qubit, clbit } => Op::Measure {
                     qubit: qubit_map[*qubit],
                     clbit: clbit_map[*clbit],
@@ -240,7 +258,10 @@ impl Circuit {
                 Op::Reset(q) => Op::Reset(qubit_map[*q]),
                 Op::Barrier => Op::Barrier,
             };
-            let condition = instr.condition.map(|c| Condition { bit: clbit_map[c.bit], value: c.value });
+            let condition = instr.condition.map(|c| Condition {
+                bit: clbit_map[c.bit],
+                value: c.value,
+            });
             self.push(Instruction { op, condition });
         }
         self
@@ -261,7 +282,10 @@ impl Circuit {
     pub fn inverse(&self) -> Circuit {
         let mut out = Circuit::new(self.num_qubits, self.num_clbits);
         for instr in self.instructions.iter().rev() {
-            assert!(instr.condition.is_none(), "cannot invert conditioned instruction");
+            assert!(
+                instr.condition.is_none(),
+                "cannot invert conditioned instruction"
+            );
             match &instr.op {
                 Op::Gate(g, qs) => {
                     out.gate(g.inverse(), qs);
@@ -278,9 +302,9 @@ impl Circuit {
     /// `true` when the circuit is purely unitary (no measurement, reset or
     /// classical condition).
     pub fn is_unitary(&self) -> bool {
-        self.instructions.iter().all(|i| {
-            i.condition.is_none() && matches!(i.op, Op::Gate(..) | Op::Barrier)
-        })
+        self.instructions
+            .iter()
+            .all(|i| i.condition.is_none() && matches!(i.op, Op::Gate(..) | Op::Barrier))
     }
 
     /// Number of measurement instructions.
@@ -354,7 +378,11 @@ pub fn embed_unitary(m: &Matrix, qubits: &[usize], n: usize) -> Matrix {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit({} qubits, {} clbits):", self.num_qubits, self.num_clbits)?;
+        writeln!(
+            f,
+            "circuit({} qubits, {} clbits):",
+            self.num_qubits, self.num_clbits
+        )?;
         for instr in &self.instructions {
             if let Some(c) = instr.condition {
                 write!(f, "  if c{}=={} ", c.bit, c.value as u8)?;
@@ -480,7 +508,13 @@ mod tests {
         let mut c = Circuit::new(2, 1);
         c.measure(0, 0).x_if(1, 0);
         let instr = &c.instructions()[1];
-        assert_eq!(instr.condition, Some(Condition { bit: 0, value: true }));
+        assert_eq!(
+            instr.condition,
+            Some(Condition {
+                bit: 0,
+                value: true
+            })
+        );
     }
 
     #[test]

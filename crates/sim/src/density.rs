@@ -39,13 +39,19 @@ impl DensityMatrix {
 
     /// `|ψ⟩⟨ψ|` from a pure state.
     pub fn from_statevector(sv: &StateVector) -> Self {
-        Self { n: sv.num_qubits(), mat: sv.to_density() }
+        Self {
+            n: sv.num_qubits(),
+            mat: sv.to_density(),
+        }
     }
 
     /// The maximally mixed state `I/2^n`.
     pub fn maximally_mixed(n: usize) -> Self {
         let dim = 1usize << n;
-        Self { n, mat: Matrix::identity(dim).scale_re(1.0 / dim as f64) }
+        Self {
+            n,
+            mat: Matrix::identity(dim).scale_re(1.0 / dim as f64),
+        }
     }
 
     /// Number of qubits.
@@ -186,7 +192,10 @@ impl DensityMatrix {
 
     /// Tensor product `self ⊗ other`, `other` on the lower qubit indices.
     pub fn tensor(&self, other: &DensityMatrix) -> DensityMatrix {
-        DensityMatrix { n: self.n + other.n, mat: self.mat.kron(&other.mat) }
+        DensityMatrix {
+            n: self.n + other.n,
+            mat: self.mat.kron(&other.mat),
+        }
     }
 
     /// Entrywise approximate equality of the raw matrices.

@@ -33,8 +33,15 @@ pub struct Shot {
 }
 
 /// Executes one shot of `circuit` starting from `input` (or `|0…0⟩`).
-pub fn run_shot<R: Rng + ?Sized>(circuit: &Circuit, input: Option<&StateVector>, rng: &mut R) -> Shot {
-    assert!(circuit.num_clbits() <= 64, "at most 64 classical bits supported");
+pub fn run_shot<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    input: Option<&StateVector>,
+    rng: &mut R,
+) -> Shot {
+    assert!(
+        circuit.num_clbits() <= 64,
+        "at most 64 classical bits supported"
+    );
     let mut state = match input {
         Some(sv) => {
             assert_eq!(sv.num_qubits(), circuit.num_qubits());
@@ -145,7 +152,10 @@ pub struct DensityBranch {
 pub fn execute_density_branches(circuit: &Circuit, input: &DensityMatrix) -> Vec<DensityBranch> {
     assert_eq!(input.num_qubits(), circuit.num_qubits());
     assert!(circuit.num_clbits() <= 64);
-    let mut branches = vec![DensityBranch { clbits: 0, rho: input.clone() }];
+    let mut branches = vec![DensityBranch {
+        clbits: 0,
+        rho: input.clone(),
+    }];
     for instr in circuit.instructions() {
         match &instr.op {
             Op::Gate(g, qs) => {
@@ -253,7 +263,11 @@ impl CompiledSampler {
             clbits: u64,
             state: StateVector,
         }
-        let mut branches = vec![Branch { p: 1.0, clbits: 0, state: init }];
+        let mut branches = vec![Branch {
+            p: 1.0,
+            clbits: 0,
+            state: init,
+        }];
         for instr in circuit.instructions() {
             match &instr.op {
                 Op::Gate(g, qs) => {
@@ -310,13 +324,21 @@ impl CompiledSampler {
                         if p1 < 1.0 - 1e-14 {
                             let mut s0 = b.state.clone();
                             s0.collapse(*q, false);
-                            next.push(Branch { p: b.p * (1.0 - p1), clbits: b.clbits, state: s0 });
+                            next.push(Branch {
+                                p: b.p * (1.0 - p1),
+                                clbits: b.clbits,
+                                state: s0,
+                            });
                         }
                         if p1 > 1e-14 {
                             let mut s1 = b.state;
                             s1.collapse(*q, true);
                             s1.apply_gate(&crate::gate::Gate::X, &[*q]);
-                            next.push(Branch { p: b.p * p1, clbits: b.clbits, state: s1 });
+                            next.push(Branch {
+                                p: b.p * p1,
+                                clbits: b.clbits,
+                                state: s1,
+                            });
                         }
                     }
                     branches = next;
@@ -326,7 +348,11 @@ impl CompiledSampler {
         }
         let mut leaves: Vec<BranchLeaf> = branches
             .into_iter()
-            .map(|b| BranchLeaf { probability: b.p, clbits: b.clbits, state: b.state })
+            .map(|b| BranchLeaf {
+                probability: b.p,
+                clbits: b.clbits,
+                state: b.state,
+            })
             .collect();
         // Deterministic order helps reproducibility of seeded sampling.
         leaves.sort_by_key(|l| l.clbits);
@@ -336,7 +362,10 @@ impl CompiledSampler {
             acc += l.probability;
             cumulative.push(acc);
         }
-        debug_assert!((acc - 1.0).abs() < 1e-9, "branch probabilities sum to {acc}");
+        debug_assert!(
+            (acc - 1.0).abs() < 1e-9,
+            "branch probabilities sum to {acc}"
+        );
         Self { leaves, cumulative }
     }
 
@@ -396,7 +425,11 @@ mod tests {
         let c = bell_measure_circuit();
         let mut rng = StdRng::seed_from_u64(1);
         let counts = run_shots(&c, None, 4000, &mut rng);
-        assert_eq!(counts.get(0b01) + counts.get(0b10), 0, "anticorrelated outcomes seen");
+        assert_eq!(
+            counts.get(0b01) + counts.get(0b10),
+            0,
+            "anticorrelated outcomes seen"
+        );
         let f00 = counts.frequency(0b00);
         assert!((f00 - 0.5).abs() < 0.05);
     }
@@ -454,8 +487,12 @@ mod tests {
             .map(|l| (l.clbits, l.probability))
             .collect();
         assert_eq!(probs.len(), 2);
-        assert!(probs.iter().any(|&(c, p)| c == 0b00 && (p - 0.5).abs() < 1e-12));
-        assert!(probs.iter().any(|&(c, p)| c == 0b11 && (p - 0.5).abs() < 1e-12));
+        assert!(probs
+            .iter()
+            .any(|&(c, p)| c == 0b00 && (p - 0.5).abs() < 1e-12));
+        assert!(probs
+            .iter()
+            .any(|&(c, p)| c == 0b11 && (p - 0.5).abs() < 1e-12));
     }
 
     #[test]
@@ -469,7 +506,11 @@ mod tests {
         let rho_out = execute_density(&c, &DensityMatrix::new(3));
         assert!((rho_out.trace() - 1.0).abs() < 1e-10);
         let reduced = rho_out.partial_trace(&[2]);
-        let z = reduced.expval_pauli(&crate::pauli::PauliString::single(1, 0, crate::pauli::Pauli::Z));
+        let z = reduced.expval_pauli(&crate::pauli::PauliString::single(
+            1,
+            0,
+            crate::pauli::Pauli::Z,
+        ));
         let sampler = CompiledSampler::compile(&c, None);
         assert!((z - sampler.exact_expval_z(2)).abs() < 1e-10);
         assert!((z - (1.3f64).cos()).abs() < 1e-10);

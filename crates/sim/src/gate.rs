@@ -103,11 +103,17 @@ impl Gate {
             ]),
             Rx(theta) => {
                 let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-                Matrix::from_rows(&[vec![c64(c, 0.0), c64(0.0, -s)], vec![c64(0.0, -s), c64(c, 0.0)]])
+                Matrix::from_rows(&[
+                    vec![c64(c, 0.0), c64(0.0, -s)],
+                    vec![c64(0.0, -s), c64(c, 0.0)],
+                ])
             }
             Ry(theta) => {
                 let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-                Matrix::from_rows(&[vec![c64(c, 0.0), c64(-s, 0.0)], vec![c64(s, 0.0), c64(c, 0.0)]])
+                Matrix::from_rows(&[
+                    vec![c64(c, 0.0), c64(-s, 0.0)],
+                    vec![c64(s, 0.0), c64(c, 0.0)],
+                ])
             }
             Rz(theta) => Matrix::from_rows(&[
                 vec![Complex64::cis(-theta / 2.0), C_ZERO],
@@ -131,7 +137,11 @@ impl Gate {
             // [control=first, target=second], basis index bit0 = control.
             CX => Matrix::from_fn(4, 4, |r, c| {
                 let (ctrl, tgt) = (c & 1, (c >> 1) & 1);
-                let out = if ctrl == 1 { (ctrl, tgt ^ 1) } else { (ctrl, tgt) };
+                let out = if ctrl == 1 {
+                    (ctrl, tgt ^ 1)
+                } else {
+                    (ctrl, tgt)
+                };
                 if r == out.0 | (out.1 << 1) {
                     C_ONE
                 } else {

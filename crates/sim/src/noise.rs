@@ -118,7 +118,10 @@ pub fn execute_density_noisy(
             }
         }
     };
-    let mut branches = vec![Branch { clbits: 0, rho: input.clone() }];
+    let mut branches = vec![Branch {
+        clbits: 0,
+        rho: input.clone(),
+    }];
     for instr in circuit.instructions() {
         match &instr.op {
             Op::Gate(g, qs) => {
@@ -143,9 +146,15 @@ pub fn execute_density_noisy(
                         }
                     }
                     apply_noise(&mut b.rho, &noise.before_measure, &[*qubit]);
-                    let mut b0 = Branch { clbits: b.clbits & !(1 << clbit), rho: b.rho.clone() };
+                    let mut b0 = Branch {
+                        clbits: b.clbits & !(1 << clbit),
+                        rho: b.rho.clone(),
+                    };
                     b0.rho.project(*qubit, false);
-                    let mut b1 = Branch { clbits: b.clbits | (1 << clbit), rho: b.rho };
+                    let mut b1 = Branch {
+                        clbits: b.clbits | (1 << clbit),
+                        rho: b.rho,
+                    };
                     b1.rho.project(*qubit, true);
                     next.push(b0);
                     next.push(b1);
@@ -278,11 +287,8 @@ mod tests {
         c.cx(0, 1).h(0);
         c.measure(0, 0).measure(1, 1);
         c.x_if(2, 1).z_if(2, 0);
-        let rho = execute_density_noisy(
-            &c,
-            &DensityMatrix::new(3),
-            &NoiseModel::depolarizing(0.02),
-        );
+        let rho =
+            execute_density_noisy(&c, &DensityMatrix::new(3), &NoiseModel::depolarizing(0.02));
         assert!((rho.trace() - 1.0).abs() < 1e-10);
         assert!(rho.is_physical(1e-8));
     }
@@ -300,7 +306,8 @@ mod tests {
             c.cx(0, 1).h(0);
             c.measure(0, 0).measure(1, 1);
             c.x_if(2, 1).z_if(2, 0);
-            let rho = execute_density_noisy(&c, &DensityMatrix::new(3), &NoiseModel::depolarizing(p));
+            let rho =
+                execute_density_noisy(&c, &DensityMatrix::new(3), &NoiseModel::depolarizing(p));
             let z = rho
                 .partial_trace(&[2])
                 .expval_pauli(&PauliString::single(1, 0, Pauli::Z));

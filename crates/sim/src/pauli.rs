@@ -51,6 +51,7 @@ impl Pauli {
 
     /// Product `self · other` up to phase: returns `(phase, pauli)` with
     /// `self · other = phase · pauli`.
+    #[allow(clippy::should_implement_trait)] // not Mul: returns a phase alongside
     pub fn mul(self, other: Pauli) -> (qlinalg::Complex64, Pauli) {
         use Pauli::*;
         match (self, other) {
@@ -95,7 +96,9 @@ pub struct PauliString {
 impl PauliString {
     /// All-identity string on `n` qubits.
     pub fn identity(n: usize) -> Self {
-        Self { ops: vec![Pauli::I; n] }
+        Self {
+            ops: vec![Pauli::I; n],
+        }
     }
 
     /// Builds from an explicit per-qubit list (`ops[k]` acts on qubit `k`).

@@ -98,7 +98,9 @@ mod tests {
         // E[⟨Z⟩] = 0 and Var[⟨Z⟩] = 1/3.
         let mut rng = StdRng::seed_from_u64(4);
         let n = 20_000;
-        let zs: Vec<f64> = (0..n).map(|_| haar_single_qubit_workload(&mut rng).1).collect();
+        let zs: Vec<f64> = (0..n)
+            .map(|_| haar_single_qubit_workload(&mut rng).1)
+            .collect();
         let mean = zs.iter().sum::<f64>() / n as f64;
         let var = zs.iter().map(|z| (z - mean) * (z - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");

@@ -34,7 +34,10 @@ impl StateVector {
     pub fn from_amplitudes(n: usize, amps: Vec<Complex64>) -> Self {
         assert_eq!(amps.len(), 1 << n, "amplitude count mismatch");
         let norm = vector::norm(&amps);
-        assert!((norm - 1.0).abs() < 1e-8, "state not normalised (norm {norm})");
+        assert!(
+            (norm - 1.0).abs() < 1e-8,
+            "state not normalised (norm {norm})"
+        );
         Self { n, amps }
     }
 
@@ -145,7 +148,12 @@ impl StateVector {
                 continue;
             }
             let idx = [i, i | b0, i | b1, i | b0 | b1];
-            let v = [self.amps[idx[0]], self.amps[idx[1]], self.amps[idx[2]], self.amps[idx[3]]];
+            let v = [
+                self.amps[idx[0]],
+                self.amps[idx[1]],
+                self.amps[idx[2]],
+                self.amps[idx[3]],
+            ];
             for r in 0..4 {
                 let row = &rows[r];
                 let mut acc = row[0] * v[0];
@@ -282,7 +290,10 @@ impl StateVector {
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
         assert_eq!(circuit.num_qubits(), self.n, "qubit count mismatch");
         for instr in circuit.instructions() {
-            assert!(instr.condition.is_none(), "conditioned instruction in apply_circuit");
+            assert!(
+                instr.condition.is_none(),
+                "conditioned instruction in apply_circuit"
+            );
             match &instr.op {
                 Op::Gate(g, qs) => self.apply_gate(g, qs),
                 Op::Barrier => {}
@@ -390,7 +401,11 @@ impl StateVector {
                     Pauli::X => {}
                     Pauli::Y => {
                         // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩
-                        phase *= if bj == 0 { Complex64::i() } else { c64(0.0, -1.0) };
+                        phase *= if bj == 0 {
+                            Complex64::i()
+                        } else {
+                            c64(0.0, -1.0)
+                        };
                     }
                     Pauli::Z => {
                         if bj == 1 {
@@ -502,7 +517,15 @@ mod tests {
     fn fast_paths_match_dense_kernels() {
         // Every special-cased gate must agree with generic matrix application.
         let mut rng = StdRng::seed_from_u64(7);
-        let gates_1q = [Gate::X, Gate::Z, Gate::S, Gate::Sdg, Gate::T, Gate::Tdg, Gate::Phase(0.9)];
+        let gates_1q = [
+            Gate::X,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Phase(0.9),
+        ];
         for g in gates_1q {
             for q in 0..3 {
                 let mut sv = random_state(3, &mut rng);
@@ -543,7 +566,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let sv0 = random_state(3, &mut rng);
         // Toffoli-like random 8x8 unitary from QR.
-        let raw = Matrix::from_fn(8, 8, |_, _| c64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5));
+        let raw = Matrix::from_fn(8, 8, |_, _| {
+            c64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)
+        });
         let u = qlinalg::qr(&raw).q;
         let mut sv = sv0.clone();
         sv.apply_matrix(&u, &[0, 1, 2]);

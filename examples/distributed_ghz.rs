@@ -9,6 +9,15 @@
 //! entanglement matters so much for multi-cut workloads (paper §VI).
 //!
 //! Run with: `cargo run --release --example distributed_ghz`
+//!
+//! # Expected output
+//!
+//! A seeded, deterministic table sweeping the per-pair overlap
+//! `f(Φk) ∈ {0.5, 0.7, 0.9, 1.0}` for the doubly-cut GHZ circuit with
+//! exact `⟨ZZ⟩ = +1`: the `κ per cut` column follows Theorem 1
+//! (`2/f − 1`), `κ total` is its square, and the 6000-shot estimate
+//! tightens from `|error| ≈ 0.2` at `f = 0.5` to exactly `0` at
+//! `f = 1.0`, where both cuts degrade into plain teleportations.
 
 use nme_wire_cutting::qpd::{estimate_allocated, Allocator};
 use nme_wire_cutting::qsim::{Circuit, PauliString, StateVector};

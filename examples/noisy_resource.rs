@@ -9,6 +9,15 @@
 //! quantifies how much coherence loss costs relative to pure NME states.
 //!
 //! Run with: `cargo run --release --example noisy_resource`
+//!
+//! # Expected output
+//!
+//! A seeded, deterministic table over Werner fidelity
+//! `p ∈ {0.5, 0.7, 0.9, 1.0}` with exact `⟨Z⟩ ≈ +0.6216`: `f(ρ_W)`
+//! rises from 0.625 to 1, the Theorem 1 bound `γ_optimal = 2/f − 1`
+//! stays at or below the constructive `κ_inversion = (3/p − 1)/2`
+//! (they meet only at `p = 1`), and every finite-shot estimate lands
+//! within a few times `κ/√shots` of the exact value.
 
 use nme_wire_cutting::entangle::{fully_entangled_fraction, werner};
 use nme_wire_cutting::qpd::{estimate_allocated, Allocator};

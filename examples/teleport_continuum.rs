@@ -7,6 +7,16 @@
 //! the measured estimation error follows.
 //!
 //! Run with: `cargo run --release --example teleport_continuum`
+//!
+//! # Expected output
+//!
+//! A seeded, deterministic 11-row table sweeping `k` from 0.00 to 1.00:
+//! `f(Φk)` climbs from 0.5 to 1, `γ = 2/f − 1` descends from 3.0000 to
+//! 1.0000, `pairs/sample` descends from 2 to 1, and the mean 4000-shot
+//! estimation error over 40 Haar-random states decays roughly with γ
+//! (from ≈ 0.04 at `k = 0` to ≈ 0.01 at `k = 1`), ending with the
+//! endpoint note: `k = 0` is the entanglement-free optimum of Harada
+//! et al., `k = 1` is plain teleportation.
 
 use nme_wire_cutting::entangle::PhiK;
 use nme_wire_cutting::qpd::{estimate_allocated, Allocator};

@@ -8,8 +8,8 @@ use nme_wire_cutting::experiments::{tables, teleport_channel};
 use nme_wire_cutting::qpd::{estimate_allocated, Allocator};
 use nme_wire_cutting::qsim::{haar_unitary, Pauli};
 use nme_wire_cutting::wirecut::{
-    identity_distance, theory, HaradaCut, NmeCut, PengCut, PreparedCut,
-    TeleportationPassthrough, WireCut,
+    identity_distance, theory, HaradaCut, NmeCut, PengCut, PreparedCut, TeleportationPassthrough,
+    WireCut,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,7 +46,10 @@ fn figure6_pipeline_reproduces_paper_shape() {
     // Shape 3: the f=0.5 / f=1.0 error ratio reflects κ = 3 vs 1.
     let last = cfg.shot_checkpoints.len() - 1;
     let ratio = res.mean_abs_error[0][last] / res.mean_abs_error[3][last];
-    assert!(ratio > 1.8 && ratio < 5.5, "κ-driven error ratio off: {ratio}");
+    assert!(
+        ratio > 1.8 && ratio < 5.5,
+        "κ-driven error ratio off: {ratio}"
+    );
     // Shape 4: 1/√N scaling — quadrupling shots roughly halves the error.
     let scale = res.mean_abs_error[0][0] / res.mean_abs_error[0][2];
     assert!(scale > 1.4 && scale < 3.0, "1/√N scaling off: {scale}");
@@ -72,7 +75,11 @@ fn all_cut_families_agree_on_a_common_workload() {
             cut.name(),
             prepared.exact_value()
         );
-        assert!(identity_distance(cut.as_ref()) < 1e-8, "{} channel broken", cut.name());
+        assert!(
+            identity_distance(cut.as_ref()) < 1e-8,
+            "{} channel broken",
+            cut.name()
+        );
     }
 }
 
@@ -152,8 +159,20 @@ fn fixed_seed_full_estimate_is_reproducible() {
     let w2 = haar_unitary(2, &mut rng2);
     assert!(w.approx_eq(&w2, 0.0), "Haar sampling not reproducible");
     let prepared = PreparedCut::new(&NmeCut::new(0.4), &w, Pauli::Z);
-    let a = estimate_allocated(&prepared.spec, &prepared.samplers(), 2000, Allocator::Proportional, &mut rng1);
-    let b = estimate_allocated(&prepared.spec, &prepared.samplers(), 2000, Allocator::Proportional, &mut rng2);
+    let a = estimate_allocated(
+        &prepared.spec,
+        &prepared.samplers(),
+        2000,
+        Allocator::Proportional,
+        &mut rng1,
+    );
+    let b = estimate_allocated(
+        &prepared.spec,
+        &prepared.samplers(),
+        2000,
+        Allocator::Proportional,
+        &mut rng2,
+    );
     assert_eq!(a, b, "estimation not reproducible under fixed seeds");
 }
 
@@ -169,7 +188,13 @@ fn accuracy_budget_follows_kappa_squared_law() {
         let prepared = PreparedCut::new(&NmeCut::new(k), &w, Pauli::Z);
         let xs: Vec<f64> = (0..reps)
             .map(|_| {
-                estimate_allocated(&prepared.spec, &prepared.samplers(), shots, Allocator::Proportional, rng)
+                estimate_allocated(
+                    &prepared.spec,
+                    &prepared.samplers(),
+                    shots,
+                    Allocator::Proportional,
+                    rng,
+                )
             })
             .collect();
         let m = xs.iter().sum::<f64>() / reps as f64;

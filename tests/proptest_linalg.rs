@@ -19,7 +19,9 @@ fn matrix_strategy(n: usize) -> impl Strategy<Value = Matrix> {
 /// Strategy: nonzero complex vector of length `n`, normalised.
 fn unit_vector_strategy(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
     proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n)
-        .prop_filter("nonzero", |v| v.iter().any(|(re, im)| re.abs() + im.abs() > 0.1))
+        .prop_filter("nonzero", |v| {
+            v.iter().any(|(re, im)| re.abs() + im.abs() > 0.1)
+        })
         .prop_map(|v| {
             let mut out: Vec<Complex64> = v.into_iter().map(|(re, im)| c64(re, im)).collect();
             nme_wire_cutting::qlinalg::vector::normalize(&mut out);

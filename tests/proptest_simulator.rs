@@ -29,8 +29,12 @@ fn gate_strategy(n: usize) -> impl Strategy<Value = GatePick> {
         (0..n).prop_map(GatePick::T),
         ((0..n), -3.0f64..3.0).prop_map(|(q, t)| GatePick::Ry(q, t)),
         ((0..n), -3.0f64..3.0).prop_map(|(q, t)| GatePick::Rz(q, t)),
-        ((0..n), (0..n)).prop_filter("distinct", |(a, b)| a != b).prop_map(|(a, b)| GatePick::Cx(a, b)),
-        ((0..n), (0..n)).prop_filter("distinct", |(a, b)| a != b).prop_map(|(a, b)| GatePick::Cz(a, b)),
+        ((0..n), (0..n))
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| GatePick::Cx(a, b)),
+        ((0..n), (0..n))
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| GatePick::Cz(a, b)),
     ]
 }
 

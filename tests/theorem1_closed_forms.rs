@@ -1,0 +1,94 @@
+//! Smoke tests pinning the Theorem 1 closed forms to their published
+//! anchor points: `γ^ρ(I) = 2/f(ρ) − 1` must give 1 for the maximally
+//! entangled Bell state (`f = 1`, plain teleportation) and approach 3 as
+//! entanglement vanishes (`f → 1/2`, the entanglement-free optimum of
+//! Harada et al.), with the Peng et al. `κ = 4` strictly above the whole
+//! curve. These are the fixed points every later refactor must preserve.
+
+use nme_wire_cutting::entangle::{max_overlap, max_overlap_pure, phi_plus, phi_plus_density, PhiK};
+use nme_wire_cutting::wirecut::theory::{
+    gamma_from_overlap, gamma_phi_k, overlap_from_gamma, GAMMA_NO_ENTANGLEMENT, KAPPA_PENG,
+};
+use nme_wire_cutting::wirecut::{HaradaCut, NmeCut, PengCut, WireCut};
+
+const TOL: f64 = 1e-12;
+
+#[test]
+fn bell_state_has_unit_overlap_and_unit_overhead() {
+    // f(Φ⁺) = 1, via the pure-state route and the density-matrix route.
+    assert!((max_overlap_pure(&phi_plus()) - 1.0).abs() < 1e-10);
+    assert!((max_overlap(&phi_plus_density()) - 1.0).abs() < 1e-8);
+    // Theorem 1 at f = 1: γ = 2/1 − 1 = 1 — cutting with a Bell pair is
+    // free (it degrades into plain teleportation).
+    assert!((gamma_from_overlap(1.0) - 1.0).abs() < TOL);
+    assert!((gamma_phi_k(1.0) - 1.0).abs() < TOL);
+    // The Theorem 2 construction at k = 1 attains it.
+    assert!((NmeCut::new(1.0).kappa() - 1.0).abs() < TOL);
+}
+
+#[test]
+fn separable_limit_recovers_entanglement_free_overhead() {
+    // As entanglement → 0 (k → 0), f → 1/2 and γ → 3, the optimal
+    // entanglement-free overhead (Brenner et al. / Harada et al.).
+    assert!((gamma_from_overlap(0.5) - 3.0).abs() < TOL);
+    assert!((gamma_phi_k(0.0) - 3.0).abs() < TOL);
+    assert!((PhiK::new(0.0).overlap() - 0.5).abs() < TOL);
+    // The limit is approached continuously: γ(k) = 3 − 8k + O(k²).
+    for &k in &[1e-3, 1e-6, 1e-9] {
+        let gamma = gamma_phi_k(k);
+        assert!(
+            (gamma - GAMMA_NO_ENTANGLEMENT).abs() < 10.0 * k,
+            "γ(k={k}) = {gamma} not near 3"
+        );
+    }
+}
+
+#[test]
+fn harada_baseline_matches_theorem1_at_half_overlap() {
+    // The Harada et al. entanglement-free cut attains γ = 3 exactly,
+    // which is Theorem 1 evaluated at the separable bound f = 1/2.
+    assert!((HaradaCut.kappa() - GAMMA_NO_ENTANGLEMENT).abs() < TOL);
+    assert!((HaradaCut.kappa() - gamma_from_overlap(0.5)).abs() < TOL);
+}
+
+#[test]
+fn peng_baseline_stays_above_the_optimal_curve() {
+    // The original Peng et al. cut costs κ = 4 — strictly worse than
+    // Theorem 1 for every resource state.
+    assert!((PengCut.kappa() - KAPPA_PENG).abs() < TOL);
+    for i in 0..=100 {
+        let k = i as f64 / 100.0;
+        assert!(gamma_phi_k(k) < KAPPA_PENG - 1.0 + TOL);
+    }
+}
+
+#[test]
+fn overhead_is_monotone_in_entanglement() {
+    // More entanglement (larger k ≤ 1) never costs more.
+    let mut prev = gamma_phi_k(0.0);
+    for i in 1..=100 {
+        let k = i as f64 / 100.0;
+        let gamma = gamma_phi_k(k);
+        assert!(gamma <= prev + TOL, "γ not monotone at k={k}");
+        prev = gamma;
+    }
+}
+
+#[test]
+fn gamma_and_overlap_are_inverse_maps() {
+    for i in 0..=20 {
+        let f = 0.5 + 0.5 * i as f64 / 20.0;
+        assert!((overlap_from_gamma(gamma_from_overlap(f)) - f).abs() < TOL);
+    }
+}
+
+#[test]
+fn closed_form_agrees_with_overlap_route_for_phi_k() {
+    // Corollary 1 is Theorem 1 evaluated at f(Φ_k) — the two published
+    // formulas must be the same curve.
+    for i in 0..=50 {
+        let k = i as f64 / 50.0;
+        let via_overlap = gamma_from_overlap(PhiK::new(k).overlap());
+        assert!((gamma_phi_k(k) - via_overlap).abs() < 1e-10);
+    }
+}
