@@ -6,6 +6,13 @@
 //! input `W|0⟩` enters the sender qubit, the three subcircuits of
 //! Figure 5 are executed with shots split across them, and Pauli-Z is
 //! measured on the receiver qubit.
+//!
+//! Terms serve whole shot allocations through the batched
+//! [`TermSampler::sample_observable_sum`] path (one multinomial over the
+//! compiled branch leaves plus one binomial per occupied leaf), so the
+//! estimators never pay per-shot dispatch; the per-shot
+//! [`TermSampler::sample_observable`] path remains as the reference for
+//! equivalence tests.
 
 use crate::term::{CutTerm, WireCut};
 use qlinalg::Matrix;
@@ -62,6 +69,11 @@ impl PreparedTerm {
 impl TermSampler for PreparedTerm {
     fn sample_observable(&self, rng: &mut dyn rand::RngCore) -> f64 {
         self.sampler.sample_z(self.observable_qubit, rng)
+    }
+
+    fn sample_observable_sum(&self, shots: u64, rng: &mut dyn rand::RngCore) -> f64 {
+        self.sampler
+            .sample_z_batch(self.observable_qubit, shots, rng)
     }
 
     fn exact_expectation(&self) -> f64 {
@@ -198,6 +210,37 @@ mod tests {
             .sum::<f64>()
             / reps as f64;
         assert!((mean - expect).abs() < 0.02, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn prepared_term_batched_and_per_shot_sampling_agree() {
+        // Every term of the cut must give the same observable
+        // distribution through both sampling paths.
+        let w = ry_matrix(1.234);
+        let prepared = PreparedCut::new(&NmeCut::new(0.4), &w, Pauli::Z);
+        let shots = 40_000u64;
+        for term in &prepared.terms {
+            let t: &dyn TermSampler = term;
+            let exact = t.exact_expectation();
+            let mut rng = StdRng::seed_from_u64(401);
+            let per_shot: f64 = (0..shots)
+                .map(|_| t.sample_observable(&mut rng))
+                .sum::<f64>()
+                / shots as f64;
+            let mut rng = StdRng::seed_from_u64(402);
+            let batched = t.sample_observable_sum(shots, &mut rng) / shots as f64;
+            // SE ≤ 1/√shots = 0.005; 5σ band around the exact value.
+            assert!(
+                (per_shot - exact).abs() < 0.025,
+                "{}: per-shot {per_shot} vs {exact}",
+                term.label()
+            );
+            assert!(
+                (batched - exact).abs() < 0.025,
+                "{}: batched {batched} vs {exact}",
+                term.label()
+            );
+        }
     }
 
     #[test]

@@ -386,6 +386,41 @@ mod tests {
     }
 
     #[test]
+    fn joint_cut_batched_estimate_converges() {
+        // Finite-shot estimate through the batched multi-term path
+        // (multinomial leaf occupancies + per-leaf parity binomials)
+        // converges to the exact joint-cut value.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut prep = qsim::Circuit::new(2, 0);
+        prep.ry(0.9, 0).cx(0, 1);
+        let cut = JointWireCut::new(2);
+        let compiled = PreparedMultiCut::from_terms(
+            cut.spec(),
+            &cut.terms(),
+            &prep,
+            &PauliString::from_label("ZZ"),
+        );
+        let exact = compiled.exact_value();
+        let mut rng = StdRng::seed_from_u64(303);
+        let reps = 30;
+        let mean: f64 = (0..reps)
+            .map(|_| {
+                qpd::estimate_allocated(
+                    &compiled.spec,
+                    &compiled.samplers(),
+                    4000,
+                    qpd::Allocator::Proportional,
+                    &mut rng,
+                )
+            })
+            .sum::<f64>()
+            / reps as f64;
+        // SE ≈ κ/√(reps·shots) = 7/√120000 ≈ 0.02; allow ~4σ.
+        assert!((mean - exact).abs() < 0.08, "mean {mean} vs exact {exact}");
+    }
+
+    #[test]
     fn embed_input_multi_round_trip() {
         let rho = Matrix::from_fn(4, 4, |i, j| {
             c64((i + j) as f64 * 0.05, (i as f64 - j as f64) * 0.01)

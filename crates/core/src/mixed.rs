@@ -339,6 +339,35 @@ mod tests {
     }
 
     #[test]
+    fn batched_estimator_is_unbiased_for_bell_diagonal_cut() {
+        // End-to-end through the batched sampling engine: the Werner
+        // Pauli-inversion cut recombines to the uncut ⟨Z⟩.
+        use crate::executor::{uncut_expectation, PreparedCut};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let w = qsim::Gate::Ry(0.8).matrix();
+        let expect = uncut_expectation(&w, qsim::Pauli::Z);
+        let cut = BellDiagonalCut::werner(0.85);
+        let prepared = PreparedCut::new(&cut, &w, qsim::Pauli::Z);
+        assert!((prepared.exact_value() - expect).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(302);
+        let reps = 50;
+        let mean: f64 = (0..reps)
+            .map(|_| {
+                qpd::estimate_allocated(
+                    &prepared.spec,
+                    &prepared.samplers(),
+                    4000,
+                    qpd::Allocator::Proportional,
+                    &mut rng,
+                )
+            })
+            .sum::<f64>()
+            / reps as f64;
+        assert!((mean - expect).abs() < 0.03, "mean {mean} vs {expect}");
+    }
+
+    #[test]
     fn degenerate_identity_check_via_channel() {
         // κ = 1 at q = (1,0,0,0): the only term is plain teleportation.
         let cut = BellDiagonalCut::new([1.0, 0.0, 0.0, 0.0]);

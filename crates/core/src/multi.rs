@@ -206,6 +206,29 @@ impl TermSampler for PreparedMultiTerm {
         }
     }
 
+    fn sample_observable_sum(&self, shots: u64, rng: &mut dyn rand::RngCore) -> f64 {
+        // Leaf occupancies from one multinomial; within a leaf the
+        // parity observable is Bernoulli with P(+1) = Σ_{even parity} |amp|².
+        let counts = self.sampler.sample_batch(shots, rng);
+        let mut sum = 0.0;
+        for (leaf, &n) in self.sampler.leaves().iter().zip(counts.iter()) {
+            if n == 0 {
+                continue;
+            }
+            let p_plus: f64 = leaf
+                .state
+                .probabilities()
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| (idx & self.z_mask).count_ones().is_multiple_of(2))
+                .map(|(_, p)| p)
+                .sum();
+            let plus = qsample::binomial(n, p_plus.clamp(0.0, 1.0), rng);
+            sum += 2.0 * plus as f64 - n as f64;
+        }
+        sum
+    }
+
     fn exact_expectation(&self) -> f64 {
         self.exact
     }
@@ -261,6 +284,37 @@ mod tests {
     use qpd::Allocator;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn multi_term_batched_and_per_shot_paths_agree() {
+        // The parity observable's batched draw (binomial per leaf) must
+        // match the per-shot z-basis draw in distribution.
+        let mut prep = Circuit::new(2, 0);
+        prep.ry(0.7, 0).cx(0, 1);
+        let cut = ParallelWireCut::uniform(NmeCut::new(0.5), 2);
+        let prepared = PreparedMultiCut::new(&cut, &prep, &PauliString::from_label("ZZ"));
+        let shots = 40_000u64;
+        for term in &prepared.terms {
+            let term: &dyn TermSampler = term;
+            let exact = term.exact_expectation();
+            let mut rng = StdRng::seed_from_u64(304);
+            let per_shot: f64 = (0..shots)
+                .map(|_| term.sample_observable(&mut rng))
+                .sum::<f64>()
+                / shots as f64;
+            let mut rng = StdRng::seed_from_u64(305);
+            let batched = term.sample_observable_sum(shots, &mut rng) / shots as f64;
+            // Each mean has SE ≤ 1/√shots = 0.005; allow 5σ against exact.
+            assert!(
+                (per_shot - exact).abs() < 0.025,
+                "per-shot {per_shot} vs {exact}"
+            );
+            assert!(
+                (batched - exact).abs() < 0.025,
+                "batched {batched} vs {exact}"
+            );
+        }
+    }
 
     #[test]
     fn product_kappa_is_exponential() {

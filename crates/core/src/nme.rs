@@ -283,6 +283,40 @@ mod tests {
     }
 
     #[test]
+    fn batched_estimator_is_unbiased_for_nme_cut() {
+        // The NME cut's terms run through the batched branch-tree path;
+        // the recombined estimate must stay an unbiased estimator of the
+        // uncut expectation.
+        use crate::executor::{uncut_expectation, PreparedCut};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let w = qsim::Gate::Ry(1.1).matrix();
+        let expect = uncut_expectation(&w, qsim::Pauli::Z);
+        for &k in &[0.0, 0.5, 1.0] {
+            let prepared = PreparedCut::new(&NmeCut::new(k), &w, qsim::Pauli::Z);
+            let mut rng = StdRng::seed_from_u64(301);
+            let reps = 50;
+            let mean: f64 = (0..reps)
+                .map(|_| {
+                    qpd::estimate_allocated(
+                        &prepared.spec,
+                        &prepared.samplers(),
+                        4000,
+                        qpd::Allocator::Proportional,
+                        &mut rng,
+                    )
+                })
+                .sum::<f64>()
+                / reps as f64;
+            // SE ≈ κ/√(reps·shots) ≤ 3/447 ≈ 0.0067; allow ~5σ.
+            assert!(
+                (mean - expect).abs() < 0.035,
+                "k={k}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
     fn overhead_strictly_decreases_with_entanglement() {
         let mut prev = f64::INFINITY;
         for &f in &entangle::FIG6_OVERLAPS {

@@ -10,6 +10,11 @@
 //! 3. distribute the total shot budget across subcircuits proportionally
 //!    to the QPD coefficients, estimate each term and recombine;
 //! 4. record `ε = |⟨Z⟩_sample − ⟨Z⟩_exact|`; average over random states.
+//!
+//! Each per-term allocation is served by the batched shot engine (one
+//! multinomial over compiled branch leaves per checkpoint instead of one
+//! tree walk per shot), so the sweep's cost is dominated by the number
+//! of (state, overlap) grid points rather than the shot budget.
 
 use crate::par::{default_threads, item_seed, parallel_map_indexed};
 use crate::stats::RunningStats;

@@ -2,7 +2,10 @@
 //! \[26\], Brenner et al. \[11\]): cutting `n` wires jointly with mutually
 //! unbiased bases costs `κ = 2^{n+1} − 1` instead of the per-wire product
 //! `3ⁿ`. Reports both overheads, the exact channel-identity distance, and
-//! the measured estimation error on entangled sender states.
+//! the measured estimation error on entangled sender states. Both the
+//! joint and product estimates request their shot allocations in one
+//! batched call per term (multinomial leaf occupancies + per-leaf parity
+//! binomials).
 
 use crate::csvout::Table;
 use crate::par::{default_threads, item_seed, parallel_map_indexed};

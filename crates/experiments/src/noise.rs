@@ -8,6 +8,9 @@
 //! shrinks (fewer shots needed), but every sample keeps paying the
 //! teleportation circuit's noise. The table therefore reports the exact
 //! bias alongside the total error at a finite budget.
+//!
+//! Finite-shot error is sampled through the batched [`BernoulliTerm`]
+//! path (one binomial per term and budget, not one draw per shot).
 
 use crate::csvout::Table;
 use crate::par::{default_threads, item_seed, parallel_map_indexed};

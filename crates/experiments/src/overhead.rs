@@ -11,6 +11,8 @@
 //! effective overhead `κ_emp = √(N·Var_emp / Var_base)` where `Var_base`
 //! is the single-qubit binomial variance of the teleportation baseline —
 //! the quantity Figure 6's error curves integrate over random states.
+//! Every repetition draws its whole budget through the batched shot
+//! engine, so the variance scan stays cheap at large `N`.
 
 use crate::par::{default_threads, item_seed, parallel_map_indexed};
 use crate::stats::{mean, variance};

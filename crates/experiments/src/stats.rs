@@ -91,6 +91,37 @@ pub fn variance(xs: &[f64]) -> f64 {
     xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
 }
 
+/// Wilson score confidence interval for a binomial proportion: given
+/// `successes` out of `trials` and a z-score (e.g. 5.0 for a 5σ band),
+/// returns `(low, high)` bounds on the true success probability.
+///
+/// Unlike the Wald interval, Wilson stays inside `[0, 1]` and behaves
+/// sensibly at p ≈ 0 or 1 — exactly the regimes the degenerate-circuit
+/// tests of the batched sampler probe.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Wilson interval on ⟨Z⟩ from a **sum** of `trials` ±1 samples (the
+/// output convention of the batched `sample_z` paths): maps the sum to a
+/// success count, bounds the proportion, and maps back to `[-1, 1]`.
+pub fn z_expectation_interval(sum: f64, trials: u64, z: f64) -> (f64, f64) {
+    let plus = ((sum + trials as f64) / 2.0)
+        .round()
+        .clamp(0.0, trials as f64) as u64;
+    let (lo, hi) = wilson_interval(plus, trials, z);
+    (2.0 * lo - 1.0, 2.0 * hi - 1.0)
+}
+
 /// Root-mean-square error against a reference value.
 pub fn rmse(xs: &[f64], reference: f64) -> f64 {
     if xs.is_empty() {
@@ -148,6 +179,29 @@ mod tests {
         one.push(5.0);
         assert_eq!(one.variance(), 0.0);
         assert!((one.mean() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wilson_interval_covers_the_proportion() {
+        let (lo, hi) = wilson_interval(50, 100, 2.0);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.25);
+        // Degenerate endpoints stay in [0, 1].
+        let (lo, hi) = wilson_interval(0, 100, 5.0);
+        assert!(lo == 0.0 && hi > 0.0 && hi < 0.3);
+        let (lo, hi) = wilson_interval(100, 100, 5.0);
+        assert!(hi == 1.0 && lo < 1.0 && lo > 0.7);
+        assert_eq!(wilson_interval(0, 0, 3.0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn z_expectation_interval_maps_sums() {
+        // All +1: interval hugs the top of [-1, 1].
+        let (lo, hi) = z_expectation_interval(1000.0, 1000, 5.0);
+        assert!((hi - 1.0).abs() < 1e-12 && lo > 0.9);
+        // Balanced sum: interval straddles 0.
+        let (lo, hi) = z_expectation_interval(0.0, 1000, 5.0);
+        assert!(lo < 0.0 && hi > 0.0 && hi < 0.2);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! * `κ_inv = (3/p − 1)/2` — the inversion construction's overhead
 //!   (strictly suboptimal for `p < 1`; the gap is the price of losing
 //!   coherence in the resource), and
-//! * the measured estimation error at a fixed shot budget.
+//! * the measured estimation error at a fixed shot budget (served by
+//!   the batched shot engine — counts per branch leaf, not per-shot
+//!   tree walks).
 
 use crate::csvout::Table;
 use crate::par::{default_threads, item_seed, parallel_map_indexed};

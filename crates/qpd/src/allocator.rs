@@ -95,27 +95,12 @@ pub fn largest_remainder(weights: &[f64], total: u64) -> Vec<u64> {
     counts
 }
 
-/// Samples a multinomial allocation: draws `total` term indices i.i.d.
-/// with probabilities `pᵢ = |cᵢ|/κ` — the allocation induced by the
-/// stochastic Monte Carlo estimator of Eq. 12.
+/// Samples a multinomial allocation: `total` term indices i.i.d. with
+/// probabilities `pᵢ = |cᵢ|/κ` — the allocation induced by the
+/// stochastic Monte Carlo estimator of Eq. 12, drawn as one batched
+/// multinomial (`O(#terms)` RNG work instead of one draw per shot).
 pub fn stochastic_allocation<R: Rng + ?Sized>(spec: &QpdSpec, total: u64, rng: &mut R) -> Vec<u64> {
-    let probs = spec.probabilities();
-    let mut cumulative = Vec::with_capacity(probs.len());
-    let mut acc = 0.0;
-    for &p in &probs {
-        acc += p;
-        cumulative.push(acc);
-    }
-    let mut counts = vec![0u64; probs.len()];
-    for _ in 0..total {
-        let r: f64 = rng.gen::<f64>() * acc;
-        let i = match cumulative.binary_search_by(|c| c.partial_cmp(&r).unwrap()) {
-            Ok(i) => (i + 1).min(probs.len() - 1),
-            Err(i) => i.min(probs.len() - 1),
-        };
-        counts[i] += 1;
-    }
-    counts
+    qsample::multinomial(total, &spec.probabilities(), rng)
 }
 
 #[cfg(test)]

@@ -8,6 +8,12 @@
 //! paper's deterministic proportional allocation — plus a checkpointed
 //! sweep that yields the estimate at many shot budgets from a single
 //! sampling pass (the workhorse of the Figure 6 reproduction).
+//!
+//! All estimators request shots through the **batched**
+//! [`TermSampler::sample_observable_sum`] entry point, so a term backed
+//! by a compiled branch-tree sampler serves a whole allocation as one
+//! multinomial/binomial draw (`O(#outcomes)` instead of `O(shots)` RNG
+//! work) while staying identical in distribution to per-shot sampling.
 
 use crate::allocator::Allocator;
 use crate::spec::QpdSpec;
@@ -19,6 +25,23 @@ pub trait TermSampler {
     /// Draws a single-shot estimate of `Tr[O·Fᵢ(ρ)]` (an unbiased sample
     /// of the term's observable, e.g. ±1 for Z).
     fn sample_observable(&self, rng: &mut dyn rand::RngCore) -> f64;
+
+    /// Draws `shots` single-shot estimates and returns their **sum**.
+    ///
+    /// The default walks [`sample_observable`](Self::sample_observable)
+    /// `shots` times. Implementations backed by a compiled branch-tree
+    /// sampler override this with a counts-based draw (multinomial over
+    /// leaves, binomial within each leaf) that is identical in
+    /// distribution but costs `O(#outcomes)` instead of `O(shots)` —
+    /// every estimator in this module calls through here, so overriding
+    /// this one method batches the whole stack.
+    fn sample_observable_sum(&self, shots: u64, rng: &mut dyn rand::RngCore) -> f64 {
+        let mut sum = 0.0;
+        for _ in 0..shots {
+            sum += self.sample_observable(rng);
+        }
+        sum
+    }
 
     /// The exact term expectation `Tr[O·Fᵢ(ρ)]`.
     fn exact_expectation(&self) -> f64;
@@ -37,6 +60,11 @@ pub fn exact_value(spec: &QpdSpec, terms: &[&dyn TermSampler]) -> f64 {
 
 /// Stochastic Monte Carlo estimator (Eq. 12): for each shot draw a term
 /// `i ~ pᵢ`, sample its observable, and weight by `κ·sign(cᵢ)`.
+///
+/// Shots are exchangeable, so the per-shot term draws are batched into
+/// one multinomial over the term probabilities followed by one batched
+/// observable draw per occupied term — the same joint distribution as
+/// the shot-by-shot loop, without the per-shot dispatch.
 pub fn estimate_stochastic<R: Rng>(
     spec: &QpdSpec,
     terms: &[&dyn TermSampler],
@@ -50,20 +78,13 @@ pub fn estimate_stochastic<R: Rng>(
     let kappa = spec.kappa();
     let probs = spec.probabilities();
     let signs = spec.signs();
-    let mut cumulative = Vec::with_capacity(probs.len());
-    let mut acc = 0.0;
-    for &p in &probs {
-        acc += p;
-        cumulative.push(acc);
-    }
+    let per_term = qsample::multinomial(shots, &probs, rng);
     let mut total = 0.0;
-    for _ in 0..shots {
-        let r: f64 = rng.gen::<f64>() * acc;
-        let i = match cumulative.binary_search_by(|c| c.partial_cmp(&r).unwrap()) {
-            Ok(i) => (i + 1).min(probs.len() - 1),
-            Err(i) => i.min(probs.len() - 1),
-        };
-        total += signs[i] * kappa * terms[i].sample_observable(rng);
+    for ((term, &n), &sign) in terms.iter().zip(per_term.iter()).zip(signs.iter()) {
+        if n == 0 {
+            continue;
+        }
+        total += sign * kappa * term.sample_observable_sum(n, rng);
     }
     total / shots as f64
 }
@@ -98,11 +119,7 @@ pub fn estimate_with_allocation<R: Rng>(
         if n == 0 {
             continue;
         }
-        let mut sum = 0.0;
-        for _ in 0..n {
-            sum += s.sample_observable(rng);
-        }
-        value += t.coefficient * (sum / n as f64);
+        value += t.coefficient * (s.sample_observable_sum(n, rng) / n as f64);
     }
     value
 }
@@ -137,7 +154,9 @@ pub fn proportional_sweep<R: Rng>(
         .map(|i| allocations.iter().map(|a| a[i]).max().unwrap_or(0))
         .collect();
     // Draw samples, recording prefix sums at the counts each checkpoint
-    // needs.
+    // needs. Between consecutive needed counts the draws are one batched
+    // call, so a full error-vs-shots curve costs O(#checkpoints) batch
+    // draws per term rather than one RNG walk per shot.
     let coeffs = spec.coefficients();
     let mut estimates = vec![0.0f64; checkpoints.len()];
     for i in 0..m {
@@ -147,18 +166,13 @@ pub fn proportional_sweep<R: Rng>(
         needed.dedup();
         let mut prefix_sum_at = std::collections::HashMap::new();
         let mut sum = 0.0;
-        let mut next_idx = 0;
-        if needed.first() == Some(&0) {
-            prefix_sum_at.insert(0u64, 0.0);
-            next_idx = 1;
+        let mut drawn = 0u64;
+        for &count in &needed {
+            sum += terms[i].sample_observable_sum(count - drawn, rng);
+            drawn = count;
+            prefix_sum_at.insert(count, sum);
         }
-        for shot in 1..=max_per_term[i] {
-            sum += terms[i].sample_observable(rng);
-            if next_idx < needed.len() && needed[next_idx] == shot {
-                prefix_sum_at.insert(shot, sum);
-                next_idx += 1;
-            }
-        }
+        debug_assert_eq!(drawn, max_per_term[i]);
         for (j, alloc) in allocations.iter().enumerate() {
             let n = alloc[i];
             if n == 0 {
@@ -188,6 +202,13 @@ impl TermSampler for BernoulliTerm {
         } else {
             -1.0
         }
+    }
+
+    fn sample_observable_sum(&self, shots: u64, rng: &mut dyn rand::RngCore) -> f64 {
+        let p_plus = ((1.0 + self.expectation) / 2.0).clamp(0.0, 1.0);
+        let plus = qsample::binomial(shots, p_plus, rng);
+        // `plus` outcomes of +1, the rest −1.
+        2.0 * plus as f64 - shots as f64
     }
 
     fn exact_expectation(&self) -> f64 {
@@ -350,6 +371,66 @@ mod tests {
         assert_eq!(estimate_stochastic(&spec, &refs, 0, &mut rng), 0.0);
         let est = estimate_with_allocation(&spec, &refs, &[0, 0, 0], &mut rng);
         assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn batched_sum_matches_per_shot_default_in_distribution() {
+        // BernoulliTerm overrides sample_observable_sum with a binomial
+        // draw; a wrapper that hides the override falls back to the
+        // per-shot default. Their means and variances must agree.
+        struct PerShotOnly(BernoulliTerm);
+        impl TermSampler for PerShotOnly {
+            fn sample_observable(&self, rng: &mut dyn rand::RngCore) -> f64 {
+                self.0.sample_observable(rng)
+            }
+            fn exact_expectation(&self) -> f64 {
+                self.0.exact_expectation()
+            }
+        }
+        let term = BernoulliTerm { expectation: 0.37 };
+        let slow = PerShotOnly(term);
+        let shots = 400u64;
+        let reps = 4000;
+        let stats = |s: &dyn TermSampler, seed: u64| -> (f64, f64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let xs: Vec<f64> = (0..reps)
+                .map(|_| s.sample_observable_sum(shots, &mut rng) / shots as f64)
+                .collect();
+            let m = xs.iter().sum::<f64>() / reps as f64;
+            let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (reps - 1) as f64;
+            (m, v)
+        };
+        let (m_fast, v_fast) = stats(&term, 71);
+        let (m_slow, v_slow) = stats(&slow, 72);
+        assert!((m_fast - 0.37).abs() < 0.01, "batched mean {m_fast}");
+        assert!((m_slow - 0.37).abs() < 0.01, "per-shot mean {m_slow}");
+        // Var of the mean = (1 − e²)/shots ≈ 0.00216; agreement within 15%.
+        let v_true = (1.0 - 0.37f64 * 0.37) / shots as f64;
+        assert!(
+            (v_fast - v_true).abs() < 0.15 * v_true,
+            "batched var {v_fast}"
+        );
+        assert!(
+            (v_slow - v_true).abs() < 0.15 * v_true,
+            "per-shot var {v_slow}"
+        );
+    }
+
+    #[test]
+    fn stochastic_estimator_consumes_terms_multinomially() {
+        // With the batched path the estimator must still weight each
+        // term by κ·sign and stay unbiased at tiny shot counts where the
+        // multinomial is lumpy.
+        let (spec, terms) = fixture();
+        let refs = dyn_terms(&terms);
+        let mut rng = StdRng::seed_from_u64(73);
+        let reps = 6000;
+        let mean: f64 = (0..reps)
+            .map(|_| estimate_stochastic(&spec, &refs, 7, &mut rng))
+            .sum::<f64>()
+            / reps as f64;
+        // SE ≈ κ/√(reps·shots) ≈ 0.0146; allow 4σ.
+        assert!((mean - 0.44).abs() < 0.06, "mean {mean}");
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! Exact discrete-distribution samplers for the batched shot engine.
+//!
+//! The branch-tree sampler in `qsim` draws a whole batch of shots as one
+//! multinomial over its leaves instead of one tree walk per shot. That
+//! reduction is only sound if the underlying binomial draws are *exact*
+//! (the statistical-equivalence test suite holds the batched path to the
+//! same distribution as the per-shot path), so this crate implements the
+//! two textbook exact algorithms rather than a normal approximation:
+//!
+//! * **BINV** — CDF inversion by walking the pmf from 0; expected cost
+//!   `O(n·p)`, used when `n·min(p, 1−p)` is small.
+//! * **BTPE** — the triangle/parallelogram/exponential-tail
+//!   acceptance-rejection scheme of Kachitvichyanukul & Schmeiser
+//!   (*Binomial random variate generation*, CACM 31(2), 1988); `O(1)`
+//!   expected cost per draw regardless of `n`, used otherwise.
+//!
+//! [`multinomial`] composes [`binomial`] through the conditional-binomial
+//! decomposition: `n₁ ~ B(n, p₁)`, `n₂ ~ B(n−n₁, p₂/(1−p₁))`, … which is
+//! exactly multinomially distributed and costs `O(k)` binomial draws for
+//! `k` categories — independent of the shot count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+/// Below `n·min(p, 1−p)` = 10 the inversion walk is cheaper than BTPE's
+/// setup (the standard crossover, as in rand_distr and NumPy).
+const BINV_THRESHOLD: f64 = 10.0;
+
+/// Longest pmf walk BINV will attempt before redrawing: at `n·p ≤ 10`
+/// the mass above 110 is far below 2⁻⁵³, so a walk this long only
+/// happens when floating-point underflow has exhausted the pmf.
+const BINV_MAX_X: u64 = 110;
+
+/// Draws an exact binomial variate `B(n, p)`.
+///
+/// Exact in distribution for every `n` and `p ∈ [0, 1]` — no normal or
+/// Poisson approximation — with `O(1)` expected cost for large `n·p`
+/// (BTPE) and `O(n·p)` otherwise (BINV).
+///
+/// # Panics
+/// Panics if `p` is not in `[0, 1]` (NaN included).
+pub fn binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "binomial p must be in [0,1]: {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // Sample the small-probability half and mirror, so both algorithms
+    // only ever see p ≤ 1/2 (BTPE's geometry assumes it).
+    let flipped = p > 0.5;
+    let p = if flipped { 1.0 - p } else { p };
+    // BINV is valid for any n (the walk length only depends on n·p);
+    // BTPE's region geometry needs n·p·q large, which the threshold
+    // guarantees.
+    let result = if (n as f64) * p < BINV_THRESHOLD {
+        binv(n, p, rng)
+    } else {
+        btpe(n, p, rng)
+    };
+    if flipped {
+        n - result
+    } else {
+        result
+    }
+}
+
+/// BINV: invert the CDF by walking the pmf upward from 0 using the
+/// recurrence `f(x+1) = f(x)·(a/(x+1) − s)`.
+fn binv<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    debug_assert!(p <= 0.5);
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = (n as f64 + 1.0) * s;
+    // q^n via exp(n·ln q): well-conditioned here because n·p < 10 and
+    // p ≤ ½ keep n·ln q > −14, and it works for any u64 n (powi would
+    // overflow its i32 exponent).
+    let r0 = ((n as f64) * q.ln()).exp();
+    loop {
+        let mut r = r0;
+        let mut u: f64 = rng.gen();
+        let mut x = 0u64;
+        loop {
+            if u < r {
+                return x;
+            }
+            u -= r;
+            x += 1;
+            if x > BINV_MAX_X {
+                break; // pmf exhausted by rounding — redraw
+            }
+            r *= a / (x as f64) - s;
+        }
+    }
+}
+
+/// One term of the truncated Stirling series for `ln x!`, as used in
+/// BTPE's final acceptance test (step 5.3 of the paper).
+fn stirling_tail(v: f64, v2: f64) -> f64 {
+    (13860.0 - (462.0 - (132.0 - (99.0 - 140.0 / v2) / v2) / v2) / v2) / v / 166320.0
+}
+
+/// BTPE: acceptance-rejection from a piecewise majorizing function
+/// (central triangle, side parallelograms, exponential tails) with a
+/// squeeze step so most draws cost one uniform pair and no logs.
+fn btpe<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    debug_assert!(p <= 0.5);
+    // Outside this |y − m| band the squeeze bounds on ln f(y) are used;
+    // inside it the pmf recurrence from the mode is cheaper (step 5.0/5.1).
+    const SQUEEZE_THRESHOLD: f64 = 20.0;
+    let n_f = n as f64;
+    let q = 1.0 - p;
+    let npq = n_f * p * q;
+    let f_m = n_f * p + p;
+    let m = f_m.floor(); // the mode
+    let p1 = (2.195 * npq.sqrt() - 4.6 * q).floor() + 0.5;
+    let x_m = m + 0.5;
+    let x_l = x_m - p1;
+    let x_r = x_m + p1;
+    let c = 0.134 + 20.5 / (15.3 + m);
+    let lambda_l = {
+        let a = (f_m - x_l) / (f_m - x_l * p);
+        a * (1.0 + 0.5 * a)
+    };
+    let lambda_r = {
+        let a = (x_r - f_m) / (x_r * q);
+        a * (1.0 + 0.5 * a)
+    };
+    let p2 = p1 * (1.0 + 2.0 * c);
+    let p3 = p2 + c / lambda_l;
+    let p4 = p3 + c / lambda_r;
+
+    let y: f64 = loop {
+        // Step 1: region selection by u; v decides within the region.
+        let u: f64 = rng.gen::<f64>() * p4;
+        let mut v: f64 = rng.gen();
+        if u <= p1 {
+            // Central triangle: accept immediately.
+            break (x_m - p1 * v + u).floor();
+        }
+        let y = if u <= p2 {
+            // Step 2: parallelograms.
+            let x = x_l + (u - p1) / c;
+            v = v * c + 1.0 - (x - x_m).abs() / p1;
+            if v > 1.0 {
+                continue;
+            }
+            x.floor()
+        } else if u <= p3 {
+            // Step 3: left exponential tail.
+            let y = (x_l + v.ln() / lambda_l).floor();
+            if y < 0.0 {
+                continue;
+            }
+            v *= (u - p2) * lambda_l;
+            y
+        } else {
+            // Step 4: right exponential tail.
+            let y = (x_r - v.ln() / lambda_r).floor();
+            if y > n_f {
+                continue;
+            }
+            v *= (u - p3) * lambda_r;
+            y
+        };
+        // Step 5: accept y with probability f(y)/majorizer, evaluated
+        // exactly — so the returned variate is exactly binomial.
+        let k = (y - m).abs();
+        if !(k > SQUEEZE_THRESHOLD && k < 0.5 * npq - 1.0) {
+            // Step 5.1: evaluate f(y) by the pmf recurrence from the mode.
+            let s = p / q;
+            let a = s * (n_f + 1.0);
+            let mut f = 1.0;
+            if m < y {
+                let mut i = m;
+                loop {
+                    i += 1.0;
+                    f *= a / i - s;
+                    if i == y {
+                        break;
+                    }
+                }
+            } else if m > y {
+                let mut i = y;
+                loop {
+                    i += 1.0;
+                    f /= a / i - s;
+                    if i == m {
+                        break;
+                    }
+                }
+            }
+            if v > f {
+                continue;
+            }
+            break y;
+        }
+        // Step 5.2: squeeze on ln f(y).
+        let rho = (k / npq) * ((k * (k / 3.0 + 0.625) + 1.0 / 6.0) / npq + 0.5);
+        let t = -0.5 * k * k / npq;
+        let alpha = v.ln();
+        if alpha < t - rho {
+            break y;
+        }
+        if alpha > t + rho {
+            continue;
+        }
+        // Step 5.3: final test against ln f(y) via the Stirling series.
+        let x1 = y + 1.0;
+        let f1 = m + 1.0;
+        let z = n_f + 1.0 - m;
+        let w = n_f - y + 1.0;
+        let accept = x_m * (f1 / x1).ln()
+            + (n_f - m + 0.5) * (z / w).ln()
+            + (y - m) * (w * p / (x1 * q)).ln()
+            + stirling_tail(f1, f1 * f1)
+            + stirling_tail(z, z * z)
+            + stirling_tail(x1, x1 * x1)
+            + stirling_tail(w, w * w);
+        if alpha > accept {
+            continue;
+        }
+        break y;
+    };
+    y as u64
+}
+
+/// Draws exact multinomial counts: `n` trials over categories with the
+/// given (relative) weights. Returns one count per weight, summing to `n`.
+///
+/// Weights need not be normalised; zero-weight categories always get a
+/// zero count. Cost is `O(weights.len())` binomial draws — independent
+/// of `n` — via the conditional-binomial decomposition.
+///
+/// # Panics
+/// Panics if any weight is negative/NaN, or if `n > 0` and all weights
+/// are zero.
+pub fn multinomial<R: Rng + ?Sized>(n: u64, weights: &[f64], rng: &mut R) -> Vec<u64> {
+    assert!(
+        weights.iter().all(|&w| w >= 0.0),
+        "multinomial weights must be non-negative: {weights:?}"
+    );
+    let mut counts = vec![0u64; weights.len()];
+    if n == 0 {
+        return counts;
+    }
+    let mut rest: f64 = weights.iter().sum();
+    assert!(
+        rest > 0.0,
+        "multinomial needs a positive total weight for n = {n} trials"
+    );
+    let mut remaining = n;
+    for (i, &w) in weights.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        // Last category, or the tail beyond it carries no weight
+        // numerically: give it everything that is left. This also
+        // absorbs the accumulated floating-point error of `rest`.
+        if i + 1 == weights.len() || w >= rest {
+            counts[i] = remaining;
+            break;
+        }
+        if w > 0.0 {
+            let c = binomial(remaining, (w / rest).clamp(0.0, 1.0), rng);
+            counts[i] = c;
+            remaining -= c;
+        }
+        rest -= w;
+    }
+    debug_assert_eq!(counts.iter().sum::<u64>(), n);
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Exact binomial pmf by the multiplicative recurrence (stable for
+    /// the moderate n used in tests).
+    fn pmf(n: u64, p: f64) -> Vec<f64> {
+        let mut f = (1.0 - p).powi(n as i32);
+        let s = p / (1.0 - p);
+        let mut out = Vec::with_capacity(n as usize + 1);
+        out.push(f);
+        for x in 1..=n {
+            f *= ((n - x + 1) as f64 / x as f64) * s;
+            out.push(f);
+        }
+        out
+    }
+
+    /// Draws `reps` variates and checks empirical mean and variance
+    /// against n·p and n·p·q within `sigmas` standard errors.
+    fn check_moments(n: u64, p: f64, reps: u64, sigmas: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..reps {
+            let x = binomial(n, p, &mut rng) as f64;
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / reps as f64;
+        let var = sumsq / reps as f64 - mean * mean;
+        let m_true = n as f64 * p;
+        let v_true = n as f64 * p * (1.0 - p);
+        let mean_se = (v_true / reps as f64).sqrt();
+        assert!(
+            (mean - m_true).abs() < sigmas * mean_se + 1e-12,
+            "B({n},{p}): mean {mean} vs {m_true} (se {mean_se})"
+        );
+        // Var of the sample variance ≈ (μ₄ − σ⁴)/reps; bound loosely by
+        // 2·σ⁴·(1 + 6/npq)/reps which covers the binomial kurtosis.
+        let var_se = (2.0 * v_true * v_true * (1.0 + 6.0 / v_true.max(1.0)) / reps as f64).sqrt();
+        assert!(
+            (var - v_true).abs() < sigmas * var_se + 1e-12,
+            "B({n},{p}): var {var} vs {v_true} (se {var_se})"
+        );
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(binomial(0, 0.3, &mut rng), 0);
+        assert_eq!(binomial(100, 0.0, &mut rng), 0);
+        assert_eq!(binomial(100, 1.0, &mut rng), 100);
+        for _ in 0..100 {
+            let x = binomial(1, 0.5, &mut rng);
+            assert!(x <= 1);
+        }
+    }
+
+    #[test]
+    fn binv_moments_small_np() {
+        // All of these hit the BINV branch (n·min(p,q) < 10).
+        check_moments(20, 0.2, 40_000, 5.0, 11);
+        check_moments(9, 0.5, 40_000, 5.0, 12);
+        check_moments(1000, 0.004, 40_000, 5.0, 13);
+        check_moments(50, 0.9, 40_000, 5.0, 14); // flipped half
+    }
+
+    #[test]
+    fn binv_handles_n_beyond_i32() {
+        // n > i32::MAX with tiny p must still route through BINV (BTPE's
+        // geometry collapses at small n·p·q) and keep binomial moments.
+        let n = 3_000_000_000u64; // > i32::MAX
+        let p = 1e-9; // n·p = 3
+        check_moments(n, p, 40_000, 5.0, 15);
+        // Flipped half: x ~ B(n, 1−p) leaves a small complement n − x
+        // with the same B(n, p) law (moments checked on the complement
+        // to avoid catastrophic cancellation at x ≈ 3·10⁹).
+        let mut rng = StdRng::seed_from_u64(16);
+        let reps = 40_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..reps {
+            let d = (n - binomial(n, 1.0 - p, &mut rng)) as f64;
+            sum += d;
+            sumsq += d * d;
+        }
+        let mean = sum / reps as f64;
+        let var = sumsq / reps as f64 - mean * mean;
+        assert!((mean - 3.0).abs() < 0.05, "complement mean {mean}");
+        assert!((var - 3.0).abs() < 0.15, "complement var {var}");
+    }
+
+    #[test]
+    fn btpe_moments_large_np() {
+        // All of these hit the BTPE branch.
+        check_moments(1_000, 0.5, 40_000, 5.0, 21);
+        check_moments(10_000, 0.037, 40_000, 5.0, 22);
+        check_moments(100_000, 0.73, 40_000, 5.0, 23);
+        check_moments(40, 0.45, 40_000, 5.0, 24);
+    }
+
+    /// Chi-square goodness-of-fit of the sampler against the exact pmf,
+    /// pooling tail bins below an expected count of 10. The 5σ-equivalent
+    /// threshold keeps the test deterministic-in-practice while still
+    /// catching any distributional bug (a normal approximation, an
+    /// off-by-one in the mode, a wrong tail constant…).
+    fn check_chi_square(n: u64, p: f64, reps: u64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut hist = vec![0u64; n as usize + 1];
+        for _ in 0..reps {
+            hist[binomial(n, p, &mut rng) as usize] += 1;
+        }
+        let probs = pmf(n, p);
+        // Pool bins so every pooled bin has expectation ≥ 10.
+        let mut chi2 = 0.0;
+        let mut dof: i64 = -1;
+        let mut acc_e = 0.0;
+        let mut acc_o = 0.0;
+        for x in 0..=n as usize {
+            acc_e += probs[x] * reps as f64;
+            acc_o += hist[x] as f64;
+            if acc_e >= 10.0 {
+                chi2 += (acc_o - acc_e) * (acc_o - acc_e) / acc_e;
+                dof += 1;
+                acc_e = 0.0;
+                acc_o = 0.0;
+            }
+        }
+        if acc_e > 0.0 {
+            chi2 += (acc_o - acc_e) * (acc_o - acc_e) / acc_e;
+            dof += 1;
+        }
+        let dof = dof.max(1) as f64;
+        // χ²_k concentrates at k ± √(2k); 5σ above the mean.
+        let bound = dof + 5.0 * (2.0 * dof).sqrt();
+        assert!(
+            chi2 < bound,
+            "B({n},{p}): chi2 {chi2} over {dof} dof exceeds {bound}"
+        );
+    }
+
+    #[test]
+    fn binv_matches_exact_pmf() {
+        check_chi_square(12, 0.3, 60_000, 31);
+        check_chi_square(40, 0.1, 60_000, 32);
+    }
+
+    #[test]
+    fn btpe_matches_exact_pmf() {
+        check_chi_square(60, 0.4, 60_000, 33);
+        check_chi_square(200, 0.25, 60_000, 34);
+        check_chi_square(500, 0.5, 60_000, 35);
+    }
+
+    #[test]
+    fn multinomial_counts_sum_to_n() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for &n in &[0u64, 1, 7, 10_000] {
+            let c = multinomial(n, &[0.2, 0.0, 0.5, 0.3], &mut rng);
+            assert_eq!(c.iter().sum::<u64>(), n);
+            assert_eq!(c[1], 0, "zero-weight category drew counts");
+        }
+    }
+
+    #[test]
+    fn multinomial_handles_unnormalised_weights() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let reps = 20_000;
+        let w = [2.0, 6.0];
+        let mut sum0 = 0u64;
+        for _ in 0..reps {
+            sum0 += multinomial(4, &w, &mut rng)[0];
+        }
+        // E[count₀] = 4·(2/8) = 1 per draw.
+        let mean = sum0 as f64 / reps as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn multinomial_single_category_gets_everything() {
+        let mut rng = StdRng::seed_from_u64(43);
+        assert_eq!(multinomial(1234, &[0.7], &mut rng), vec![1234]);
+    }
+
+    #[test]
+    fn multinomial_marginals_are_binomial() {
+        // Each marginal of a multinomial is binomial; check the moments
+        // of every category at once.
+        let w = [0.1, 0.25, 0.65];
+        let n = 300u64;
+        let reps = 30_000;
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut sums = [0.0f64; 3];
+        let mut sumsq = [0.0f64; 3];
+        for _ in 0..reps {
+            let c = multinomial(n, &w, &mut rng);
+            for i in 0..3 {
+                sums[i] += c[i] as f64;
+                sumsq[i] += (c[i] * c[i]) as f64;
+            }
+        }
+        for i in 0..3 {
+            let mean = sums[i] / reps as f64;
+            let var = sumsq[i] / reps as f64 - mean * mean;
+            let m_true = n as f64 * w[i];
+            let v_true = m_true * (1.0 - w[i]);
+            let se = (v_true / reps as f64).sqrt();
+            assert!(
+                (mean - m_true).abs() < 5.0 * se,
+                "cat {i}: mean {mean} vs {m_true}"
+            );
+            assert!(
+                (var - v_true).abs() < 0.1 * v_true,
+                "cat {i}: var {var} vs {v_true}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn multinomial_rejects_all_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(45);
+        multinomial(5, &[0.0, 0.0], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn binomial_rejects_bad_p() {
+        let mut rng = StdRng::seed_from_u64(46);
+        binomial(5, 1.5, &mut rng);
+    }
+}

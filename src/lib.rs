@@ -4,5 +4,6 @@ pub use entangle;
 pub use experiments;
 pub use qlinalg;
 pub use qpd;
+pub use qsample;
 pub use qsim;
 pub use wirecut;

@@ -1,0 +1,147 @@
+//! Property-based equivalence tests for the batched shot-sampling
+//! engine: on random circuits with mid-circuit measurement and
+//! feed-forward, one `sample_batch` call must induce the same leaf
+//! distribution as repeated per-shot draws — held to a 5σ multinomial
+//! bound on total-variation distance against the exact probabilities.
+
+use nme_wire_cutting::qsim::{Circuit, CompiledSampler};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One random single- or two-qubit operation on an `n`-qubit register.
+#[derive(Clone, Debug)]
+enum OpPick {
+    H(usize),
+    Ry(usize, f64),
+    Rz(usize, f64),
+    Cx(usize, usize),
+}
+
+fn op_strategy(n: usize) -> impl Strategy<Value = OpPick> {
+    prop_oneof![
+        (0..n).prop_map(OpPick::H),
+        ((0..n), -3.0f64..3.0).prop_map(|(q, t)| OpPick::Ry(q, t)),
+        ((0..n), -3.0f64..3.0).prop_map(|(q, t)| OpPick::Rz(q, t)),
+        ((0..n), (0..n))
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| OpPick::Cx(a, b)),
+    ]
+}
+
+/// Builds a 3-qubit circuit: a random unitary prefix, then a measurement
+/// cascade with feed-forward so the branch tree is non-trivial.
+fn build(picks: &[OpPick]) -> Circuit {
+    let n = 3;
+    let mut c = Circuit::new(n, n);
+    for p in picks {
+        match *p {
+            OpPick::H(q) => c.h(q),
+            OpPick::Ry(q, t) => c.ry(t, q),
+            OpPick::Rz(q, t) => c.rz(t, q),
+            OpPick::Cx(a, b) => c.cx(a, b),
+        };
+    }
+    c.measure(0, 0);
+    c.x_if(1, 0); // feed-forward: classical branch structure
+    c.measure(1, 1);
+    c.measure(2, 2);
+    c
+}
+
+/// Total-variation distance between empirical counts and a probability
+/// vector.
+fn tv_from_counts(counts: &[u64], probs: &[f64], shots: u64) -> f64 {
+    counts
+        .iter()
+        .zip(probs.iter())
+        .map(|(&c, &p)| (c as f64 / shots as f64 - p).abs())
+        .sum::<f64>()
+        / 2.0
+}
+
+/// 5σ bound on the TV distance of a multinomial sample of size `shots`
+/// from its generating distribution: TV = ½Σ|fᵢ − pᵢ| where each
+/// marginal deviation has σᵢ = √(pᵢ(1−pᵢ)/shots). Summing 5σᵢ bounds is
+/// conservative (the deviations are negatively correlated).
+fn tv_bound_5_sigma(probs: &[f64], shots: u64) -> f64 {
+    2.5 * probs
+        .iter()
+        .map(|&p| (p * (1.0 - p) / shots as f64).sqrt())
+        .sum::<f64>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_counts_match_exact_leaf_probabilities(
+        picks in proptest::collection::vec(op_strategy(3), 1..16),
+        seed in 0u64..1 << 32,
+    ) {
+        let c = build(&picks);
+        let sampler = CompiledSampler::compile(&c, None);
+        let probs: Vec<f64> = sampler.leaves().iter().map(|l| l.probability).collect();
+        let total: f64 = probs.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-12, "leaf probabilities sum to {total}");
+
+        let shots = 4000u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = sampler.sample_batch(shots, &mut rng);
+        prop_assert_eq!(counts.iter().sum::<u64>(), shots);
+
+        let tv = tv_from_counts(&counts, &probs, shots);
+        let bound = tv_bound_5_sigma(&probs, shots);
+        prop_assert!(tv <= bound, "TV {tv} exceeds 5σ bound {bound} ({} leaves)", probs.len());
+    }
+
+    #[test]
+    fn batched_and_per_shot_leaf_histograms_agree(
+        picks in proptest::collection::vec(op_strategy(3), 1..12),
+        seed in 0u64..1 << 32,
+    ) {
+        let c = build(&picks);
+        let sampler = CompiledSampler::compile(&c, None);
+        let probs: Vec<f64> = sampler.leaves().iter().map(|l| l.probability).collect();
+        let shots = 2000u64;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batched = sampler.sample_batch(shots, &mut rng);
+
+        // Per-shot reference: histogram sample_leaf draws by leaf index
+        // (match on the clbits pattern, which is unique per leaf).
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut per_shot = vec![0u64; probs.len()];
+        for _ in 0..shots {
+            let clbits = sampler.sample_leaf(&mut rng).clbits;
+            let idx = sampler
+                .leaves()
+                .iter()
+                .position(|l| l.clbits == clbits)
+                .expect("sampled leaf not in leaf table");
+            per_shot[idx] += 1;
+        }
+        prop_assert_eq!(per_shot.iter().sum::<u64>(), shots);
+
+        // Both empirical distributions must sit within 5σ of the exact
+        // one; the triangle inequality then bounds their mutual distance.
+        let bound = tv_bound_5_sigma(&probs, shots);
+        let tv_batched = tv_from_counts(&batched, &probs, shots);
+        let tv_per_shot = tv_from_counts(&per_shot, &probs, shots);
+        prop_assert!(tv_batched <= bound, "batched TV {tv_batched} > {bound}");
+        prop_assert!(tv_per_shot <= bound, "per-shot TV {tv_per_shot} > {bound}");
+    }
+
+    #[test]
+    fn zero_shot_batches_never_panic(
+        picks in proptest::collection::vec(op_strategy(3), 1..12),
+    ) {
+        let c = build(&picks);
+        let sampler = CompiledSampler::compile(&c, None);
+        let mut rng = StdRng::seed_from_u64(7);
+        let counts = sampler.sample_batch(0, &mut rng);
+        prop_assert!(counts.iter().all(|&n| n == 0));
+        prop_assert_eq!(sampler.sample_counts(0, &mut rng).total(), 0);
+        prop_assert_eq!(sampler.sample_z_batch(0, 0, &mut rng), 0.0);
+    }
+}
