@@ -1,6 +1,8 @@
-//! Bridges wire cuts to the QPD estimators: compiles every term circuit
-//! (with a concrete input state and observable) into a fast
-//! branch-tree sampler implementing [`qpd::TermSampler`].
+//! Bridges wire cuts to the QPD estimators: compiles every
+//! [`crate::term::WireCut`] term circuit (with a concrete input state
+//! and observable) into a fast branch-tree sampler implementing
+//! [`qpd::TermSampler`] (the multi-wire analogue lives in
+//! [`crate::multi`]).
 //!
 //! This realises the paper's experimental procedure (Section IV): the
 //! input `W|0⟩` enters the sender qubit, the three subcircuits of

@@ -7,6 +7,12 @@
 //! with `U₁ = H`, `U₂ = SH`. Each positive term measures in the `Uᵢ`
 //! basis and re-prepares the measured basis state on the receiver; the
 //! negative term measures in Z and prepares the *flipped* state.
+//!
+//! This is the `k = 0` endpoint of the NME cut of [`crate::nme`]
+//! (Theorem 2 degenerates to it, see
+//! [`crate::theory::GAMMA_NO_ENTANGLEMENT`]), and its `U₁`/`U₂` are the
+//! one-qubit complete MUB set that [`crate::joint`] generalises to `n`
+//! wires ([`crate::joint::mub_bases_one_qubit`]).
 
 use crate::term::{CutTerm, WireCut};
 use qsim::Circuit;

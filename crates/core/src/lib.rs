@@ -16,9 +16,16 @@
 //!   verification, and compilation into `qpd` estimators.
 //! * [`mixed`] — extension (paper §VI future work): Bell-diagonal/Werner
 //!   resource states via Pauli-channel inversion.
-//! * [`multi`] — extension: cutting several parallel wires.
+//! * [`multi`] — extension: cutting several parallel wires
+//!   (κ = Π κᵢ, the paper's §VI exponential-overhead motivation).
+//! * [`mub`] — complete MUB sets for `d = 2ⁿ` via the Galois-field /
+//!   commuting-Pauli-partition construction (deterministic, memoized).
 //! * [`joint`] — extension: joint multi-wire cutting via mutually
-//!   unbiased bases (κ = 2^{n+1} − 1, reference \[26\]).
+//!   unbiased bases (κ = 2^{n+1} − 1 for any `n`, reference \[26\] and
+//!   arXiv:2406.13315).
+//! * [`joint_nme`] — numerical exploration of the §VI open question:
+//!   joint cutting **with** `|Φ_k⟩` resource pairs (basis-pursuit over an
+//!   LOCC term family in the Pauli-transfer picture).
 //! * [`gatecut`] — context: a CZ gate-cutting baseline (γ = 3).
 
 #![forbid(unsafe_code)]
@@ -28,7 +35,9 @@ pub mod executor;
 pub mod gatecut;
 pub mod harada;
 pub mod joint;
+pub mod joint_nme;
 pub mod mixed;
+pub mod mub;
 pub mod multi;
 pub mod nme;
 pub mod peng;
@@ -38,6 +47,8 @@ pub mod theory;
 
 pub use executor::{uncut_expectation, PreparedCut, PreparedTerm};
 pub use harada::HaradaCut;
+pub use joint::JointWireCut;
+pub use joint_nme::{NmeJointCut, NmeJointSolution};
 pub use nme::{NmeCut, TeleportationPassthrough};
 pub use peng::PengCut;
 pub use term::{identity_distance, reconstructed_channel, term_channel, CutTerm, WireCut};

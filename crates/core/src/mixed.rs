@@ -1,8 +1,10 @@
 //! Extension (paper §VI, future work): wire cutting with **mixed** NME
 //! resource states.
 //!
-//! For a Bell-diagonal resource `ρ = Σ_σ q_σ |Φ_σ⟩⟨Φ_σ|` the teleportation
-//! channel (Eq. 22) is the Pauli channel `E(φ) = Σ_σ q_σ σφσ`. Because a
+//! For a Bell-diagonal resource `ρ = Σ_σ q_σ |Φ_σ⟩⟨Φ_σ|` (built by
+//! `entangle::bell_diagonal` / `entangle::werner`) the teleportation
+//! channel of [`crate::teleport`] (Eq. 22) is the Pauli channel
+//! `E(φ) = Σ_σ q_σ σφσ`. Because a
 //! Pauli channel is diagonal in the Pauli transfer basis with eigenvalues
 //!
 //! `λ_P = Σ_σ q_σ·χ(P, σ)`, `χ(P,σ) = ±1` (commute/anticommute),

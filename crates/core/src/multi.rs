@@ -3,10 +3,15 @@
 //!
 //! Cutting `w` wires independently multiplies the sampling overhead:
 //! `κ_total = Πᵢ κᵢ` — the exponential cost the paper's introduction
-//! motivates. The construction is the product QPD: terms are tuples of
-//! per-wire terms with coefficient `Πᵢ cᵢ`, executed on disjoint qubit
-//! blocks of one joint register so that entangling sender circuits (GHZ
-//! preparation etc.) across the cut qubits are supported.
+//! motivates (`γⁿ = (2/f − 1)ⁿ` for `n` Theorem 1-optimal cuts, see
+//! [`crate::theory::gamma_from_overlap`]). The construction is the
+//! product QPD over any per-wire [`crate::term::WireCut`]s: terms are
+//! tuples of per-wire terms with coefficient `Πᵢ cᵢ`, executed on
+//! disjoint qubit blocks of one joint register so that entangling sender
+//! circuits (GHZ preparation etc.) across the cut qubits are supported.
+//! [`crate::joint`] beats this product overhead with a genuinely joint
+//! measurement (`2^{n+1} − 1 < 3ⁿ`); [`PreparedMultiCut`] is the shared
+//! compilation target for both.
 
 use crate::term::{CutTerm, WireCut};
 use qpd::{QpdSpec, TermSampler, TermSpec};

@@ -4,10 +4,14 @@
 //!        − b · Σ_j Tr[|j⟩⟨j|(·)] X|j⟩⟨j|X`
 //!
 //! with `a = (k²+1)/(k+1)²`, `b = (k−1)²/(k+1)²`, `U₁ = H`, `U₂ = SH`
-//! (Figure 5). Its sampling overhead `κ = 2a + b = 4(k²+1)/(k+1)² − 1`
-//! attains the optimum of Corollary 1, interpolating between the
-//! entanglement-free optimal cut (`k = 0`, `γ = 3`) and plain quantum
-//! teleportation (`k = 1`, `γ = 1`).
+//! (Figure 5; coefficients from
+//! [`crate::theory::theorem2_coefficients`]). Its sampling overhead
+//! `κ = 2a + b = 4(k²+1)/(k+1)² − 1` attains the Theorem 1 optimum
+//! `γ = 2/f − 1` of Corollary 1 ([`crate::theory::gamma_phi_k`]),
+//! interpolating between the entanglement-free optimal cut of
+//! [`crate::harada`] (`k = 0`, `γ = 3`) and plain quantum teleportation
+//! via [`crate::teleport`] (`k = 1`, `γ = 1`). The resource state is
+//! [`entangle::PhiK`] (Eq. 6).
 //!
 //! Term circuits are four/two-qubit registers:
 //!

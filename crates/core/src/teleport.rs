@@ -8,7 +8,10 @@
 //! `E^ρ_tel(φ) = Σ_σ ⟨Φ_σ|ρ|Φ_σ⟩ · σ φ σ`,
 //!
 //! a Pauli channel whose error weights are the Bell overlaps of the
-//! resource. For `|Φ_k⟩` only `I` and `Z` contribute (Eq. 59).
+//! resource ([`entangle::bell_overlaps`]). For `|Φ_k⟩` only `I` and `Z`
+//! contribute (Eq. 59) — the error model that [`crate::nme`] conjugates
+//! into the Theorem 2 terms and [`crate::joint_nme`] lifts to `n` wires
+//! as `E^{⊗n}`.
 
 use entangle::{bell_overlaps, PhiK};
 use qlinalg::Matrix;

@@ -1,11 +1,14 @@
 //! Wire-cut abstraction: executable QPD terms and channel verification.
 //!
 //! A wire cut replaces the identity channel on one qubit (Figure 1/4) by
-//! a signed combination of LOCC-implementable subcircuits. Every cut in
-//! this crate implements [`WireCut`]; the generic machinery here turns a
-//! cut into a [`qpd::QpdSpec`] plus executable circuits, and — crucially —
-//! verifies the defining identity `Σᵢ cᵢ Fᵢ = I` **exactly** at the
-//! channel level via density-matrix process tomography.
+//! a signed combination of LOCC-implementable subcircuits, recombined as
+//! the QPD of Eq. 11–13. Every single-wire cut in this crate
+//! ([`crate::harada`], [`crate::peng`], [`crate::nme`], [`crate::mixed`])
+//! implements [`WireCut`]; the generic machinery here turns a cut into a
+//! [`qpd::QpdSpec`] plus executable circuits (compiled to samplers by
+//! [`crate::executor`]), and — crucially — verifies the defining
+//! identity `Σᵢ cᵢ Fᵢ = I` (Eq. 19/23) **exactly** at the channel level
+//! via density-matrix process tomography.
 
 use qlinalg::Matrix;
 use qpd::{QpdSpec, TermSpec};

@@ -1,8 +1,11 @@
 //! Closed-form theory of the paper: Theorems 1–2 and Corollary 1.
 //!
 //! Everything here is an explicit formula; the rest of the crate provides
-//! the constructions and the experiments measure how well sampling
-//! realises these predictions.
+//! the constructions ([`crate::nme`] attains [`gamma_phi_k`],
+//! [`crate::harada`] attains [`GAMMA_NO_ENTANGLEMENT`],
+//! [`crate::joint`] attains `2^{n+1} − 1`) and the experiments measure
+//! how well sampling realises these predictions. The overlap `f(ρ)`
+//! entering Theorem 1 is computed in `entangle::measures`.
 
 use entangle::PhiK;
 

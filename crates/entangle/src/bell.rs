@@ -4,7 +4,10 @@
 //! `|Φ_σ⟩ = (σ ⊗ I)|Φ⟩` with `|Φ⟩ = (|00⟩ + |11⟩)/√2`. Teleportation with
 //! resource ρ applies Pauli error σ with probability `⟨Φ_σ|ρ|Φ_σ⟩`
 //! (Eq. 22), so these overlaps are the coefficients of all teleportation
-//! channels in this workspace.
+//! channels in this workspace. For the pure family [`crate::PhiK`] they
+//! are the closed forms of Eq. 55–58; [`bell_diagonal`] and [`werner`]
+//! build the mixed resources whose overlaps drive the Pauli-inversion
+//! cut, and [`crate::measures`] turns overlaps into `f(ρ)` (Eq. 1).
 
 use qlinalg::{c64, Complex64, Matrix};
 use qsim::{Pauli, StateVector};

@@ -1,8 +1,10 @@
 //! The m-distillation norm of Appendix A.
 //!
-//! For pure states, the maximal LOCC overlap with the maximally entangled
-//! state relates to the m-distillation norm (Regula et al., paper
-//! references [45, 46]):
+//! Second, independent route to the maximal LOCC overlap `f` of Eq. 1
+//! (the direct Schmidt-coefficient route is
+//! [`crate::measures::max_overlap_pure`], via [`mod@crate::schmidt`]). For
+//! pure states, `f` relates to the m-distillation norm (Regula et al.,
+//! paper references [45, 46]):
 //!
 //! `f(ψ_AB) = ½ ‖ |ψ⟩ ‖²_\[2\]`  (Eq. 29)
 //!

@@ -8,7 +8,8 @@
 //! Computable routes implemented here:
 //!
 //! * **Pure states** — exact: `f(ψ) = (λ₀+λ₁)²/2` from the Schmidt
-//!   coefficients (Appendix A / Eq. 29–40).
+//!   coefficients (Appendix A / Eq. 29–40, via [`mod@crate::schmidt`];
+//!   cross-checked by the [`crate::distillation`] norm route).
 //! * **Bell-diagonal states** — the LOCC-maximal overlap equals the largest
 //!   Bell weight, floored at 1/2 (separable states reach 1/2 by local
 //!   preparation; Verstraete & Verschelde, paper reference \[23\]).

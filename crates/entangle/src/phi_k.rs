@@ -1,10 +1,11 @@
 //! The pure NME family `|Φ_k⟩ = K(|00⟩ + k|11⟩)`, `K = 1/√(1+k²)`.
 //!
 //! This is the canonical resource family of the paper (Eq. 6): every pure
-//! two-qubit state is locally equivalent to some `|Φ_k⟩`. The closed forms
-//! collected here are Eq. 10 (maximal overlap `f(Φ_k)`), its inverse
-//! `k(f)`, and the Bell overlaps of Eq. 55–58 that drive the teleportation
-//! error model.
+//! two-qubit state is locally equivalent to some `|Φ_k⟩` (the reduction
+//! is [`mod@crate::schmidt`], Eq. 3–5). The closed forms collected here are
+//! Eq. 10 (maximal overlap `f(Φ_k)`, the quantity entering Theorem 1 via
+//! [`crate::measures`]), its inverse `k(f)`, and the Bell overlaps of
+//! Eq. 55–58 ([`crate::bell`]) that drive the teleportation error model.
 
 use qlinalg::{c64, Complex64, Matrix};
 use qsim::{Circuit, StateVector};

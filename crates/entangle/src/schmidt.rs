@@ -3,8 +3,9 @@
 //! Any two-qubit pure state `|ψ⟩ = Σᵢⱼ Mᵢⱼ|i⟩_B|j⟩_A` decomposes as
 //! `|ψ⟩ = Σ_k λ_k |ξ_k⟩|ζ_k⟩` (paper Eq. 3) via the SVD of `M`. The paper
 //! uses this to reduce every pure resource state to the canonical family
-//! `|Φ_k⟩` (Eq. 5–6); we reproduce that reduction in
-//! [`SchmidtDecomposition::canonical_k`].
+//! `|Φ_k⟩` (Eq. 5–6, [`crate::PhiK`]); we reproduce that reduction in
+//! [`SchmidtDecomposition::canonical_k`], and
+//! [`crate::measures`] reads `f(ψ)` off the Schmidt coefficients.
 
 use qlinalg::{svd, Matrix};
 use qsim::StateVector;

@@ -1,0 +1,48 @@
+//! Regenerates the **joint multi-wire scaling** study (E13): the
+//! joint-vs-independent κ crossover map (n = 1..5), the open-theory NME
+//! joint-cut overlap sweep, and the finite-shot error validation on a
+//! 10²..10⁵ shot grid.
+
+use experiments::joint_scaling::{
+    crossover_table, nme_sweep_table, shots_table, JointScalingConfig,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        JointScalingConfig {
+            max_wires: 4,
+            nme_max_wires: 2,
+            shot_wires: vec![1, 2],
+            shot_grid: vec![100, 1_000, 10_000],
+            num_states: 3,
+            repetitions: 6,
+            ..JointScalingConfig::default()
+        }
+    } else {
+        JointScalingConfig::default()
+    };
+
+    let dir = experiments::results_dir();
+
+    println!("κ crossover map (joint 2^(n+1)−1 vs independent γ(f)^n):");
+    let crossover = crossover_table(&config);
+    println!("{}", crossover.to_pretty());
+    let path = dir.join("joint_scaling_crossover.csv");
+    crossover.write_csv(&path).expect("write csv");
+    println!("wrote {}\n", path.display());
+
+    println!("NME joint-cut exploration (achieved 1-norm of the Tel/MeasPrep/Flip family):");
+    let nme = nme_sweep_table(&config);
+    println!("{}", nme.to_pretty());
+    let path = dir.join("joint_scaling_nme.csv");
+    nme.write_csv(&path).expect("write csv");
+    println!("wrote {}\n", path.display());
+
+    println!("finite-shot validation (mean |error| of ⟨Z…Z⟩ on GHZ-type senders):");
+    let shots = shots_table(&config);
+    println!("{}", shots.to_pretty());
+    let path = dir.join("joint_scaling_shots.csv");
+    shots.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -3,7 +3,8 @@
 //! the paper's evaluation.
 
 use experiments::{
-    allocation, fig6, joint_cut, multicut, noise, overhead, tables, teleport_channel, werner,
+    allocation, fig6, joint_cut, joint_scaling, multicut, noise, overhead, tables,
+    teleport_channel, werner,
 };
 
 fn main() {
@@ -133,6 +134,30 @@ fn main() {
     };
     noise::run(&cfg)
         .write_csv(&dir.join("noise_bias.csv"))
+        .unwrap();
+
+    println!("== E13: joint multi-wire scaling ==");
+    let cfg = if quick {
+        joint_scaling::JointScalingConfig {
+            max_wires: 4,
+            nme_max_wires: 2,
+            shot_wires: vec![1, 2],
+            shot_grid: vec![100, 1_000, 10_000],
+            num_states: 3,
+            repetitions: 6,
+            ..Default::default()
+        }
+    } else {
+        joint_scaling::JointScalingConfig::default()
+    };
+    joint_scaling::crossover_table(&cfg)
+        .write_csv(&dir.join("joint_scaling_crossover.csv"))
+        .unwrap();
+    joint_scaling::nme_sweep_table(&cfg)
+        .write_csv(&dir.join("joint_scaling_nme.csv"))
+        .unwrap();
+    joint_scaling::shots_table(&cfg)
+        .write_csv(&dir.join("joint_scaling_shots.csv"))
         .unwrap();
 
     println!("all results written to {}", dir.display());

@@ -1,8 +1,10 @@
 //! **E11 — joint parallel wire cutting** (extension; paper reference
 //! \[26\], Brenner et al. \[11\]): cutting `n` wires jointly with mutually
 //! unbiased bases costs `κ = 2^{n+1} − 1` instead of the per-wire product
-//! `3ⁿ`. Reports both overheads, the exact channel-identity distance, and
-//! the measured estimation error on entangled sender states. Both the
+//! `3ⁿ`. Reports both overheads, the sparse channel-verification
+//! deviation ([`wirecut::joint::JointWireCut::verify_deviation`] — no
+//! dense superoperator on the experiment path), and the measured
+//! estimation error on entangled sender states. Both the
 //! joint and product estimates request their shot allocations in one
 //! batched call per term (multinomial leaf occupancies + per-leaf parity
 //! binomials).
@@ -14,7 +16,7 @@ use qpd::{estimate_allocated, Allocator};
 use qsim::{Circuit, PauliString};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wirecut::joint::{joint_identity_distance, JointWireCut};
+use wirecut::joint::JointWireCut;
 use wirecut::multi::{ParallelWireCut, PreparedMultiCut};
 use wirecut::NmeCut;
 
@@ -85,7 +87,10 @@ pub fn run(config: &JointConfig) -> Table {
     for &w in &config.wire_counts {
         let joint = JointWireCut::new(w);
         let product = ParallelWireCut::uniform(NmeCut::new(0.0), w);
-        let dist = joint_identity_distance(&joint);
+        // Sparse per-term Kraus verification (matrix-unit / probe based);
+        // the dense 2^{2n} superoperator tomography stays out of the
+        // experiment path.
+        let dist = joint.verify_deviation();
         let observable = PauliString::new(vec![qsim::Pauli::Z; w]);
         let joint_spec = joint.spec();
         let joint_terms = joint.terms();

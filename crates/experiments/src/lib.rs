@@ -13,6 +13,7 @@
 //! | [`werner`] | **E10**: mixed (Werner) resource extension |
 //! | [`joint_cut`] | **E11**: joint multi-wire cutting (κ = 2^{n+1}−1) |
 //! | [`noise`] | **E12**: wire cutting under gate-level depolarising noise |
+//! | [`joint_scaling`] | **E13**: joint-vs-independent κ crossover map + NME joint exploration |
 //!
 //! Infrastructure: [`par`] (crossbeam work-stealing map), [`stats`]
 //! (Welford accumulators), [`csvout`] (CSV/pretty tables into `results/`).
@@ -27,6 +28,7 @@ pub mod allocation;
 pub mod csvout;
 pub mod fig6;
 pub mod joint_cut;
+pub mod joint_scaling;
 pub mod multicut;
 pub mod noise;
 pub mod overhead;

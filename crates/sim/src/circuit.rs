@@ -106,8 +106,10 @@ impl Circuit {
                 for &q in qs {
                     assert!(q < self.num_qubits, "qubit {q} out of range");
                 }
-                if qs.len() == 2 {
-                    assert_ne!(qs[0], qs[1], "duplicate operand for {g}");
+                for (i, &a) in qs.iter().enumerate() {
+                    for &b in &qs[i + 1..] {
+                        assert_ne!(a, b, "duplicate operand for {g}");
+                    }
                 }
             }
             Op::Measure { qubit, clbit } => {
@@ -187,6 +189,17 @@ impl Circuit {
     /// Arbitrary single-qubit unitary from a 2×2 matrix on `q`.
     pub fn unitary1(&mut self, m: Matrix, q: usize) -> &mut Self {
         self.gate(Gate::Unitary1(m), &[q])
+    }
+    /// Arbitrary `k`-qubit unitary from a `2^k × 2^k` matrix; `qubits[i]`
+    /// carries bit `i` of the matrix index. Dispatches to the dedicated
+    /// 1-/2-qubit gate variants for small `k`.
+    pub fn unitary(&mut self, m: Matrix, qubits: &[usize]) -> &mut Self {
+        let g = match qubits.len() {
+            1 => Gate::Unitary1(m),
+            2 => Gate::Unitary2(m),
+            _ => Gate::Unitary(m),
+        };
+        self.gate(g, qubits)
     }
 
     // ---- two-qubit helpers ----

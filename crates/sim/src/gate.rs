@@ -58,6 +58,13 @@ pub enum Gate {
     /// Arbitrary two-qubit unitary given by its 4×4 matrix; operand order
     /// `[q0, q1]` maps to matrix index bit 0 = `q0`, bit 1 = `q1`.
     Unitary2(Matrix),
+    /// Arbitrary `k`-qubit unitary given by its `2^k × 2^k` matrix; operand
+    /// order `[q0, …, q_{k−1}]` maps to matrix index bit `i` = `qᵢ`. This is
+    /// the escape hatch the joint multi-wire cut ([`crate::Circuit`] users
+    /// building MUB rotations over `n > 2` qubits) relies on; the
+    /// statevector backend applies it with the generic strided kernel
+    /// rather than materialising the full `2^n × 2^n` embedding.
+    Unitary(Matrix),
 }
 
 impl Gate {
@@ -68,6 +75,11 @@ impl Gate {
             I | X | Y | Z | H | S | Sdg | T | Tdg | SX | Rx(_) | Ry(_) | Rz(_) | Phase(_)
             | U(..) | Unitary1(_) => 1,
             CX | CZ | CY | Swap | CPhase(_) | Unitary2(_) => 2,
+            Unitary(m) => {
+                let k = m.rows().trailing_zeros() as usize;
+                assert_eq!(m.rows(), 1 << k, "Unitary matrix dim not a power of 2");
+                k
+            }
         }
     }
 
@@ -200,6 +212,7 @@ impl Gate {
                 assert_eq!(m.rows(), 4);
                 m.clone()
             }
+            Unitary(m) => m.clone(),
         }
     }
 
@@ -221,6 +234,7 @@ impl Gate {
             CPhase(l) => CPhase(-l),
             Unitary1(m) => Unitary1(m.dagger()),
             Unitary2(m) => Unitary2(m.dagger()),
+            Unitary(m) => Unitary(m.dagger()),
         }
     }
 
@@ -250,6 +264,7 @@ impl Gate {
             Swap => "swap".into(),
             CPhase(l) => format!("cp({l:.4})"),
             Unitary2(_) => "u2q".into(),
+            Unitary(m) => format!("u{}q", m.rows().trailing_zeros()),
         }
     }
 
@@ -400,5 +415,17 @@ mod tests {
         for g in [Gate::H, Gate::CX, Gate::Swap, Gate::Rz(0.1)] {
             assert_eq!(g.matrix().rows(), 1 << g.arity());
         }
+    }
+
+    #[test]
+    fn n_qubit_unitary_gate_roundtrips() {
+        // An 8×8 unitary (CX ⊗ H up to ordering) through the generic
+        // variant: arity 3, inverse multiplies to identity.
+        let u = Gate::CX.matrix().kron(&Gate::H.matrix());
+        let g = Gate::Unitary(u.clone());
+        assert_eq!(g.arity(), 3);
+        assert_eq!(g.name(), "u3q");
+        let m = g.matrix().matmul(&g.inverse().matrix());
+        assert!(m.approx_eq(&Matrix::identity(8), 1e-12));
     }
 }

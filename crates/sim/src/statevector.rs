@@ -105,7 +105,7 @@ impl StateVector {
                 match qubits.len() {
                     1 => self.apply_matrix1(&m, qubits[0]),
                     2 => self.apply_matrix2(&m, qubits[0], qubits[1]),
-                    _ => unreachable!("gates are 1- or 2-qubit"),
+                    _ => self.apply_matrix(&m, qubits),
                 }
             }
         }
