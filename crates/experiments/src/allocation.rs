@@ -4,13 +4,15 @@
 //! stochastic per-shot sampler of Eq. 12.
 
 use crate::csvout::Table;
-use crate::par::{default_threads, item_seed, parallel_map_indexed};
+use crate::grid::ShardedGrid;
 use crate::stats::RunningStats;
 use qpd::{estimate_allocated, estimate_stochastic, Allocator};
 use qsim::{haar_unitary, Pauli};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use wirecut::{NmeCut, PreparedCut};
+
+/// Stream tag for the Haar-state lane, shared across overlaps so every
+/// strategy comparison runs on the same random states.
+const STATE_STREAM: u64 = 0xE8;
 
 /// Allocation strategies compared.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,25 +75,27 @@ impl Default for AllocationConfig {
 
 /// Mean absolute error per (overlap, strategy).
 pub fn run(config: &AllocationConfig) -> Table {
-    let threads = if config.threads == 0 {
-        default_threads()
-    } else {
-        config.threads
-    };
     let mut t = Table::new(&[
         "overlap_f",
         "err_proportional",
         "err_uniform",
         "err_stochastic",
     ]);
-    for &f in &config.overlaps {
-        let cut = NmeCut::from_overlap(f);
-        let per_state: Vec<[f64; 3]> = parallel_map_indexed(config.num_states, threads, |s| {
-            let mut rng = StdRng::seed_from_u64(item_seed(config.seed, s as u64));
-            let w = haar_unitary(2, &mut rng);
+    // One shard per (overlap, state) cell, overlap-major.
+    let cells: Vec<(f64, u64)> = config
+        .overlaps
+        .iter()
+        .flat_map(|&f| (0..config.num_states as u64).map(move |s| (f, s)))
+        .collect();
+    let per_cell: Vec<[f64; 3]> = ShardedGrid::new(cells, config.seed)
+        .with_threads(config.threads)
+        .run(|&(f, s), ctx| {
+            let cut = NmeCut::from_overlap(f);
+            let w = haar_unitary(2, &mut ctx.shared(&(STATE_STREAM, s)));
             let exact = wirecut::uncut_expectation(&w, Pauli::Z);
             let prepared = PreparedCut::new(&cut, &w, Pauli::Z);
             let samplers = prepared.samplers();
+            let rng = ctx.rng();
             let mut errs = [0.0f64; 3];
             for (i, strat) in Strategy::ALL.iter().enumerate() {
                 let mut acc = RunningStats::new();
@@ -102,17 +106,17 @@ pub fn run(config: &AllocationConfig) -> Table {
                             &samplers,
                             config.shots,
                             Allocator::Proportional,
-                            &mut rng,
+                            rng,
                         ),
                         Strategy::Uniform => estimate_allocated(
                             &prepared.spec,
                             &samplers,
                             config.shots,
                             Allocator::Uniform,
-                            &mut rng,
+                            rng,
                         ),
                         Strategy::Stochastic => {
-                            estimate_stochastic(&prepared.spec, &samplers, config.shots, &mut rng)
+                            estimate_stochastic(&prepared.spec, &samplers, config.shots, rng)
                         }
                     };
                     acc.push((est - exact).abs());
@@ -121,8 +125,9 @@ pub fn run(config: &AllocationConfig) -> Table {
             }
             errs
         });
+    for (fi, &f) in config.overlaps.iter().enumerate() {
         let mut agg = [RunningStats::new(); 3];
-        for errs in &per_state {
+        for errs in &per_cell[fi * config.num_states..(fi + 1) * config.num_states] {
             for i in 0..3 {
                 agg[i].push(errs[i]);
             }

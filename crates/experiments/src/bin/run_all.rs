@@ -1,14 +1,19 @@
-//! Runs every experiment in sequence (pass `--quick` for reduced scale),
-//! writing all CSVs under `results/` — the one-command regeneration of
-//! the paper's evaluation.
+//! Runs every experiment in sequence (pass `--quick` for reduced scale,
+//! `--threads N` to pin the worker count of every sharded sweep; 0 or
+//! absent = auto), writing all CSVs under `results/` — the one-command
+//! regeneration of the paper's evaluation.
 
 use experiments::{
     allocation, fig6, joint_cut, joint_scaling, multicut, noise, overhead, tables,
-    teleport_channel, werner,
+    teleport_channel, werner, werner_sweep,
 };
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // One flag for the whole run: every experiment config's `threads`
+    // field is set from here (0 = auto), so no per-experiment plumbing.
+    let threads = experiments::threads_flag(&args);
     let dir = experiments::results_dir();
     println!("== E3/E4/E6/E7: closed-form tables ==");
     tables::overlap_table(21)
@@ -34,7 +39,7 @@ fn main() {
         .unwrap();
 
     println!("== E1: Figure 6 ==");
-    let cfg = if quick {
+    let mut cfg = if quick {
         fig6::Fig6Config {
             num_states: 100,
             ..Default::default()
@@ -42,6 +47,7 @@ fn main() {
     } else {
         fig6::Fig6Config::default()
     };
+    cfg.threads = threads;
     let res = fig6::run(&cfg);
     res.to_table()
         .write_csv(&dir.join("fig6_error_vs_shots.csv"))
@@ -52,7 +58,7 @@ fn main() {
     );
 
     println!("== E2: overhead vs entanglement ==");
-    let cfg = if quick {
+    let mut cfg = if quick {
         overhead::OverheadConfig {
             repetitions: 40,
             num_states: 6,
@@ -61,12 +67,13 @@ fn main() {
     } else {
         overhead::OverheadConfig::default()
     };
+    cfg.threads = threads;
     overhead::to_table(&overhead::run(&cfg))
         .write_csv(&dir.join("overhead_vs_entanglement.csv"))
         .unwrap();
 
     println!("== E8: allocation ablation ==");
-    let cfg = if quick {
+    let mut cfg = if quick {
         allocation::AllocationConfig {
             num_states: 12,
             repetitions: 12,
@@ -75,12 +82,13 @@ fn main() {
     } else {
         allocation::AllocationConfig::default()
     };
+    cfg.threads = threads;
     allocation::run(&cfg)
         .write_csv(&dir.join("allocation_ablation.csv"))
         .unwrap();
 
     println!("== E9: multi-cut scaling ==");
-    let cfg = if quick {
+    let mut cfg = if quick {
         multicut::MultiCutConfig {
             wire_counts: vec![1, 2],
             num_states: 4,
@@ -90,12 +98,13 @@ fn main() {
     } else {
         multicut::MultiCutConfig::default()
     };
+    cfg.threads = threads;
     multicut::run(&cfg)
         .write_csv(&dir.join("multicut_scaling.csv"))
         .unwrap();
 
     println!("== E10: Werner resources ==");
-    let cfg = if quick {
+    let mut cfg = if quick {
         werner::WernerConfig {
             num_states: 6,
             repetitions: 8,
@@ -104,12 +113,13 @@ fn main() {
     } else {
         werner::WernerConfig::default()
     };
+    cfg.threads = threads;
     werner::run(&cfg)
         .write_csv(&dir.join("werner_resources.csv"))
         .unwrap();
 
     println!("== E11: joint parallel wire cutting ==");
-    let cfg = if quick {
+    let mut cfg = if quick {
         joint_cut::JointConfig {
             num_states: 4,
             repetitions: 6,
@@ -118,12 +128,13 @@ fn main() {
     } else {
         joint_cut::JointConfig::default()
     };
+    cfg.threads = threads;
     joint_cut::run(&cfg)
         .write_csv(&dir.join("joint_cut.csv"))
         .unwrap();
 
     println!("== E12: noise resilience ==");
-    let cfg = if quick {
+    let mut cfg = if quick {
         noise::NoiseConfig {
             num_states: 4,
             repetitions: 6,
@@ -132,12 +143,13 @@ fn main() {
     } else {
         noise::NoiseConfig::default()
     };
+    cfg.threads = threads;
     noise::run(&cfg)
         .write_csv(&dir.join("noise_bias.csv"))
         .unwrap();
 
     println!("== E13: joint multi-wire scaling ==");
-    let cfg = if quick {
+    let mut cfg = if quick {
         joint_scaling::JointScalingConfig {
             max_wires: 4,
             nme_max_wires: 2,
@@ -150,6 +162,7 @@ fn main() {
     } else {
         joint_scaling::JointScalingConfig::default()
     };
+    cfg.threads = threads;
     joint_scaling::crossover_table(&cfg)
         .write_csv(&dir.join("joint_scaling_crossover.csv"))
         .unwrap();
@@ -158,6 +171,22 @@ fn main() {
         .unwrap();
     joint_scaling::shots_table(&cfg)
         .write_csv(&dir.join("joint_scaling_shots.csv"))
+        .unwrap();
+
+    println!("== E15: Werner p-sweep ==");
+    let mut cfg = if quick {
+        werner_sweep::WernerSweepConfig {
+            p_steps: 11,
+            num_states: 6,
+            repetitions: 24,
+            ..Default::default()
+        }
+    } else {
+        werner_sweep::WernerSweepConfig::default()
+    };
+    cfg.threads = threads;
+    werner_sweep::run(&cfg)
+        .write_csv(&dir.join("werner_sweep.csv"))
         .unwrap();
 
     println!("all results written to {}", dir.display());

@@ -1,0 +1,27 @@
+//! Regenerates **E15**: the full Werner p-sweep — `κ̂(p)` with Wilson
+//! confidence bands against `κ_inv = (3/p − 1)/2` and the Theorem 1
+//! bound `γ = 2/f − 1`, over `p ∈ [1/3, 1]`.
+
+use experiments::werner_sweep::{run, WernerSweepConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = experiments::threads_flag(&args);
+    let mut config = if quick {
+        WernerSweepConfig {
+            p_steps: 11,
+            num_states: 6,
+            repetitions: 24,
+            ..WernerSweepConfig::default()
+        }
+    } else {
+        WernerSweepConfig::default()
+    };
+    config.threads = threads;
+    let table = run(&config);
+    println!("{}", table.to_pretty());
+    let path = experiments::results_dir().join("werner_sweep.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

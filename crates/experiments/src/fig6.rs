@@ -14,14 +14,18 @@
 //! Each per-term allocation is served by the batched shot engine (one
 //! multinomial over compiled branch leaves per checkpoint instead of one
 //! tree walk per shot), so the sweep's cost is dominated by the number
-//! of (state, overlap) grid points rather than the shot budget.
+//! of (state, overlap) grid points rather than the shot budget. The
+//! whole (overlap, state) grid is sharded across workers by
+//! [`crate::grid::ShardedGrid`]: each cell samples from its own
+//! counter-based stream keyed by `(f, state)`, while the Haar input
+//! state is drawn from a stream keyed by the state index alone — so all
+//! six overlap curves see the *same* random states (the paper's paired
+//! design) and the result is byte-identical for any thread count.
 
-use crate::par::{default_threads, item_seed, parallel_map_indexed};
+use crate::grid::ShardedGrid;
 use crate::stats::RunningStats;
 use qpd::proportional_sweep;
 use qsim::{haar_unitary, Pauli};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use wirecut::{NmeCut, PreparedCut};
 
 /// Configuration of the Figure 6 experiment.
@@ -63,44 +67,43 @@ pub struct Fig6Result {
     pub std_err: Vec<Vec<f64>>,
 }
 
+/// Stream tag for the Haar-state lane, shared across overlaps so every
+/// entanglement level sees the same random input states.
+const STATE_STREAM: u64 = 0xF16;
+
 /// Runs the Figure 6 experiment.
 pub fn run(config: &Fig6Config) -> Fig6Result {
-    let threads = if config.threads == 0 {
-        default_threads()
-    } else {
-        config.threads
-    };
     let overlaps = config.overlaps.clone();
     let checkpoints = config.shot_checkpoints.clone();
-    // Cuts are input-independent; build them once.
-    let cuts: Vec<NmeCut> = overlaps.iter().map(|&f| NmeCut::from_overlap(f)).collect();
 
-    // Per-state errors: for each state, a grid [overlap][checkpoint].
-    let per_state: Vec<Vec<Vec<f64>>> = parallel_map_indexed(config.num_states, threads, |i| {
-        let mut rng = StdRng::seed_from_u64(item_seed(config.seed, i as u64));
-        let w = haar_unitary(2, &mut rng);
-        let exact = wirecut::uncut_expectation(&w, Pauli::Z);
-        cuts.iter()
-            .map(|cut| {
-                let prepared = PreparedCut::new(cut, &w, Pauli::Z);
-                let estimates = proportional_sweep(
-                    &prepared.spec,
-                    &prepared.samplers(),
-                    &checkpoints,
-                    &mut rng,
-                );
-                estimates.iter().map(|e| (e - exact).abs()).collect()
-            })
-            .collect()
-    });
+    // One shard per (overlap, state) cell, overlap-major.
+    let cells: Vec<(f64, u64)> = overlaps
+        .iter()
+        .flat_map(|&f| (0..config.num_states as u64).map(move |s| (f, s)))
+        .collect();
+    let per_cell: Vec<Vec<f64>> = ShardedGrid::new(cells, config.seed)
+        .with_threads(config.threads)
+        .run(|&(f, s), ctx| {
+            let mut state_rng = ctx.shared(&(STATE_STREAM, s));
+            let w = haar_unitary(2, &mut state_rng);
+            let exact = wirecut::uncut_expectation(&w, Pauli::Z);
+            let cut = NmeCut::from_overlap(f);
+            let prepared = PreparedCut::new(&cut, &w, Pauli::Z);
+            let estimates = proportional_sweep(
+                &prepared.spec,
+                &prepared.samplers(),
+                &checkpoints,
+                ctx.rng(),
+            );
+            estimates.iter().map(|e| (e - exact).abs()).collect()
+        });
 
-    // Aggregate.
+    // Aggregate in grid order (overlap-major).
     let mut grids = vec![vec![RunningStats::new(); checkpoints.len()]; overlaps.len()];
-    for state_grid in &per_state {
-        for (o, row) in state_grid.iter().enumerate() {
-            for (c, &err) in row.iter().enumerate() {
-                grids[o][c].push(err);
-            }
+    for (cell, row) in per_cell.iter().enumerate() {
+        let o = cell / config.num_states;
+        for (c, &err) in row.iter().enumerate() {
+            grids[o][c].push(err);
         }
     }
     let mean_abs_error = grids

@@ -10,15 +10,18 @@
 //! binomials).
 
 use crate::csvout::Table;
-use crate::par::{default_threads, item_seed, parallel_map_indexed};
+use crate::grid::ShardedGrid;
 use crate::stats::RunningStats;
 use qpd::{estimate_allocated, Allocator};
+use qsample::StreamRng;
 use qsim::{Circuit, PauliString};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use wirecut::joint::JointWireCut;
-use wirecut::multi::{ParallelWireCut, PreparedMultiCut};
+use wirecut::multi::{MultiCutTerm, ParallelWireCut, PreparedMultiCut};
 use wirecut::NmeCut;
+
+/// Stream tag for the sender-state lane (keyed by `(wires, state)`).
+const STATE_STREAM: u64 = 0xE11;
 
 /// Configuration of the joint-cut comparison.
 #[derive(Clone, Debug)]
@@ -50,7 +53,7 @@ impl Default for JointConfig {
     }
 }
 
-fn random_sender(w: usize, rng: &mut StdRng) -> Circuit {
+fn random_sender(w: usize, rng: &mut StreamRng) -> Circuit {
     let mut c = Circuit::new(w, 0);
     for q in 0..w {
         c.ry(rng.gen::<f64>() * std::f64::consts::PI, q);
@@ -71,11 +74,6 @@ fn exact_zz(prep: &Circuit) -> f64 {
 /// `(wires, kappa_joint, kappa_product, identity_distance, err_joint,
 /// err_product)`.
 pub fn run(config: &JointConfig) -> Table {
-    let threads = if config.threads == 0 {
-        default_threads()
-    } else {
-        config.threads
-    };
     let mut t = Table::new(&[
         "wires",
         "kappa_joint",
@@ -84,25 +82,40 @@ pub fn run(config: &JointConfig) -> Table {
         "err_joint",
         "err_product",
     ]);
-    for &w in &config.wire_counts {
-        let joint = JointWireCut::new(w);
-        let product = ParallelWireCut::uniform(NmeCut::new(0.0), w);
-        // Sparse per-term Kraus verification (matrix-unit / probe based);
-        // the dense 2^{2n} superoperator tomography stays out of the
-        // experiment path.
-        let dist = joint.verify_deviation();
-        let observable = PauliString::new(vec![qsim::Pauli::Z; w]);
-        let joint_spec = joint.spec();
-        let joint_terms = joint.terms();
-        let per_state: Vec<(f64, f64)> = parallel_map_indexed(config.num_states, threads, |s| {
-            let mut rng = StdRng::seed_from_u64(item_seed(config.seed, s as u64));
-            let prep = random_sender(w, &mut rng);
+    // Per-wire invariants (QPD spec, term circuits, product cut) built
+    // once, not once per (wires, state) shard.
+    let per_wire: Vec<(qpd::QpdSpec, Vec<MultiCutTerm>, ParallelWireCut)> = config
+        .wire_counts
+        .iter()
+        .map(|&w| {
+            let joint = JointWireCut::new(w);
+            (
+                joint.spec(),
+                joint.terms(),
+                ParallelWireCut::uniform(NmeCut::new(0.0), w),
+            )
+        })
+        .collect();
+    // One shard per (wires, state) cell, wire-major.
+    let cells: Vec<(usize, u64)> = config
+        .wire_counts
+        .iter()
+        .flat_map(|&w| (0..config.num_states as u64).map(move |s| (w, s)))
+        .collect();
+    let per_cell: Vec<(f64, f64)> = ShardedGrid::new(cells, config.seed)
+        .with_threads(config.threads)
+        .run(|&(w, s), ctx| {
+            let wi = config.wire_counts.iter().position(|&x| x == w).unwrap();
+            let (joint_spec, joint_terms, product) = &per_wire[wi];
+            let observable = PauliString::new(vec![qsim::Pauli::Z; w]);
+            let prep = random_sender(w, &mut ctx.shared(&(STATE_STREAM, w as u64, s)));
             let exact = exact_zz(&prep);
             let compiled_joint =
-                PreparedMultiCut::from_terms(joint_spec.clone(), &joint_terms, &prep, &observable);
-            let compiled_product = PreparedMultiCut::new(&product, &prep, &observable);
+                PreparedMultiCut::from_terms(joint_spec.clone(), joint_terms, &prep, &observable);
+            let compiled_product = PreparedMultiCut::new(product, &prep, &observable);
             debug_assert!((compiled_joint.exact_value() - exact).abs() < 1e-7);
             debug_assert!((compiled_product.exact_value() - exact).abs() < 1e-7);
+            let rng = ctx.rng();
             let mut ej = RunningStats::new();
             let mut ep = RunningStats::new();
             for _ in 0..config.repetitions {
@@ -111,7 +124,7 @@ pub fn run(config: &JointConfig) -> Table {
                     &compiled_joint.samplers(),
                     config.shots,
                     Allocator::Proportional,
-                    &mut rng,
+                    rng,
                 );
                 ej.push((est_j - exact).abs());
                 let est_p = estimate_allocated(
@@ -119,22 +132,27 @@ pub fn run(config: &JointConfig) -> Table {
                     &compiled_product.samplers(),
                     config.shots,
                     Allocator::Proportional,
-                    &mut rng,
+                    rng,
                 );
                 ep.push((est_p - exact).abs());
             }
             (ej.mean(), ep.mean())
         });
+    for (wi, &w) in config.wire_counts.iter().enumerate() {
+        // Sparse per-term Kraus verification (matrix-unit / probe based);
+        // the dense 2^{2n} superoperator tomography stays out of the
+        // experiment path.
+        let dist = JointWireCut::new(w).verify_deviation();
         let mut agg_j = RunningStats::new();
         let mut agg_p = RunningStats::new();
-        for &(j, p) in &per_state {
+        for &(j, p) in &per_cell[wi * config.num_states..(wi + 1) * config.num_states] {
             agg_j.push(j);
             agg_p.push(p);
         }
         t.push_row(vec![
             w as f64,
-            joint.kappa(),
-            product.kappa(),
+            per_wire[wi].0.kappa(),
+            per_wire[wi].2.kappa(),
             dist,
             agg_j.mean(),
             agg_p.mean(),

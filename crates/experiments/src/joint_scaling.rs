@@ -26,16 +26,15 @@
 //! (writes `results/joint_scaling_{crossover,nme,shots}.csv`).
 
 use crate::csvout::Table;
-use crate::par::{default_threads, item_seed, parallel_map_indexed};
+use crate::grid::ShardedGrid;
 use crate::stats::RunningStats;
 use entangle::PhiK;
 use qpd::{estimate_allocated, Allocator};
 use qsim::{Circuit, PauliString};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use wirecut::joint::JointWireCut;
 use wirecut::joint_nme::explore_joint_nme;
-use wirecut::multi::{ParallelWireCut, PreparedMultiCut};
+use wirecut::multi::{MultiCutTerm, ParallelWireCut, PreparedMultiCut};
 use wirecut::theory;
 use wirecut::NmeCut;
 
@@ -77,6 +76,10 @@ impl Default for JointScalingConfig {
         }
     }
 }
+
+/// Stream tag for the sender-state lane, shared across wire counts so
+/// every `n` compares the same family of sender angles.
+const STATE_STREAM: u64 = 0x1357;
 
 /// The crossover overlap `f*(n)`: independent `|Φ_k⟩` cuts beat the
 /// entanglement-free joint cut exactly when `f > f*(n)`;
@@ -125,11 +128,6 @@ pub fn crossover_table(config: &JointScalingConfig) -> Table {
 /// basis-pursuit solve over the Tel/MeasPrep/Flip family — an upper bound
 /// on the (open) optimal joint-NME overhead.
 pub fn nme_sweep_table(config: &JointScalingConfig) -> Table {
-    let threads = if config.threads == 0 {
-        default_threads()
-    } else {
-        config.threads
-    };
     let mut t = Table::new(&[
         "wires",
         "f",
@@ -143,21 +141,25 @@ pub fn nme_sweep_table(config: &JointScalingConfig) -> Table {
     let cases: Vec<(usize, f64)> = (1..=config.nme_max_wires)
         .flat_map(|n| config.overlaps.iter().map(move |&f| (n, f)))
         .collect();
-    let rows = parallel_map_indexed(cases.len(), threads, |i| {
-        let (n, f) = cases[i];
-        let k = PhiK::from_overlap(f).k();
-        let sol = explore_joint_nme(n, k);
-        vec![
-            n as f64,
-            f,
-            k,
-            sol.kappa,
-            theory::gamma_from_overlap(f).powi(n as i32),
-            JointWireCut::new(n).kappa(),
-            sol.residual,
-            sol.pairs_per_sample,
-        ]
-    });
+    // Configuration-level shards: the n = 4 solves cost orders of
+    // magnitude more than n = 1, which is exactly what the engine's
+    // work stealing absorbs.
+    let rows = ShardedGrid::new(cases, config.seed)
+        .with_threads(config.threads)
+        .run(|&(n, f), _| {
+            let k = PhiK::from_overlap(f).k();
+            let sol = explore_joint_nme(n, k);
+            vec![
+                n as f64,
+                f,
+                k,
+                sol.kappa,
+                theory::gamma_from_overlap(f).powi(n as i32),
+                JointWireCut::new(n).kappa(),
+                sol.residual,
+                sol.pairs_per_sample,
+            ]
+        });
     for row in rows {
         t.push_row(row);
     }
@@ -185,11 +187,6 @@ fn exact_all_z(prep: &Circuit) -> f64 {
 /// GHZ-type sender states. The `κ/√N` law makes `err_joint/err_product →
 /// κ_joint/κ_product` at large budgets.
 pub fn shots_table(config: &JointScalingConfig) -> Table {
-    let threads = if config.threads == 0 {
-        default_threads()
-    } else {
-        config.threads
-    };
     let mut t = Table::new(&[
         "wires",
         "shots",
@@ -199,65 +196,88 @@ pub fn shots_table(config: &JointScalingConfig) -> Table {
         "err_product",
     ]);
     let observable = |w: usize| PauliString::new(vec![qsim::Pauli::Z; w]);
-    for &w in &config.shot_wires {
-        let joint = JointWireCut::new(w);
-        let product = ParallelWireCut::uniform(NmeCut::new(0.0), w);
-        let joint_spec = joint.spec();
-        let joint_terms = joint.terms();
-        // (state, shots) → (err_joint, err_product), states in parallel.
-        let per_state: Vec<Vec<(f64, f64)>> =
-            parallel_map_indexed(config.num_states, threads, |s| {
-                let mut rng = StdRng::seed_from_u64(item_seed(config.seed, s as u64));
-                let theta = rng.gen::<f64>() * std::f64::consts::PI;
-                let prep = ghz_sender(w, theta);
-                let exact = exact_all_z(&prep);
-                let compiled_joint = PreparedMultiCut::from_terms(
-                    joint_spec.clone(),
-                    &joint_terms,
-                    &prep,
-                    &observable(w),
-                );
-                let compiled_product = PreparedMultiCut::new(&product, &prep, &observable(w));
-                config
-                    .shot_grid
-                    .iter()
-                    .map(|&shots| {
-                        let mut ej = RunningStats::new();
-                        let mut ep = RunningStats::new();
-                        for _ in 0..config.repetitions {
-                            let est_j = estimate_allocated(
-                                &compiled_joint.spec,
-                                &compiled_joint.samplers(),
-                                shots,
-                                Allocator::Proportional,
-                                &mut rng,
-                            );
-                            ej.push((est_j - exact).abs());
-                            let est_p = estimate_allocated(
-                                &compiled_product.spec,
-                                &compiled_product.samplers(),
-                                shots,
-                                Allocator::Proportional,
-                                &mut rng,
-                            );
-                            ep.push((est_p - exact).abs());
-                        }
-                        (ej.mean(), ep.mean())
-                    })
-                    .collect()
-            });
+    // Per-wire invariants (QPD spec, term circuits, product cut) built
+    // once, not once per (wires, state) shard.
+    let per_wire: Vec<(qpd::QpdSpec, Vec<MultiCutTerm>, ParallelWireCut)> = config
+        .shot_wires
+        .iter()
+        .map(|&w| {
+            let joint = JointWireCut::new(w);
+            (
+                joint.spec(),
+                joint.terms(),
+                ParallelWireCut::uniform(NmeCut::new(0.0), w),
+            )
+        })
+        .collect();
+    // One shard per (wires, state) cell, wire-major; the sender angle is
+    // drawn from a state-keyed stream so every wire count compares the
+    // same family of sender states.
+    let cells: Vec<(usize, u64)> = config
+        .shot_wires
+        .iter()
+        .flat_map(|&w| (0..config.num_states as u64).map(move |s| (w, s)))
+        .collect();
+    let per_cell: Vec<Vec<(f64, f64)>> = ShardedGrid::new(cells, config.seed)
+        .with_threads(config.threads)
+        .run(|&(w, s), ctx| {
+            let wi = config.shot_wires.iter().position(|&x| x == w).unwrap();
+            let (joint_spec, joint_terms, product) = &per_wire[wi];
+            let theta = ctx.shared(&(STATE_STREAM, s)).gen::<f64>() * std::f64::consts::PI;
+            let prep = ghz_sender(w, theta);
+            let exact = exact_all_z(&prep);
+            let compiled_joint = PreparedMultiCut::from_terms(
+                joint_spec.clone(),
+                joint_terms,
+                &prep,
+                &observable(w),
+            );
+            let compiled_product = PreparedMultiCut::new(product, &prep, &observable(w));
+            let rng = ctx.rng();
+            config
+                .shot_grid
+                .iter()
+                .map(|&shots| {
+                    let mut ej = RunningStats::new();
+                    let mut ep = RunningStats::new();
+                    for _ in 0..config.repetitions {
+                        let est_j = estimate_allocated(
+                            &compiled_joint.spec,
+                            &compiled_joint.samplers(),
+                            shots,
+                            Allocator::Proportional,
+                            rng,
+                        );
+                        ej.push((est_j - exact).abs());
+                        let est_p = estimate_allocated(
+                            &compiled_product.spec,
+                            &compiled_product.samplers(),
+                            shots,
+                            Allocator::Proportional,
+                            rng,
+                        );
+                        ep.push((est_p - exact).abs());
+                    }
+                    (ej.mean(), ep.mean())
+                })
+                .collect()
+        });
+    for (wi, &w) in config.shot_wires.iter().enumerate() {
+        let kappa_joint = per_wire[wi].0.kappa();
+        let kappa_product = per_wire[wi].2.kappa();
+        let block = &per_cell[wi * config.num_states..(wi + 1) * config.num_states];
         for (si, &shots) in config.shot_grid.iter().enumerate() {
             let mut agg_j = RunningStats::new();
             let mut agg_p = RunningStats::new();
-            for state_rows in &per_state {
+            for state_rows in block {
                 agg_j.push(state_rows[si].0);
                 agg_p.push(state_rows[si].1);
             }
             t.push_row(vec![
                 w as f64,
                 shots as f64,
-                joint.kappa(),
-                product.kappa(),
+                kappa_joint,
+                kappa_product,
                 agg_j.mean(),
                 agg_p.mean(),
             ]);

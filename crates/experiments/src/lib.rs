@@ -14,9 +14,13 @@
 //! | [`joint_cut`] | **E11**: joint multi-wire cutting (κ = 2^{n+1}−1) |
 //! | [`noise`] | **E12**: wire cutting under gate-level depolarising noise |
 //! | [`joint_scaling`] | **E13**: joint-vs-independent κ crossover map + NME joint exploration |
+//! | [`werner_sweep`] | **E15**: full Werner p-sweep with confidence bands vs the Theorem 1 bound |
 //!
-//! Infrastructure: [`par`] (crossbeam work-stealing map), [`stats`]
-//! (Welford accumulators), [`csvout`] (CSV/pretty tables into `results/`).
+//! Infrastructure: [`grid`] (the configuration-grid sharding engine:
+//! work-stealing over whole configurations with per-shard counter-based
+//! RNG streams and deterministic grid-order output), [`par`] (item-level
+//! work-stealing map), [`stats`] (Welford accumulators, Wilson
+//! intervals), [`csvout`] (CSV/pretty tables into `results/`).
 //!
 //! Each experiment has a matching binary (`cargo run --release -p
 //! experiments --bin <name>`) and a criterion bench in the `bench` crate.
@@ -27,6 +31,7 @@
 pub mod allocation;
 pub mod csvout;
 pub mod fig6;
+pub mod grid;
 pub mod joint_cut;
 pub mod joint_scaling;
 pub mod multicut;
@@ -37,7 +42,25 @@ pub mod stats;
 pub mod tables;
 pub mod teleport_channel;
 pub mod werner;
+pub mod werner_sweep;
 
 pub use csvout::{results_dir, Table};
+pub use grid::{keyed_stream, GridKey, KeyHasher, ShardCtx, ShardResult, ShardedGrid};
 pub use par::{default_threads, item_seed, parallel_map_indexed};
 pub use stats::RunningStats;
+
+/// Parses the shared `--threads N` CLI flag used by the experiment
+/// binaries (0 or absent = auto), warning on a malformed value instead
+/// of silently falling back.
+pub fn threads_flag(args: &[String]) -> usize {
+    match args.iter().position(|a| a == "--threads") {
+        None => 0,
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) => n,
+            _ => {
+                eprintln!("warning: --threads expects a worker count (0 = auto); using auto");
+                0
+            }
+        },
+    }
+}

@@ -5,14 +5,19 @@
 //! that exponential.
 
 use crate::csvout::Table;
-use crate::par::{default_threads, item_seed, parallel_map_indexed};
+use crate::grid::ShardedGrid;
 use crate::stats::RunningStats;
 use qpd::{estimate_allocated, Allocator};
+use qsample::StreamRng;
 use qsim::{Circuit, PauliString};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use wirecut::multi::{ParallelWireCut, PreparedMultiCut};
 use wirecut::NmeCut;
+
+/// Stream tag for the sender-state lane, shared across overlaps (keyed
+/// by `(wires, state)`) so every entanglement level cuts the same
+/// senders.
+const STATE_STREAM: u64 = 0xE9;
 
 /// Configuration of the multi-cut experiment.
 #[derive(Clone, Debug)]
@@ -49,7 +54,7 @@ impl Default for MultiCutConfig {
 
 /// A random `w`-qubit sender circuit: per-qubit Ry rotations and a chain
 /// of CNOTs so the cut wires carry an *entangled* joint state.
-fn random_sender(w: usize, rng: &mut StdRng) -> Circuit {
+fn random_sender(w: usize, rng: &mut StreamRng) -> Circuit {
     let mut c = Circuit::new(w, 0);
     for q in 0..w {
         c.ry(rng.gen::<f64>() * std::f64::consts::PI, q);
@@ -73,40 +78,50 @@ fn exact_zz(prep: &Circuit) -> f64 {
 /// Runs the multi-cut scaling experiment; rows are
 /// `(wires, overlap_f, kappa_total, mean_abs_error)`.
 pub fn run(config: &MultiCutConfig) -> Table {
-    let threads = if config.threads == 0 {
-        default_threads()
-    } else {
-        config.threads
-    };
     let mut t = Table::new(&["wires", "overlap_f", "kappa_total", "mean_abs_error"]);
+    // One shard per (wires, overlap, state) cell, (w, f)-major.
+    let cells: Vec<(usize, f64, u64)> = config
+        .wire_counts
+        .iter()
+        .flat_map(|&w| {
+            config
+                .overlaps
+                .iter()
+                .flat_map(move |&f| (0..config.num_states as u64).map(move |s| (w, f, s)))
+        })
+        .collect();
+    let per_cell: Vec<f64> = ShardedGrid::new(cells, config.seed)
+        .with_threads(config.threads)
+        .run(|&(w, f, s), ctx| {
+            let cut = ParallelWireCut::uniform(NmeCut::from_overlap(f), w);
+            let observable = PauliString::new(vec![qsim::Pauli::Z; w]);
+            let prep = random_sender(w, &mut ctx.shared(&(STATE_STREAM, w as u64, s)));
+            let exact = exact_zz(&prep);
+            let prepared = PreparedMultiCut::new(&cut, &prep, &observable);
+            debug_assert!((prepared.exact_value() - exact).abs() < 1e-8);
+            let rng = ctx.rng();
+            let mut acc = RunningStats::new();
+            for _ in 0..config.repetitions {
+                let est = estimate_allocated(
+                    &prepared.spec,
+                    &prepared.samplers(),
+                    config.shots,
+                    Allocator::Proportional,
+                    rng,
+                );
+                acc.push((est - exact).abs());
+            }
+            acc.mean()
+        });
+    let mut cell = 0;
     for &w in &config.wire_counts {
         for &f in &config.overlaps {
-            let cut = ParallelWireCut::uniform(NmeCut::from_overlap(f), w);
-            let kappa = cut.kappa();
-            let observable = PauliString::new(vec![qsim::Pauli::Z; w]);
-            let per_state: Vec<f64> = parallel_map_indexed(config.num_states, threads, |s| {
-                let mut rng = StdRng::seed_from_u64(item_seed(config.seed, s as u64));
-                let prep = random_sender(w, &mut rng);
-                let exact = exact_zz(&prep);
-                let prepared = PreparedMultiCut::new(&cut, &prep, &observable);
-                debug_assert!((prepared.exact_value() - exact).abs() < 1e-8);
-                let mut acc = RunningStats::new();
-                for _ in 0..config.repetitions {
-                    let est = estimate_allocated(
-                        &prepared.spec,
-                        &prepared.samplers(),
-                        config.shots,
-                        Allocator::Proportional,
-                        &mut rng,
-                    );
-                    acc.push((est - exact).abs());
-                }
-                acc.mean()
-            });
+            let kappa = ParallelWireCut::uniform(NmeCut::from_overlap(f), w).kappa();
             let mut agg = RunningStats::new();
-            for &e in &per_state {
+            for &e in &per_cell[cell..cell + config.num_states] {
                 agg.push(e);
             }
+            cell += config.num_states;
             t.push_row(vec![w as f64, f, kappa, agg.mean()]);
         }
     }

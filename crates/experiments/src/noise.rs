@@ -13,16 +13,18 @@
 //! path (one binomial per term and budget, not one draw per shot).
 
 use crate::csvout::Table;
-use crate::par::{default_threads, item_seed, parallel_map_indexed};
+use crate::grid::ShardedGrid;
 use crate::stats::RunningStats;
 use qlinalg::Matrix;
 use qpd::{BernoulliTerm, QpdSpec, TermSampler};
 use qsim::noise::{execute_density_noisy, NoiseModel};
 use qsim::{haar_unitary, Circuit, Pauli, PauliString};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use wirecut::term::embed_input;
 use wirecut::{NmeCut, WireCut};
+
+/// Stream tag for the Haar-state lane, shared across `(k, p)` so every
+/// noise level biases the same random states.
+const STATE_STREAM: u64 = 0xE12;
 
 /// Exact expectation of Z on the output of one cut term executed under a
 /// noise model, for input `W|0⟩`.
@@ -98,64 +100,73 @@ impl Default for NoiseConfig {
 /// sampler at its exact noisy expectation (shot noise on top of the
 /// noise-induced bias) with the paper's proportional allocation.
 pub fn run(config: &NoiseConfig) -> Table {
-    let threads = if config.threads == 0 {
-        default_threads()
-    } else {
-        config.threads
-    };
     let mut t = Table::new(&["k", "p", "kappa", "bias_exact", "total_err_at_budget"]);
-    for &k in &config.k_values {
-        let cut = NmeCut::new(k);
-        let kappa = cut.kappa();
-        for &p in &config.noise_levels {
+    // One shard per (k, p, state) cell, (k, p)-major.
+    let cells: Vec<(f64, f64, u64)> = config
+        .k_values
+        .iter()
+        .flat_map(|&k| {
+            config
+                .noise_levels
+                .iter()
+                .flat_map(move |&p| (0..config.num_states as u64).map(move |s| (k, p, s)))
+        })
+        .collect();
+    let per_cell: Vec<(f64, f64)> = ShardedGrid::new(cells, config.seed)
+        .with_threads(config.threads)
+        .run(|&(k, p, s), ctx| {
+            let cut = NmeCut::new(k);
             let noise = NoiseModel::depolarizing(p);
-            let per_state: Vec<(f64, f64)> =
-                parallel_map_indexed(config.num_states, threads, |s| {
-                    let mut rng = StdRng::seed_from_u64(item_seed(config.seed, s as u64));
-                    let w = haar_unitary(2, &mut rng);
-                    let exact = wirecut::uncut_expectation(&w, Pauli::Z);
-                    let terms = cut.terms();
-                    let noisy_vals: Vec<f64> = terms
-                        .iter()
-                        .map(|term| noisy_term_expectation(term, &w, &noise))
-                        .collect();
-                    let spec: QpdSpec = cut.spec();
-                    let reconstruction: f64 = spec
-                        .coefficients()
-                        .iter()
-                        .zip(noisy_vals.iter())
-                        .map(|(c, e)| c * e)
-                        .sum();
-                    let bias = (reconstruction - exact).abs();
-                    // Finite-shot error: Bernoulli samplers at the noisy
-                    // expectations.
-                    let samplers: Vec<BernoulliTerm> = noisy_vals
-                        .iter()
-                        .map(|&e| BernoulliTerm {
-                            expectation: e.clamp(-1.0, 1.0),
-                        })
-                        .collect();
-                    let refs: Vec<&dyn TermSampler> =
-                        samplers.iter().map(|s| s as &dyn TermSampler).collect();
-                    let mut err = RunningStats::new();
-                    for _ in 0..config.repetitions {
-                        let est = qpd::estimate_allocated(
-                            &spec,
-                            &refs,
-                            config.shots,
-                            qpd::Allocator::Proportional,
-                            &mut rng,
-                        );
-                        err.push((est - exact).abs());
-                    }
-                    (bias, err.mean())
-                });
+            let w = haar_unitary(2, &mut ctx.shared(&(STATE_STREAM, s)));
+            let exact = wirecut::uncut_expectation(&w, Pauli::Z);
+            let terms = cut.terms();
+            let noisy_vals: Vec<f64> = terms
+                .iter()
+                .map(|term| noisy_term_expectation(term, &w, &noise))
+                .collect();
+            let spec: QpdSpec = cut.spec();
+            let reconstruction: f64 = spec
+                .coefficients()
+                .iter()
+                .zip(noisy_vals.iter())
+                .map(|(c, e)| c * e)
+                .sum();
+            let bias = (reconstruction - exact).abs();
+            // Finite-shot error: Bernoulli samplers at the noisy
+            // expectations.
+            let samplers: Vec<BernoulliTerm> = noisy_vals
+                .iter()
+                .map(|&e| BernoulliTerm {
+                    expectation: e.clamp(-1.0, 1.0),
+                })
+                .collect();
+            let refs: Vec<&dyn TermSampler> =
+                samplers.iter().map(|s| s as &dyn TermSampler).collect();
+            let rng = ctx.rng();
+            let mut err = RunningStats::new();
+            for _ in 0..config.repetitions {
+                let est = qpd::estimate_allocated(
+                    &spec,
+                    &refs,
+                    config.shots,
+                    qpd::Allocator::Proportional,
+                    rng,
+                );
+                err.push((est - exact).abs());
+            }
+            (bias, err.mean())
+        });
+    let mut cell = 0;
+    for &k in &config.k_values {
+        let kappa = NmeCut::new(k).kappa();
+        for &p in &config.noise_levels {
             let mut bias_agg = RunningStats::new();
             let mut err_agg = RunningStats::new();
-            for &(b, e) in &per_state {
+            for &(b, e) in &per_cell[cell..cell + config.num_states] {
                 bias_agg.push(b);
                 err_agg.push(e);
             }
+            cell += config.num_states;
             t.push_row(vec![k, p, kappa, bias_agg.mean(), err_agg.mean()]);
         }
     }
@@ -212,6 +223,7 @@ mod tests {
 
     #[test]
     fn noisy_reconstruction_helper_agrees() {
+        use rand::{rngs::StdRng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(8);
         let w = haar_unitary(2, &mut rng);
         let cut = NmeCut::new(0.5);

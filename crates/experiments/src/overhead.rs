@@ -14,13 +14,15 @@
 //! Every repetition draws its whole budget through the batched shot
 //! engine, so the variance scan stays cheap at large `N`.
 
-use crate::par::{default_threads, item_seed, parallel_map_indexed};
+use crate::grid::ShardedGrid;
 use crate::stats::{mean, variance};
 use qpd::{estimate_allocated, Allocator};
 use qsim::{haar_unitary, Pauli};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use wirecut::{theory, NmeCut, PreparedCut, WireCut};
+
+/// Stream tag for the Haar-state lane, shared across `k` values so every
+/// resource level measures variance on the same random states.
+const STATE_STREAM: u64 = 0xE2;
 
 /// Configuration for the overhead measurement.
 #[derive(Clone, Debug)]
@@ -91,56 +93,59 @@ pub fn predicted_variance(spec: &qpd::QpdSpec, exact_terms: &[f64], total_shots:
 
 /// Runs the overhead measurement.
 pub fn run(config: &OverheadConfig) -> Vec<OverheadRow> {
-    let threads = if config.threads == 0 {
-        default_threads()
-    } else {
-        config.threads
-    };
+    // One shard per (k, state) cell, k-major; the Haar state comes from
+    // a state-keyed stream so every k measures the same states.
+    let cells: Vec<(f64, u64)> = config
+        .k_values
+        .iter()
+        .flat_map(|&k| (0..config.num_states as u64).map(move |s| (k, s)))
+        .collect();
+    let per_cell: Vec<(f64, f64, f64)> = ShardedGrid::new(cells, config.seed)
+        .with_threads(config.threads)
+        .run(|&(k, s), ctx| {
+            let cut = NmeCut::new(k);
+            let baseline = NmeCut::new(1.0);
+            let w = haar_unitary(2, &mut ctx.shared(&(STATE_STREAM, s)));
+            let prepared = PreparedCut::new(&cut, &w, Pauli::Z);
+            let exact_terms: Vec<f64> = prepared
+                .terms
+                .iter()
+                .map(qpd::TermSampler::exact_expectation)
+                .collect();
+            let pred = predicted_variance(&prepared.spec, &exact_terms, config.shots);
+            let rng = ctx.rng();
+            let estimates: Vec<f64> = (0..config.repetitions)
+                .map(|_| {
+                    estimate_allocated(
+                        &prepared.spec,
+                        &prepared.samplers(),
+                        config.shots,
+                        Allocator::Proportional,
+                        rng,
+                    )
+                })
+                .collect();
+            let measured = variance(&estimates);
+            // Baseline variance for the same state at k = 1.
+            let base = PreparedCut::new(&baseline, &w, Pauli::Z);
+            let base_terms: Vec<f64> = base
+                .terms
+                .iter()
+                .map(qpd::TermSampler::exact_expectation)
+                .collect();
+            let base_pred = predicted_variance(&base.spec, &base_terms, config.shots);
+            (measured, pred, base_pred)
+        });
     config
         .k_values
         .iter()
-        .map(|&k| {
+        .enumerate()
+        .map(|(ki, &k)| {
             let cut = NmeCut::new(k);
-            let baseline = NmeCut::new(1.0);
-            // Parallel over states; each worker measures variance over
-            // repetitions for this k.
-            let per_state: Vec<(f64, f64, f64)> =
-                parallel_map_indexed(config.num_states, threads, |s| {
-                    let mut rng =
-                        StdRng::seed_from_u64(item_seed(config.seed, (s as u64) << 8 | 1));
-                    let w = haar_unitary(2, &mut rng);
-                    let prepared = PreparedCut::new(&cut, &w, Pauli::Z);
-                    let exact_terms: Vec<f64> = prepared
-                        .terms
-                        .iter()
-                        .map(qpd::TermSampler::exact_expectation)
-                        .collect();
-                    let pred = predicted_variance(&prepared.spec, &exact_terms, config.shots);
-                    let estimates: Vec<f64> = (0..config.repetitions)
-                        .map(|_| {
-                            estimate_allocated(
-                                &prepared.spec,
-                                &prepared.samplers(),
-                                config.shots,
-                                Allocator::Proportional,
-                                &mut rng,
-                            )
-                        })
-                        .collect();
-                    let measured = variance(&estimates);
-                    // Baseline variance for the same state at k = 1.
-                    let base = PreparedCut::new(&baseline, &w, Pauli::Z);
-                    let base_terms: Vec<f64> = base
-                        .terms
-                        .iter()
-                        .map(qpd::TermSampler::exact_expectation)
-                        .collect();
-                    let base_pred = predicted_variance(&base.spec, &base_terms, config.shots);
-                    (measured, pred, base_pred)
-                });
-            let measured = mean(&per_state.iter().map(|x| x.0).collect::<Vec<_>>());
-            let predicted = mean(&per_state.iter().map(|x| x.1).collect::<Vec<_>>());
-            let base = mean(&per_state.iter().map(|x| x.2).collect::<Vec<_>>());
+            let block = &per_cell[ki * config.num_states..(ki + 1) * config.num_states];
+            let measured = mean(&block.iter().map(|x| x.0).collect::<Vec<_>>());
+            let predicted = mean(&block.iter().map(|x| x.1).collect::<Vec<_>>());
+            let base = mean(&block.iter().map(|x| x.2).collect::<Vec<_>>());
             let kappa_emp = if base > 0.0 {
                 (measured / base).sqrt()
             } else {

@@ -4,9 +4,15 @@
 //! follow the workspace concurrency guide: a shared atomic work index
 //! (work stealing at item granularity — no static partitioning, so uneven
 //! item costs balance automatically), scoped threads (no `'static`
-//! bounds), and a mutex-guarded result sink. Each worker owns its RNG;
-//! determinism comes from seeding per *item*, not per thread, so results
-//! are identical regardless of thread count.
+//! bounds), and a pre-sized slot vector as the result sink. Each worker
+//! owns its RNG; determinism comes from seeding per *item*, not per
+//! thread, so results are identical regardless of thread count.
+//!
+//! This is the item-level primitive; configuration-level sweeps (the
+//! Cartesian (state, overlap, shots) grids of the experiments) go
+//! through the richer [`crate::grid::ShardedGrid`] engine, which layers
+//! per-shard counter-based RNG streams and a mergeable accumulator on
+//! top of the same work-stealing loop.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -14,45 +20,46 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Maps `f` over `0..n` items in parallel, preserving item order in the
 /// output. `f` receives the item index and must be deterministic given it
 /// (seed RNGs from the index) for reproducible results.
+///
+/// Each result is written into its index's pre-sized slot the moment it
+/// is computed, so output order is fixed by construction — *not* by the
+/// order in which workers complete items. (An earlier version pushed
+/// `(index, result)` pairs into a shared vector in completion order and
+/// re-sorted at the end; `tests/sharding_determinism.rs` keeps a jitter
+/// regression against that hazard.)
 pub fn parallel_map_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
     assert!(threads >= 1);
-    if n == 0 {
-        return Vec::new();
-    }
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let sink: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
     crossbeam::scope(|scope| {
         for _ in 0..threads.min(n) {
-            scope.spawn(|_| {
-                // Batch locally to keep the sink lock cold.
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    local.push((i, f(i)));
-                    if local.len() >= 32 {
-                        sink.lock().append(&mut local);
-                    }
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
-                if !local.is_empty() {
-                    sink.lock().append(&mut local);
-                }
+                // Compute outside the lock; each slot is touched by
+                // exactly one worker, so the lock is never contended.
+                let value = f(i);
+                *slots[i].lock() = Some(value);
             });
         }
     })
     // Re-raise a worker panic with its original payload so assertion
     // messages from parallel experiment code reach the test harness.
     .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-    let mut results = sink.into_inner();
-    results.sort_by_key(|(i, _)| *i);
-    debug_assert_eq!(results.len(), n);
-    results.into_iter().map(|(_, r)| r).collect()
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(|| panic!("slot {i} never filled"))
+        })
+        .collect()
 }
 
 /// Default worker count: available parallelism, capped at 16.

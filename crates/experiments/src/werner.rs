@@ -12,15 +12,17 @@
 //!   tree walks).
 
 use crate::csvout::Table;
-use crate::par::{default_threads, item_seed, parallel_map_indexed};
+use crate::grid::ShardedGrid;
 use crate::stats::RunningStats;
 use entangle::werner;
 use qpd::{estimate_allocated, Allocator};
 use qsim::{haar_unitary, Pauli};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use wirecut::mixed::{inversion_kappa, optimal_gamma_bell_diagonal, BellDiagonalCut};
 use wirecut::PreparedCut;
+
+/// Stream tag for the Haar-state lane, shared across Werner parameters
+/// so every `p` sees the same random input states.
+const STATE_STREAM: u64 = 0xE10;
 
 /// Configuration of the Werner-resource experiment.
 #[derive(Clone, Debug)]
@@ -54,11 +56,6 @@ impl Default for WernerConfig {
 
 /// Runs the Werner-resource experiment.
 pub fn run(config: &WernerConfig) -> Table {
-    let threads = if config.threads == 0 {
-        default_threads()
-    } else {
-        config.threads
-    };
     let mut t = Table::new(&[
         "p",
         "fef",
@@ -66,16 +63,20 @@ pub fn run(config: &WernerConfig) -> Table {
         "kappa_inversion",
         "mean_abs_error",
     ]);
-    for &p in &config.p_values {
-        let cut = BellDiagonalCut::werner(p);
-        let fef = entangle::fully_entangled_fraction(&werner(p));
-        let gamma = optimal_gamma_bell_diagonal(cut.weights);
-        let kappa = inversion_kappa(cut.weights);
-        let per_state: Vec<f64> = parallel_map_indexed(config.num_states, threads, |s| {
-            let mut rng = StdRng::seed_from_u64(item_seed(config.seed, s as u64));
-            let w = haar_unitary(2, &mut rng);
+    // One shard per (p, state) cell, p-major.
+    let cells: Vec<(f64, u64)> = config
+        .p_values
+        .iter()
+        .flat_map(|&p| (0..config.num_states as u64).map(move |s| (p, s)))
+        .collect();
+    let per_cell: Vec<f64> = ShardedGrid::new(cells, config.seed)
+        .with_threads(config.threads)
+        .run(|&(p, s), ctx| {
+            let cut = BellDiagonalCut::werner(p);
+            let w = haar_unitary(2, &mut ctx.shared(&(STATE_STREAM, s)));
             let exact = wirecut::uncut_expectation(&w, Pauli::Z);
             let prepared = PreparedCut::new(&cut, &w, Pauli::Z);
+            let rng = ctx.rng();
             let mut acc = RunningStats::new();
             for _ in 0..config.repetitions {
                 let est = estimate_allocated(
@@ -83,14 +84,19 @@ pub fn run(config: &WernerConfig) -> Table {
                     &prepared.samplers(),
                     config.shots,
                     Allocator::Proportional,
-                    &mut rng,
+                    rng,
                 );
                 acc.push((est - exact).abs());
             }
             acc.mean()
         });
+    for (pi, &p) in config.p_values.iter().enumerate() {
+        let cut = BellDiagonalCut::werner(p);
+        let fef = entangle::fully_entangled_fraction(&werner(p));
+        let gamma = optimal_gamma_bell_diagonal(cut.weights);
+        let kappa = inversion_kappa(cut.weights);
         let mut agg = RunningStats::new();
-        for &e in &per_state {
+        for &e in &per_cell[pi * config.num_states..(pi + 1) * config.num_states] {
             agg.push(e);
         }
         t.push_row(vec![p, fef, gamma, kappa, agg.mean()]);

@@ -28,6 +28,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod stream;
+
+pub use stream::{stream_block, StreamRng};
+
 use rand::Rng;
 
 /// Below `n·min(p, 1−p)` = 10 the inversion walk is cheaper than BTPE's

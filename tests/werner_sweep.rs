@@ -1,0 +1,132 @@
+//! Statistical suite for **E15** (the full Werner p-sweep): the
+//! empirically measured overhead `κ̂(p)` must sit within 5 standard
+//! errors of the closed form `κ_inv = (3/p − 1)/2` across the sweep,
+//! the closed-form columns must be monotone in `p`, and the `p = 1`
+//! endpoint must collapse to the pure-state `γ` closed form pinned by
+//! `tests/theorem1_closed_forms.rs`.
+
+use nme_wire_cutting::experiments::werner_sweep::{run, WernerSweepConfig};
+use nme_wire_cutting::wirecut::theory::{gamma_from_overlap, gamma_phi_k};
+
+/// A sweep sized so per-point standard errors resolve κ̂ to a few
+/// percent: 9 points × 10 states × 64 repetitions of 2048-shot
+/// estimates, all through the closed-form batched sampler path.
+fn statistical_config() -> WernerSweepConfig {
+    WernerSweepConfig {
+        p_steps: 9,
+        shots: 2048,
+        num_states: 10,
+        repetitions: 64,
+        seed: 1508,
+        threads: 0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn kappa_hat_matches_closed_form_within_five_sigma() {
+    let t = run(&statistical_config());
+    for row in t.rows() {
+        let (p, kappa, kappa_hat, se) = (row[0], row[3], row[4], row[5]);
+        // Floor the standard error so a lucky near-zero spread cannot
+        // turn sampling noise into a failure.
+        let tol = 5.0 * se.max(0.01 * kappa);
+        assert!(
+            (kappa_hat - kappa).abs() < tol,
+            "κ̂({p}) = {kappa_hat} departs from (3/p−1)/2 = {kappa} by more than 5σ ({tol})"
+        );
+    }
+}
+
+#[test]
+fn closed_form_columns_are_monotone_in_p() {
+    let t = run(&WernerSweepConfig {
+        p_steps: 21,
+        shots: 256,
+        num_states: 2,
+        repetitions: 4,
+        ..Default::default()
+    });
+    for w in t.rows().windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        assert!(b[0] > a[0], "p grid not ascending");
+        assert!(b[1] > a[1], "FEF not increasing in p");
+        assert!(b[2] < a[2], "γ bound not decreasing in p");
+        assert!(b[3] < a[3], "κ_inv not decreasing in p");
+        // The inversion construction never beats the Theorem 1 bound.
+        assert!(a[3] >= a[2] - 1e-9, "κ_inv below γ at p={}", a[0]);
+    }
+}
+
+#[test]
+fn measured_error_trends_down_with_p() {
+    let t = run(&statistical_config());
+    let rows = t.rows();
+    let first = rows.first().unwrap();
+    let last = rows.last().unwrap();
+    // More noise in the resource → more estimation error at matched
+    // budget; compare the endpoints, where the κ gap is 4 : 1.
+    assert!(
+        last[6] < first[6],
+        "error did not drop from p=1/3 ({}) to p=1 ({})",
+        first[6],
+        last[6]
+    );
+    // κ̂ follows the same trend.
+    assert!(
+        last[4] < first[4],
+        "κ̂ did not drop across the sweep: {} vs {}",
+        first[4],
+        last[4]
+    );
+}
+
+#[test]
+fn pure_endpoint_recovers_the_pure_state_closed_form() {
+    let t = run(&statistical_config());
+    let row = t.rows().last().unwrap();
+    assert!((row[0] - 1.0).abs() < 1e-12, "sweep must end at p = 1");
+    // At p = 1 the Werner state is the Bell state: FEF = 1 and both the
+    // bound and the construction collapse to the pure-state closed form
+    // γ(k = 1) = γ(f = 1) = 1 (plain teleportation).
+    assert!((row[1] - 1.0).abs() < 1e-9, "FEF(1) = {}", row[1]);
+    assert!((row[2] - gamma_from_overlap(1.0)).abs() < 1e-9);
+    assert!((row[3] - gamma_phi_k(1.0)).abs() < 1e-9);
+    // And the measurement agrees: κ̂(1) ≈ 1 within 5σ.
+    let tol = 5.0 * row[5].max(0.01);
+    assert!(
+        (row[4] - 1.0).abs() < tol,
+        "κ̂(1) = {} not within {tol} of 1",
+        row[4]
+    );
+}
+
+#[test]
+fn wilson_bands_cover_at_five_sigma() {
+    let t = run(&statistical_config());
+    for row in t.rows() {
+        // At 5σ essentially every estimate must fall inside its band...
+        assert!(
+            row[8] > 0.99,
+            "band coverage {} at p={} too low for 5σ",
+            row[8],
+            row[0]
+        );
+        // ...and the band must be informative: it scales like
+        // κ·z/√N ≲ 1.2 even at the noisiest point.
+        assert!(
+            row[7] < 1.2,
+            "band halfwidth {} at p={} is vacuous",
+            row[7],
+            row[0]
+        );
+        // The mean |error| sits well inside the 5σ band.
+        assert!(
+            row[6] < row[7],
+            "mean error {} exceeds its band {} at p={}",
+            row[6],
+            row[7],
+            row[0]
+        );
+    }
+}
