@@ -1,0 +1,115 @@
+//! Performance benches for the distill-then-cut pipeline (E16): the
+//! closed-form recurrence map, the `DistillThenCut` planner, and the
+//! sharded `(p, m)` sweep at 1/2/4/8 worker threads.
+//!
+//! The recurrence and the composed κ figures are pure arithmetic on
+//! four weights, so the headline question is whether the dense map
+//! stays sampler-bound (it does: `recurrence`/`planner` run orders of
+//! magnitude under one E16 grid cell's binomial budget), and how the
+//! sweep scales with workers (same contract as `perf_grid` — every
+//! thread count produces byte-identical tables, so timings are directly
+//! comparable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use entangle::{DistillationSchedule, RecurrenceProtocol};
+use experiments::distill_cut::{self, DistillCutConfig};
+use wirecut::mixed::{optimal_rounds, rounds_to_close_gap, DistillThenCut, OverheadMetric};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The raw recurrence map: 8-round DEJMPS and BBPSSW schedules across a
+/// dense Werner grid (one element = one full schedule).
+fn recurrence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_distill/recurrence");
+    let p_grid: Vec<f64> = (1..=256)
+        .map(|i| 1.0 / 3.0 + (2.0 / 3.0) * i as f64 / 256.0)
+        .collect();
+    for protocol in [RecurrenceProtocol::Dejmps, RecurrenceProtocol::Bbpssw] {
+        group.throughput(Throughput::Elements(p_grid.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("schedule8", format!("{protocol:?}")),
+            &protocol,
+            |b, &protocol| {
+                b.iter(|| {
+                    p_grid
+                        .iter()
+                        .map(|&p| {
+                            let rest = (1.0 - p) / 4.0;
+                            let q = [p + rest, rest, rest, rest];
+                            DistillationSchedule::new(q, 8, protocol).fidelity()
+                        })
+                        .sum::<f64>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The planner closed forms per (p, m) point: pipeline construction,
+/// κ_eff/κ_pair, and the per-p argmin/gap-closing scans.
+fn planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_distill/planner");
+    let p_grid: Vec<f64> = (1..=64)
+        .map(|i| 1.0 / 3.0 + (2.0 / 3.0) * i as f64 / 64.0)
+        .collect();
+    group.throughput(Throughput::Elements(p_grid.len() as u64));
+    group.bench_function("kappa_map_m0_4", |b| {
+        b.iter(|| {
+            p_grid
+                .iter()
+                .flat_map(|&p| (0..=4).map(move |m| DistillThenCut::werner(p, m).kappa_pair()))
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("argmin_and_gap_scan", |b| {
+        b.iter(|| {
+            p_grid
+                .iter()
+                .map(|&p| {
+                    let raw = DistillThenCut::werner(p, 0);
+                    let (m, _) = optimal_rounds(
+                        raw.raw_weights(),
+                        4,
+                        RecurrenceProtocol::Dejmps,
+                        OverheadMetric::PerSample,
+                    );
+                    let gap = rounds_to_close_gap(raw.raw_weights(), 4, RecurrenceProtocol::Dejmps);
+                    m + gap.unwrap_or(0)
+                })
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+/// The sharded E16 sweep per thread count (closed-form batched
+/// samplers — cheap shards at fine granularity, like E15, but with the
+/// extra m dimension).
+fn e16_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_distill/e16_sweep");
+    group.sample_size(10);
+    for &threads in &THREADS {
+        let config = DistillCutConfig {
+            p_steps: 11,
+            max_rounds: 3,
+            num_states: 6,
+            repetitions: 16,
+            threads,
+            ..Default::default()
+        };
+        let points = (config.p_steps * (config.max_rounds + 1) * config.num_states) as u64;
+        group.throughput(Throughput::Elements(points));
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &config,
+            |b, config| {
+                b.iter(|| distill_cut::run(config));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, recurrence, planner, e16_sweep);
+criterion_main!(benches);

@@ -15,7 +15,9 @@
 //! * [`term`] / [`executor`] — the cut abstraction, exact channel-level
 //!   verification, and compilation into `qpd` estimators.
 //! * [`mixed`] — extension (paper §VI future work): Bell-diagonal/Werner
-//!   resource states via Pauli-channel inversion.
+//!   resource states via Pauli-channel inversion, plus the
+//!   distill-then-cut pipeline ([`mixed::DistillThenCut`]) composing
+//!   DEJMPS/BBPSSW recurrence rounds with the inversion cut.
 //! * [`multi`] — extension: cutting several parallel wires
 //!   (κ = Π κᵢ, the paper's §VI exponential-overhead motivation).
 //! * [`mub`] — complete MUB sets for `d = 2ⁿ` via the Galois-field /
@@ -49,6 +51,7 @@ pub use executor::{uncut_expectation, PreparedCut, PreparedTerm};
 pub use harada::HaradaCut;
 pub use joint::JointWireCut;
 pub use joint_nme::{NmeJointCut, NmeJointSolution};
+pub use mixed::{BellDiagonalCut, DistillThenCut, OverheadMetric};
 pub use nme::{NmeCut, TeleportationPassthrough};
 pub use peng::PengCut;
 pub use term::{identity_distance, reconstructed_channel, term_channel, CutTerm, WireCut};

@@ -23,6 +23,20 @@
 //! of the dual problem and the feasibility-aware closed form — and tests
 //! assert they agree; `f(Φ_k)` computed through this route must equal the
 //! closed form of Eq. 10.
+//!
+//! # Recurrence distillation (the distill-then-cut pipeline)
+//!
+//! The second half of this module simulates **entanglement distillation
+//! by recurrence** on the Bell-diagonal manifold: the DEJMPS (Deutsch et
+//! al., PRL 77, 2818) and BBPSSW (Bennett et al., PRL 76, 722) protocols
+//! consume two noisy pairs per round (bilateral CNOT + coincidence
+//! post-selection) and, on success, return one pair of higher fidelity.
+//! Both maps are closed-form on the Bell weights — no circuit simulation
+//! is needed on the hot path — so [`DistillationSchedule`] iterates `m`
+//! rounds exactly, tracking per-round success probabilities and the
+//! expected raw-pair consumption `Πⱼ 2/sⱼ`. `wirecut::mixed` composes
+//! the schedule with the Bell-diagonal inversion cut to map where
+//! distillation closes the κ\_inversion-vs-γ gap (experiment E16).
 
 /// Computes the m-distillation norm from Schmidt coefficients via the
 /// dual characterisation, solving `Σᵢ min(1, c·vᵢ)² = m` for the clip
@@ -110,6 +124,207 @@ pub fn m_distillation_norm_closed_form(schmidt_coefficients: &[f64], m: usize) -
 pub fn overlap_via_distillation_norm(schmidt_coefficients: &[f64]) -> f64 {
     let n = m_distillation_norm(schmidt_coefficients, 2);
     (0.5 * n * n).min(1.0)
+}
+
+// ---------------------------------------------------------------------
+// Recurrence distillation on Bell-diagonal weights.
+// ---------------------------------------------------------------------
+
+/// Which two-to-one recurrence protocol a [`DistillationSchedule`] runs.
+///
+/// Both act on Bell-diagonal weights `[q_I, q_X, q_Y, q_Z]` (the
+/// convention of [`crate::bell_diagonal`]: weight `q_σ` on
+/// `|Φ_σ⟩ = (σ⊗I)|Φ⁺⟩`) and consume two pairs per attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecurrenceProtocol {
+    /// DEJMPS (Deutsch et al.): keeps the full Bell-diagonal structure
+    /// across rounds — strictly faster convergence than BBPSSW on Werner
+    /// inputs because the output anisotropy is exploited, not discarded.
+    Dejmps,
+    /// BBPSSW (Bennett et al.): twirls to Werner form before each
+    /// attempt, so the state is always isotropic and the recurrence is a
+    /// scalar fidelity map.
+    Bbpssw,
+}
+
+fn assert_bell_weights(q: [f64; 4]) {
+    let total: f64 = q.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "Bell weights must sum to 1, got {total}"
+    );
+    assert!(
+        q.iter().all(|&w| w >= -1e-12),
+        "negative Bell weight in {q:?}"
+    );
+}
+
+/// One **DEJMPS** round on Bell weights `[q_I, q_X, q_Y, q_Z]`; returns
+/// `(new_weights, success_probability)`.
+///
+/// In the Deutsch et al. labelling `(A, B, C, D)` over
+/// `(Φ⁺, Ψ⁻, Ψ⁺, Φ⁻)` — i.e. `A = q_I`, `B = q_Y`, `C = q_X`,
+/// `D = q_Z` here — the coincidence-post-selected map is
+///
+/// `A' = (A² + B²)/N`, `B' = 2CD/N`, `C' = (C² + D²)/N`, `D' = 2AB/N`
+///
+/// with success probability `N = (A + B)² + (C + D)²`. The map has the
+/// pure fixed point `(1, 0, 0, 0)` and the invariant `A' > ½ ⇔ A > ½`
+/// (since `A − B > C + D ⇔ 2A > 1`), so every schedule started above
+/// fidelity ½ stays invertible for the Pauli-inversion cut.
+///
+/// # Panics
+/// Panics if the weights are not a normalised probability vector.
+pub fn dejmps_round(q: [f64; 4]) -> ([f64; 4], f64) {
+    assert_bell_weights(q);
+    let (a, b, c, d) = (q[0], q[2], q[1], q[3]);
+    let n = (a + b) * (a + b) + (c + d) * (c + d);
+    debug_assert!(n > 0.0, "vanishing DEJMPS success probability");
+    let out = [
+        (a * a + b * b) / n, // Φ⁺ → q_I
+        (c * c + d * d) / n, // Ψ⁺ → q_X
+        2.0 * c * d / n,     // Ψ⁻ → q_Y
+        2.0 * a * b / n,     // Φ⁻ → q_Z
+    ];
+    (out, n)
+}
+
+/// One **BBPSSW** round on Bell weights; returns
+/// `(new_weights, success_probability)`.
+///
+/// The protocol first twirls to Werner form (a deterministic LOCC that
+/// preserves the fidelity `F = q_I`), then applies the scalar recurrence
+///
+/// `F' = (F² + (1−F)²/9) / N`, `N = F² + 2F(1−F)/3 + 5(1−F)²/9`,
+///
+/// returning the isotropic weights `[F', (1−F')/3, (1−F')/3, (1−F')/3]`.
+///
+/// # Panics
+/// Panics if the weights are not a normalised probability vector.
+pub fn bbpssw_round(q: [f64; 4]) -> ([f64; 4], f64) {
+    assert_bell_weights(q);
+    let f = q[0];
+    let e = 1.0 - f;
+    let n = f * f + 2.0 * f * e / 3.0 + 5.0 * e * e / 9.0;
+    debug_assert!(n > 0.0, "vanishing BBPSSW success probability");
+    let f_new = (f * f + e * e / 9.0) / n;
+    let rest = (1.0 - f_new) / 3.0;
+    ([f_new, rest, rest, rest], n)
+}
+
+/// One round of the selected protocol.
+pub fn recurrence_round(q: [f64; 4], protocol: RecurrenceProtocol) -> ([f64; 4], f64) {
+    match protocol {
+        RecurrenceProtocol::Dejmps => dejmps_round(q),
+        RecurrenceProtocol::Bbpssw => bbpssw_round(q),
+    }
+}
+
+/// One completed recurrence round inside a [`DistillationSchedule`].
+#[derive(Clone, Copy, Debug)]
+pub struct DistillationRound {
+    /// Bell weights after this round (post-selected on success).
+    pub weights: [f64; 4],
+    /// Success probability of this round's coincidence post-selection.
+    pub success_probability: f64,
+}
+
+/// An exact `m`-round recurrence schedule on Bell-diagonal weights.
+///
+/// Round `j` consumes two level-`(j−1)` pairs and succeeds with
+/// probability `sⱼ`, so one level-`m` pair costs `2^m` raw pairs per
+/// *attempt chain* and `Πⱼ 2/sⱼ` raw pairs in **expectation**
+/// ([`expected_pairs_per_output`](Self::expected_pairs_per_output)) —
+/// the accounting the distill-then-cut planner in `wirecut::mixed`
+/// charges against the sampling-overhead gain.
+#[derive(Clone, Debug)]
+pub struct DistillationSchedule {
+    protocol: RecurrenceProtocol,
+    initial: [f64; 4],
+    rounds: Vec<DistillationRound>,
+}
+
+impl DistillationSchedule {
+    /// Runs `rounds` recurrence rounds of `protocol` from `initial`.
+    ///
+    /// # Panics
+    /// Panics if `initial` is not a normalised probability vector.
+    pub fn new(initial: [f64; 4], rounds: usize, protocol: RecurrenceProtocol) -> Self {
+        assert_bell_weights(initial);
+        let mut q = initial;
+        let rounds = (0..rounds)
+            .map(|_| {
+                let (next, s) = recurrence_round(q, protocol);
+                q = next;
+                DistillationRound {
+                    weights: next,
+                    success_probability: s,
+                }
+            })
+            .collect();
+        Self {
+            protocol,
+            initial,
+            rounds,
+        }
+    }
+
+    /// The protocol this schedule runs.
+    pub fn protocol(&self) -> RecurrenceProtocol {
+        self.protocol
+    }
+
+    /// Number of recurrence rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The per-round record, in execution order.
+    pub fn round_records(&self) -> &[DistillationRound] {
+        &self.rounds
+    }
+
+    /// The input Bell weights.
+    pub fn initial_weights(&self) -> [f64; 4] {
+        self.initial
+    }
+
+    /// Bell weights after the final round (the input weights for
+    /// `rounds == 0`).
+    pub fn final_weights(&self) -> [f64; 4] {
+        self.rounds.last().map_or(self.initial, |r| r.weights)
+    }
+
+    /// Final fidelity with `|Φ⁺⟩` (the `q_I` weight).
+    pub fn fidelity(&self) -> f64 {
+        self.final_weights()[0]
+    }
+
+    /// Fidelity trajectory, starting at the input fidelity
+    /// (`rounds() + 1` entries).
+    pub fn fidelities(&self) -> Vec<f64> {
+        std::iter::once(self.initial[0])
+            .chain(self.rounds.iter().map(|r| r.weights[0]))
+            .collect()
+    }
+
+    /// Probability that one full attempt chain (all `m` rounds) succeeds:
+    /// `Πⱼ sⱼ`.
+    pub fn success_probability(&self) -> f64 {
+        self.rounds.iter().map(|r| r.success_probability).product()
+    }
+
+    /// Expected raw input pairs consumed per distilled output pair:
+    /// `Πⱼ 2/sⱼ` (each round doubles the pair bill and inflates it by
+    /// its failure rate; independent attempts make the expectation
+    /// multiplicative). Equals `1` for the empty schedule and is always
+    /// `≥ 2^m`.
+    pub fn expected_pairs_per_output(&self) -> f64 {
+        self.rounds
+            .iter()
+            .map(|r| 2.0 / r.success_probability)
+            .product()
+    }
 }
 
 #[cfg(test)]
@@ -247,5 +462,152 @@ mod tests {
         assert!(f <= 1.0 + 1e-12);
         // This spectrum is majorised by (1/√2, 1/√2), so f = 1 exactly.
         assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    // --- recurrence distillation ---
+
+    fn werner_weights(p: f64) -> [f64; 4] {
+        let rest = (1.0 - p) / 4.0;
+        [p + rest, rest, rest, rest]
+    }
+
+    #[test]
+    fn pure_bell_state_is_a_fixed_point_of_both_protocols() {
+        for protocol in [RecurrenceProtocol::Dejmps, RecurrenceProtocol::Bbpssw] {
+            let (q, s) = recurrence_round([1.0, 0.0, 0.0, 0.0], protocol);
+            assert!((s - 1.0).abs() < 1e-12, "{protocol:?} success {s}");
+            assert!((q[0] - 1.0).abs() < 1e-12, "{protocol:?} weights {q:?}");
+        }
+    }
+
+    #[test]
+    fn dejmps_werner_round_matches_hand_closed_form() {
+        // From Werner weights the first-round fidelity is
+        // F' = (1 + 2p + 5p²)/(4(1 + p²)) at success (1 + p²)/2.
+        for &p in &[0.4, 0.6, 0.8, 0.95] {
+            let (q, s) = dejmps_round(werner_weights(p));
+            assert!((s - (1.0 + p * p) / 2.0).abs() < 1e-12);
+            let f_expect = (1.0 + 2.0 * p + 5.0 * p * p) / (4.0 * (1.0 + p * p));
+            assert!((q[0] - f_expect).abs() < 1e-12, "F'({p}) = {}", q[0]);
+            // X/Y outputs are the quadratic "new error" channel.
+            let r = (1.0 - p) / 4.0;
+            let n = (1.0 + p * p) / 2.0;
+            assert!((q[1] - 2.0 * r * r / n).abs() < 1e-12);
+            assert!((q[2] - 2.0 * r * r / n).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bbpssw_round_reproduces_the_scalar_recurrence() {
+        let f: f64 = 0.75;
+        let e = 1.0 - f;
+        let n = f * f + 2.0 * f * e / 3.0 + 5.0 * e * e / 9.0;
+        let f_next = (f * f + e * e / 9.0) / n;
+        let (q, s) = bbpssw_round(werner_weights((4.0 * f - 1.0) / 3.0));
+        assert!((s - n).abs() < 1e-12);
+        assert!((q[0] - f_next).abs() < 1e-12);
+        // Output is isotropic (Werner form).
+        assert!((q[1] - q[2]).abs() < 1e-15 && (q[2] - q[3]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fidelity_one_half_is_invariant() {
+        // (A − B)² = (C + D)² at A = ½, so both protocols pin F = ½ —
+        // distillation can never rescue a boundary Werner state.
+        let mut q = werner_weights(1.0 / 3.0);
+        for _ in 0..5 {
+            q = dejmps_round(q).0;
+            assert!((q[0] - 0.5).abs() < 1e-12, "DEJMPS moved F: {q:?}");
+        }
+        let (q, _) = bbpssw_round(werner_weights(1.0 / 3.0));
+        assert!((q[0] - 0.5).abs() < 1e-12, "BBPSSW moved F: {q:?}");
+    }
+
+    #[test]
+    fn dejmps_schedule_is_monotone_and_convergent_from_werner() {
+        for &p in &[0.5, 0.7, 0.9] {
+            let schedule =
+                DistillationSchedule::new(werner_weights(p), 8, RecurrenceProtocol::Dejmps);
+            let fs = schedule.fidelities();
+            assert_eq!(fs.len(), 9);
+            for w in fs.windows(2) {
+                // Strictly increasing until double precision saturates.
+                if w[0] < 1.0 - 1e-12 {
+                    assert!(w[1] > w[0], "fidelity not monotone at p={p}: {fs:?}");
+                } else {
+                    assert!(w[1] >= w[0], "fidelity dropped at p={p}: {fs:?}");
+                }
+            }
+            assert!(
+                schedule.fidelity() > 0.99,
+                "DEJMPS did not converge from p={p}: {}",
+                schedule.fidelity()
+            );
+        }
+    }
+
+    #[test]
+    fn dejmps_beats_bbpssw_on_werner_inputs() {
+        let q0 = werner_weights(0.6);
+        let dejmps = DistillationSchedule::new(q0, 3, RecurrenceProtocol::Dejmps);
+        let bbpssw = DistillationSchedule::new(q0, 3, RecurrenceProtocol::Bbpssw);
+        assert!(
+            dejmps.fidelity() > bbpssw.fidelity(),
+            "DEJMPS {} vs BBPSSW {}",
+            dejmps.fidelity(),
+            bbpssw.fidelity()
+        );
+    }
+
+    #[test]
+    fn schedule_accounting_multiplies_rounds() {
+        let schedule =
+            DistillationSchedule::new(werner_weights(0.7), 3, RecurrenceProtocol::Dejmps);
+        let per_round: Vec<f64> = schedule
+            .round_records()
+            .iter()
+            .map(|r| r.success_probability)
+            .collect();
+        assert_eq!(per_round.len(), 3);
+        let chain: f64 = per_round.iter().product();
+        assert!((schedule.success_probability() - chain).abs() < 1e-12);
+        let pairs: f64 = per_round.iter().map(|&s| 2.0 / s).product();
+        assert!((schedule.expected_pairs_per_output() - pairs).abs() < 1e-12);
+        assert!(schedule.expected_pairs_per_output() >= 8.0 - 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_is_the_identity() {
+        let q0 = werner_weights(0.55);
+        let schedule = DistillationSchedule::new(q0, 0, RecurrenceProtocol::Dejmps);
+        assert_eq!(schedule.final_weights(), q0);
+        assert!((schedule.success_probability() - 1.0).abs() < 1e-15);
+        assert!((schedule.expected_pairs_per_output() - 1.0).abs() < 1e-15);
+        assert_eq!(schedule.fidelities(), vec![q0[0]]);
+    }
+
+    #[test]
+    fn rounds_preserve_normalisation_and_positivity() {
+        let skewed = [0.62, 0.2, 0.08, 0.1];
+        for protocol in [RecurrenceProtocol::Dejmps, RecurrenceProtocol::Bbpssw] {
+            let mut q = skewed;
+            for round in 0..6 {
+                let (next, s) = recurrence_round(q, protocol);
+                assert!(s > 0.0 && s <= 1.0 + 1e-12, "{protocol:?} s={s}");
+                let total: f64 = next.iter().sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-12,
+                    "{protocol:?} round {round} sum {total}"
+                );
+                assert!(next.iter().all(|&w| w >= -1e-15));
+                q = next;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn unnormalised_weights_rejected() {
+        let _ = dejmps_round([0.5, 0.5, 0.5, 0.5]);
     }
 }

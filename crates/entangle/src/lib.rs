@@ -10,7 +10,9 @@
 //! * [`schmidt()`](schmidt()) — SVD-based Schmidt decomposition (Eq. 3–5).
 //! * [`bell`] — Bell basis `|Φ_σ⟩ = (σ⊗I)|Φ⟩`, Bell-diagonal and Werner
 //!   states.
-//! * [`distillation`] — the m-distillation norm route to `f` (Appendix A).
+//! * [`distillation`] — the m-distillation norm route to `f` (Appendix
+//!   A), plus the DEJMPS/BBPSSW recurrence-distillation simulator on
+//!   Bell-diagonal weights feeding the distill-then-cut pipeline.
 //! * [`measures`] — `f(ρ)` for pure states (exact), Bell-diagonal states
 //!   (exact) and general two-qubit states (fully entangled fraction),
 //!   concurrence and entanglement entropy.
@@ -28,7 +30,9 @@ pub use bell::{
     bell_diagonal, bell_overlap, bell_overlaps, bell_state, phi_plus, phi_plus_density, werner,
 };
 pub use distillation::{
-    m_distillation_norm, m_distillation_norm_closed_form, overlap_via_distillation_norm,
+    bbpssw_round, dejmps_round, m_distillation_norm, m_distillation_norm_closed_form,
+    overlap_via_distillation_norm, recurrence_round, DistillationRound, DistillationSchedule,
+    RecurrenceProtocol,
 };
 pub use measures::{
     concurrence_pure, entanglement_entropy, fully_entangled_fraction, max_overlap, max_overlap_pure,

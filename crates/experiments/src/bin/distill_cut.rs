@@ -1,0 +1,35 @@
+//! Regenerates **E16**: the distill-then-cut `(p, m)` map — measured
+//! `κ̂` against the per-sample `κ_eff`, the raw-pair-normalised
+//! `κ_pair`, the direct `κ_inv = (3/p − 1)/2` and the Theorem 1 bound
+//! `γ = 2/f − 1`, plus the closed-form argmin-`m` frontier.
+
+use experiments::distill_cut::{frontier, run, DistillCutConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = experiments::threads_flag(&args);
+    let mut config = if quick {
+        DistillCutConfig {
+            p_steps: 9,
+            max_rounds: 3,
+            num_states: 5,
+            repetitions: 16,
+            ..DistillCutConfig::default()
+        }
+    } else {
+        DistillCutConfig::default()
+    };
+    config.threads = threads;
+    let table = run(&config);
+    println!("{}", table.to_pretty());
+    let dir = experiments::results_dir();
+    let path = dir.join("distill_cut.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+    let front = frontier(&config);
+    println!("{}", front.to_pretty());
+    let path = dir.join("distill_cut_frontier.csv");
+    front.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

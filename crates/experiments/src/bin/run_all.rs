@@ -4,7 +4,7 @@
 //! regeneration of the paper's evaluation.
 
 use experiments::{
-    allocation, fig6, joint_cut, joint_scaling, multicut, noise, overhead, tables,
+    allocation, distill_cut, fig6, joint_cut, joint_scaling, multicut, noise, overhead, tables,
     teleport_channel, werner, werner_sweep,
 };
 
@@ -187,6 +187,26 @@ fn main() {
     cfg.threads = threads;
     werner_sweep::run(&cfg)
         .write_csv(&dir.join("werner_sweep.csv"))
+        .unwrap();
+
+    println!("== E16: distill-then-cut (p, m) map ==");
+    let mut cfg = if quick {
+        distill_cut::DistillCutConfig {
+            p_steps: 9,
+            max_rounds: 3,
+            num_states: 5,
+            repetitions: 16,
+            ..Default::default()
+        }
+    } else {
+        distill_cut::DistillCutConfig::default()
+    };
+    cfg.threads = threads;
+    distill_cut::run(&cfg)
+        .write_csv(&dir.join("distill_cut.csv"))
+        .unwrap();
+    distill_cut::frontier(&cfg)
+        .write_csv(&dir.join("distill_cut_frontier.csv"))
         .unwrap();
 
     println!("all results written to {}", dir.display());

@@ -15,6 +15,7 @@
 //! | [`noise`] | **E12**: wire cutting under gate-level depolarising noise |
 //! | [`joint_scaling`] | **E13**: joint-vs-independent κ crossover map + NME joint exploration |
 //! | [`werner_sweep`] | **E15**: full Werner p-sweep with confidence bands vs the Theorem 1 bound |
+//! | [`distill_cut`] | **E16**: distill-then-cut (p, m) map — where recurrence distillation closes the κ-vs-γ gap |
 //!
 //! Infrastructure: [`grid`] (the configuration-grid sharding engine:
 //! work-stealing over whole configurations with per-shard counter-based
@@ -30,6 +31,7 @@
 
 pub mod allocation;
 pub mod csvout;
+pub mod distill_cut;
 pub mod fig6;
 pub mod grid;
 pub mod joint_cut;

@@ -1,4 +1,9 @@
-//! Streaming statistics for experiment aggregation.
+//! Streaming statistics for experiment aggregation, plus the shared
+//! per-cell overhead measurement (variance-ratio `κ̂` with propagated
+//! Wilson bands) that E15 and E16 both ride.
+
+use qpd::{estimate_allocated, Allocator, QpdSpec, TermSampler};
+use rand::Rng;
 
 /// Welford running mean/variance accumulator.
 #[derive(Clone, Copy, Debug, Default)]
@@ -134,6 +139,110 @@ pub fn rmse(xs: &[f64], reference: f64) -> f64 {
         .sqrt()
 }
 
+// ---------------------------------------------------------------------
+// The shared per-cell overhead measurement (E15/E16).
+// ---------------------------------------------------------------------
+
+/// The variance-ratio overhead estimator: `κ̂ = κ·√(Var_meas /
+/// Var_pred)`. Unbiased around `κ` when the sampler family is correctly
+/// calibrated, so sweeps pin `κ̂` to the closed form within standard
+/// errors. Falls back to `κ` when the predicted variance vanishes (a
+/// deterministic cell).
+pub fn variance_ratio_kappa_hat(
+    kappa: f64,
+    measured_variance: f64,
+    predicted_variance: f64,
+) -> f64 {
+    if predicted_variance > 0.0 {
+        kappa * (measured_variance / predicted_variance).sqrt()
+    } else {
+        kappa
+    }
+}
+
+/// Predicted Wilson band of one proportional-allocation estimate: each
+/// term's expected ±1 counts get a Wilson interval at `z`, propagated
+/// through the QPD as `Σᵢ |cᵢ|·(hiᵢ − loᵢ)`.
+pub fn qpd_wilson_band(spec: &QpdSpec, exact_terms: &[f64], shots: u64, z: f64) -> f64 {
+    let alloc = Allocator::Proportional.allocate(spec, shots);
+    spec.coefficients()
+        .iter()
+        .zip(exact_terms.iter())
+        .zip(alloc.iter())
+        .map(|((c, &e), &n)| {
+            if n == 0 {
+                return 0.0;
+            }
+            let successes = ((n as f64) * (1.0 + e) / 2.0).round() as u64;
+            let (lo, hi) = wilson_interval(successes.min(n), n, z);
+            c.abs() * (hi - lo)
+        })
+        .sum()
+}
+
+/// One grid cell's overhead measurement — everything E15/E16 report per
+/// `(parameter, state)` point.
+#[derive(Clone, Copy, Debug)]
+pub struct OverheadMeasurement {
+    /// The variance-ratio estimate `κ̂`.
+    pub kappa_hat: f64,
+    /// Mean `|estimate − exact|` across repetitions.
+    pub mean_abs_error: f64,
+    /// The propagated Wilson band ([`qpd_wilson_band`]).
+    pub band_halfwidth: f64,
+    /// Fraction of estimates inside the band (≈ 1 at 5σ).
+    pub covered_fraction: f64,
+    /// Measured estimator variance across repetitions.
+    pub measured_variance: f64,
+    /// Exact proportional-allocation variance at this budget.
+    pub predicted_variance: f64,
+}
+
+/// Measures one cell: `repetitions` proportional-allocation estimates of
+/// `exact_value` at `shots` each, reduced to the variance-ratio `κ̂`,
+/// the mean absolute error, and Wilson-band coverage at `band_z`.
+///
+/// `exact_terms` are the exact per-term expectations aligned with
+/// `spec`; `kappa` is the closed-form overhead the ratio is anchored to.
+/// Used by `werner_sweep` (E15) and `distill_cut` (E16) so both sweeps
+/// share one tested implementation.
+#[allow(clippy::too_many_arguments)] // one flat cell descriptor, two call sites
+pub fn measure_overhead_cell<R: Rng>(
+    spec: &QpdSpec,
+    terms: &[&dyn TermSampler],
+    exact_value: f64,
+    exact_terms: &[f64],
+    kappa: f64,
+    shots: u64,
+    repetitions: usize,
+    band_z: f64,
+    rng: &mut R,
+) -> OverheadMeasurement {
+    let predicted = crate::overhead::predicted_variance(spec, exact_terms, shots);
+    let band = qpd_wilson_band(spec, exact_terms, shots, band_z);
+    let mut errs = RunningStats::new();
+    let mut covered = 0u64;
+    let estimates: Vec<f64> = (0..repetitions)
+        .map(|_| {
+            let est = estimate_allocated(spec, terms, shots, Allocator::Proportional, rng);
+            errs.push((est - exact_value).abs());
+            if (est - exact_value).abs() <= band {
+                covered += 1;
+            }
+            est
+        })
+        .collect();
+    let measured = variance(&estimates);
+    OverheadMeasurement {
+        kappa_hat: variance_ratio_kappa_hat(kappa, measured, predicted),
+        mean_abs_error: errs.mean(),
+        band_halfwidth: band,
+        covered_fraction: covered as f64 / repetitions.max(1) as f64,
+        measured_variance: measured,
+        predicted_variance: predicted,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +327,62 @@ mod tests {
         let before = (a.mean(), a.variance());
         a.merge(&RunningStats::new());
         assert_eq!(before, (a.mean(), a.variance()));
+    }
+
+    #[test]
+    fn variance_ratio_estimator_anchors_to_kappa() {
+        // Matching variances reproduce κ; a 4× variance excess doubles it.
+        assert!((variance_ratio_kappa_hat(2.5, 0.01, 0.01) - 2.5).abs() < 1e-12);
+        assert!((variance_ratio_kappa_hat(2.5, 0.04, 0.01) - 5.0).abs() < 1e-12);
+        // Degenerate prediction falls back to κ instead of NaN.
+        assert!((variance_ratio_kappa_hat(2.5, 0.0, 0.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_cell_measures_a_calibrated_bernoulli_family() {
+        use qpd::BernoulliTerm;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // A κ = 3 Harada-style fixture: +0.3 +0.5 −0.36 = 0.44.
+        let spec = QpdSpec::from_parts(&[(1.0, "a", 0.0), (1.0, "b", 0.0), (-1.0, "c", 0.0)]);
+        let terms = [
+            BernoulliTerm { expectation: 0.3 },
+            BernoulliTerm { expectation: 0.5 },
+            BernoulliTerm { expectation: 0.36 },
+        ];
+        let refs: Vec<&dyn TermSampler> = terms.iter().map(|t| t as &dyn TermSampler).collect();
+        let exact_terms = [0.3, 0.5, 0.36];
+        let mut rng = StdRng::seed_from_u64(1605);
+        let cell = measure_overhead_cell(
+            &spec,
+            &refs,
+            0.44,
+            &exact_terms,
+            spec.kappa(),
+            2048,
+            64,
+            5.0,
+            &mut rng,
+        );
+        // κ̂ within ~25% of κ = 3 at 64 repetitions (SE of a variance
+        // ratio at n = 64 is ≈ κ/√(2·63) ≈ 0.27).
+        assert!((cell.kappa_hat - 3.0).abs() < 0.8, "κ̂ = {}", cell.kappa_hat);
+        // 5σ bands cover essentially everything and stay informative.
+        assert!(cell.covered_fraction > 0.95);
+        assert!(cell.band_halfwidth > 0.0 && cell.band_halfwidth < 1.0);
+        assert!(cell.mean_abs_error < cell.band_halfwidth);
+        assert!(cell.predicted_variance > 0.0);
+    }
+
+    #[test]
+    fn wilson_band_scales_inversely_with_shot_budget() {
+        let spec = QpdSpec::from_parts(&[(1.0, "a", 0.0), (-0.5, "b", 0.0)]);
+        let exact = [0.2, -0.4];
+        let narrow = qpd_wilson_band(&spec, &exact, 40_000, 5.0);
+        let wide = qpd_wilson_band(&spec, &exact, 400, 5.0);
+        assert!(narrow > 0.0 && wide > narrow, "wide {wide} narrow {narrow}");
+        // ~√100 ratio between the budgets.
+        let ratio = wide / narrow;
+        assert!(ratio > 6.0 && ratio < 14.0, "ratio {ratio}");
     }
 }

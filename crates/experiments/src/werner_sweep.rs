@@ -38,10 +38,9 @@
 
 use crate::csvout::Table;
 use crate::grid::ShardedGrid;
-use crate::overhead::predicted_variance;
-use crate::stats::{variance, wilson_interval, RunningStats};
+use crate::stats::{measure_overhead_cell, OverheadMeasurement, RunningStats};
 use entangle::werner;
-use qpd::{estimate_allocated, Allocator, TermSampler};
+use qpd::TermSampler;
 use qsim::{haar_unitary, Pauli};
 use wirecut::mixed::{inversion_kappa, optimal_gamma_bell_diagonal, BellDiagonalCut};
 
@@ -100,14 +99,6 @@ impl WernerSweepConfig {
     }
 }
 
-/// Per-state measurement: the empirical overhead and band bookkeeping.
-struct CellResult {
-    kappa_hat: f64,
-    mean_abs_error: f64,
-    band_halfwidth: f64,
-    covered_fraction: f64,
-}
-
 /// Runs the sweep. Columns: `(p, fef, gamma_optimal, kappa_inversion,
 /// kappa_hat, kappa_hat_se, mean_abs_error, wilson_halfwidth,
 /// band_coverage)`.
@@ -129,68 +120,31 @@ pub fn run(config: &WernerSweepConfig) -> Table {
         .iter()
         .flat_map(|&p| (0..config.num_states as u64).map(move |s| (p, s)))
         .collect();
-    let per_cell: Vec<CellResult> = ShardedGrid::new(cells, config.seed)
+    let per_cell: Vec<OverheadMeasurement> = ShardedGrid::new(cells, config.seed)
         .with_threads(config.threads)
         .run(|&(p, s), ctx| {
             let cut = BellDiagonalCut::werner(p);
             let kappa = inversion_kappa(cut.weights);
             let w = haar_unitary(2, &mut ctx.shared(&(STATE_STREAM, s)));
             let z = wirecut::uncut_expectation(&w, Pauli::Z);
-            // Closed-form batched sampler family — no term circuits.
+            // Closed-form batched sampler family — no term circuits; the
+            // cell reduction (variance-ratio κ̂ + propagated Wilson band)
+            // is the shared `stats::measure_overhead_cell` used by E16.
             let (spec, samplers) = cut.z_samplers(z);
             let refs: Vec<&dyn TermSampler> =
                 samplers.iter().map(|t| t as &dyn TermSampler).collect();
             let exact_terms: Vec<f64> = cut.z_term_expectations(z);
-            let var_pred = predicted_variance(&spec, &exact_terms, config.shots);
-            // Predicted Wilson band of one estimate at this allocation:
-            // per-term intervals at the expected counts, propagated as
-            // Σ|cᵢ|·(hiᵢ − loᵢ).
-            let alloc = Allocator::Proportional.allocate(&spec, config.shots);
-            let band: f64 = spec
-                .coefficients()
-                .iter()
-                .zip(exact_terms.iter())
-                .zip(alloc.iter())
-                .map(|((c, &e), &n)| {
-                    if n == 0 {
-                        return 0.0;
-                    }
-                    let successes = ((n as f64) * (1.0 + e) / 2.0).round() as u64;
-                    let (lo, hi) = wilson_interval(successes.min(n), n, config.band_z);
-                    c.abs() * (hi - lo)
-                })
-                .sum();
-            let rng = ctx.rng();
-            let mut errs = RunningStats::new();
-            let mut covered = 0u64;
-            let estimates: Vec<f64> = (0..config.repetitions)
-                .map(|_| {
-                    let est = estimate_allocated(
-                        &spec,
-                        &refs,
-                        config.shots,
-                        Allocator::Proportional,
-                        rng,
-                    );
-                    errs.push((est - z).abs());
-                    if (est - z).abs() <= band {
-                        covered += 1;
-                    }
-                    est
-                })
-                .collect();
-            let var_meas = variance(&estimates);
-            let kappa_hat = if var_pred > 0.0 {
-                kappa * (var_meas / var_pred).sqrt()
-            } else {
-                kappa
-            };
-            CellResult {
-                kappa_hat,
-                mean_abs_error: errs.mean(),
-                band_halfwidth: band,
-                covered_fraction: covered as f64 / config.repetitions as f64,
-            }
+            measure_overhead_cell(
+                &spec,
+                &refs,
+                z,
+                &exact_terms,
+                kappa,
+                config.shots,
+                config.repetitions,
+                config.band_z,
+                ctx.rng(),
+            )
         });
     for (pi, &p) in p_grid.iter().enumerate() {
         let cut = BellDiagonalCut::werner(p);

@@ -2,8 +2,9 @@
 //! parameter and *any* input state, the defining identities of the paper
 //! must hold exactly.
 
-use nme_wire_cutting::entangle::PhiK;
+use nme_wire_cutting::entangle::{recurrence_round, PhiK, RecurrenceProtocol};
 use nme_wire_cutting::qsim::{haar_unitary, Pauli};
+use nme_wire_cutting::wirecut::mixed::DistillThenCut;
 use nme_wire_cutting::wirecut::{
     identity_distance, theory, uncut_expectation, NmeCut, PreparedCut, WireCut,
 };
@@ -113,5 +114,64 @@ proptest! {
     fn pair_consumption_between_one_and_two(k in 0.0f64..1.0) {
         let pairs = theory::pairs_per_sample(k);
         prop_assert!((1.0 - 1e-12..=2.0 + 1e-12).contains(&pairs));
+    }
+
+    #[test]
+    fn recurrence_rounds_stay_normalised_and_cptp(
+        a in 0.01f64..1.0,
+        b in 0.01f64..1.0,
+        c in 0.01f64..1.0,
+        d in 0.01f64..1.0,
+        rounds in 0usize..6,
+        protocol_idx in 0usize..2,
+    ) {
+        // Any valid Bell-diagonal weight vector must stay a valid one
+        // (normalised, non-negative — i.e. the induced Pauli channel
+        // stays CPTP) under arbitrarily many recurrence rounds of
+        // either protocol.
+        let protocol = [RecurrenceProtocol::Dejmps, RecurrenceProtocol::Bbpssw][protocol_idx];
+        let total = a + b + c + d;
+        let mut q = [a / total, b / total, c / total, d / total];
+        for round in 0..rounds {
+            let (next, s) = recurrence_round(q, protocol);
+            prop_assert!(s > 0.0 && s <= 1.0 + 1e-12, "round {round}: success {s}");
+            let sum: f64 = next.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-10, "round {round}: sum {sum}");
+            prop_assert!(next.iter().all(|&w| w >= -1e-12), "round {round}: {next:?}");
+            q = next;
+        }
+    }
+
+    #[test]
+    fn distilled_kappa_never_beats_theorem1(
+        fid in 0.51f64..0.98,
+        split_a in 0.01f64..1.0,
+        split_b in 0.01f64..1.0,
+        rounds in 0usize..5,
+        protocol_idx in 0usize..2,
+    ) {
+        // κ_eff of the composed scheme is still an inversion cut — on
+        // the distilled resource — so Theorem 1 at the distilled
+        // weights lower-bounds it for any input and depth. (q_I > ½
+        // keeps every recurrence level invertible: DEJMPS preserves
+        // q_I > ½, and all channel eigenvalues are ≥ 2q_I − 1.)
+        let protocol = [RecurrenceProtocol::Dejmps, RecurrenceProtocol::Bbpssw][protocol_idx];
+        let rest = 1.0 - fid;
+        let total = split_a + split_b + 1.0;
+        let weights = [
+            fid,
+            rest * split_a / total,
+            rest * split_b / total,
+            rest / total,
+        ];
+        let pipeline = DistillThenCut::new(weights, rounds, protocol);
+        let kappa_eff = pipeline.kappa_eff();
+        let gamma = pipeline.gamma_distilled();
+        prop_assert!(
+            kappa_eff >= gamma - 1e-9,
+            "κ_eff {kappa_eff} beats γ(distilled) {gamma} for {weights:?}, m={rounds}"
+        );
+        // The raw-pair axis only ever adds cost on top.
+        prop_assert!(pipeline.kappa_pair() >= kappa_eff - 1e-12);
     }
 }

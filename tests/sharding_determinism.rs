@@ -6,8 +6,8 @@
 //! non-overlapping with statistically sound pooled output.
 
 use nme_wire_cutting::experiments::{
-    allocation, fig6, grid::GridKey, grid::ShardedGrid, joint_cut, joint_scaling, multicut, noise,
-    overhead, parallel_map_indexed, werner, werner_sweep,
+    allocation, distill_cut, fig6, grid::GridKey, grid::ShardedGrid, joint_cut, joint_scaling,
+    multicut, noise, overhead, parallel_map_indexed, werner, werner_sweep,
 };
 use nme_wire_cutting::qsample::{stream_block, StreamRng};
 use proptest::prelude::*;
@@ -97,6 +97,25 @@ fn werner_sweep_csv_is_thread_count_invariant() {
             ..Default::default()
         })
         .to_csv()
+    });
+}
+
+#[test]
+fn distill_cut_csvs_are_thread_count_invariant() {
+    let cfg = |threads| distill_cut::DistillCutConfig {
+        p_steps: 4,
+        max_rounds: 2,
+        shots: 512,
+        num_states: 4,
+        repetitions: 8,
+        threads,
+        ..Default::default()
+    };
+    assert_csv_invariant("distill_cut", |t| distill_cut::run(&cfg(t)).to_csv());
+    // The frontier is closed-form, but pin it through the same gate so
+    // a future sampling-backed column can't silently regress.
+    assert_csv_invariant("distill_cut/frontier", |t| {
+        distill_cut::frontier(&cfg(t)).to_csv()
     });
 }
 
@@ -226,6 +245,20 @@ fn experiment_grid_streams_are_pairwise_disjoint() {
     let ids = grid.stream_ids();
     let unique: std::collections::HashSet<u64> = ids.iter().copied().collect();
     assert_eq!(unique.len(), ids.len(), "werner_sweep stream collision");
+
+    // The E16 (p, m, state) grid on top of the same stream space.
+    let sweep = distill_cut::DistillCutConfig::default();
+    let mut cells: Vec<(f64, u64, u64)> = Vec::new();
+    for &p in &sweep.p_grid() {
+        for &m in &sweep.m_grid() {
+            for s in 0..sweep.num_states as u64 {
+                cells.push((p, m as u64, s));
+            }
+        }
+    }
+    let ids: Vec<u64> = cells.iter().map(|c| c.grid_key()).collect();
+    let unique: std::collections::HashSet<u64> = ids.iter().copied().collect();
+    assert_eq!(unique.len(), ids.len(), "distill_cut stream collision");
 
     let joint: Vec<(usize, f64, u64)> = (1..=5usize)
         .flat_map(|n| {
