@@ -1,0 +1,116 @@
+//! Performance benches for the arbitrary-circuit cut planner
+//! (`wirecut::planner`): the cost of planning + compiling a multi-cut
+//! execution plan, the cost of sampling from a compiled plan, and the
+//! wall-clock scaling of the full E17 sweep at 1/2/4/8 worker threads.
+//!
+//! Planning itself (DAG analysis + fragmentation + protocol choice) is
+//! microseconds; the dominant costs are term-circuit compilation (one
+//! branching statevector simulation per product term) and batched
+//! sampling. All workloads derive their circuits from fixed seeds so
+//! every run and every thread count measures identical work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use experiments::plan_cut::{self, tractable_random_circuit, PlanCutConfig};
+use qpd::Allocator;
+use qsim::PauliString;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wirecut::planner::{CompiledPlan, CutPlanner};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Plan construction alone (fragmentation + cut grouping + protocol
+/// choice) on random 6-qubit circuits — the pure planning overhead.
+fn plan_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_planner/plan");
+    let planner = CutPlanner::new(4).with_overlap(0.8);
+    let mut rng = StdRng::seed_from_u64(11);
+    let circuits: Vec<_> = (0..32)
+        .map(|_| tractable_random_circuit(6, 8, &planner, 4, &mut rng).0)
+        .collect();
+    group.throughput(Throughput::Elements(circuits.len() as u64));
+    group.bench_function("random_6q", |b| {
+        b.iter(|| {
+            circuits
+                .iter()
+                .map(|circuit| planner.plan(circuit).kappa())
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+/// Plan compilation: stitching every product term into a branched
+/// statevector sampler (the expensive half of `CompiledPlan::compile`).
+fn plan_compilation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_planner/compile");
+    group.sample_size(10);
+    let planner = CutPlanner::new(3).with_overlap(0.8);
+    let mut rng = StdRng::seed_from_u64(17);
+    let (circuit, plan) = tractable_random_circuit(4, 6, &planner, 3, &mut rng);
+    let observable = PauliString::from_label(&"Z".repeat(circuit.num_qubits()));
+    group.bench_function("random_4q", |b| {
+        b.iter(|| CompiledPlan::compile(&plan, &observable).spec.len())
+    });
+    group.finish();
+}
+
+/// Batched sampling from an already-compiled plan — the steady-state
+/// cost of the estimator loop.
+fn compiled_plan_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_planner/sample");
+    let planner = CutPlanner::new(3).with_overlap(0.8);
+    let mut rng = StdRng::seed_from_u64(17);
+    let (circuit, plan) = tractable_random_circuit(4, 6, &planner, 3, &mut rng);
+    let observable = PauliString::from_label(&"Z".repeat(circuit.num_qubits()));
+    let compiled = CompiledPlan::compile(&plan, &observable);
+    let shots = 4096u64;
+    group.throughput(Throughput::Elements(shots));
+    group.bench_function("4096_shots", |b| {
+        let mut rng = StdRng::seed_from_u64(23);
+        b.iter(|| {
+            qpd::estimate_allocated(
+                &compiled.spec,
+                &compiled.samplers(),
+                shots,
+                Allocator::Proportional,
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The full E17 planner sweep per worker count — plan + compile +
+/// sample across the (overlap, circuit) grid, byte-identical output at
+/// every thread count so the timings are directly comparable.
+fn plan_cut_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_planner/e17_sweep");
+    group.sample_size(10);
+    for &threads in &THREADS {
+        let config = PlanCutConfig {
+            overlaps: vec![0.52, 0.75, 1.0],
+            num_circuits: 4,
+            repetitions: 8,
+            threads,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &config,
+            |b, config| {
+                b.iter(|| plan_cut::run(config));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    plan_construction,
+    plan_compilation,
+    compiled_plan_sampling,
+    plan_cut_sweep
+);
+criterion_main!(benches);

@@ -29,6 +29,10 @@
 //!   joint cutting **with** `|Φ_k⟩` resource pairs (basis-pursuit over an
 //!   LOCC term family in the Pauli-transfer picture).
 //! * [`gatecut`] — context: a CZ gate-cutting baseline (γ = 3).
+//! * [`planner`] — the arbitrary-circuit cut planner: width-bounded
+//!   fragmentation, multi-cut derivation (subsequent wires, repeated
+//!   cuts), κ-crossover NME-vs-MUB protocol choice, and compilation into
+//!   one product-QPD execution plan on the batched samplers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +47,7 @@ pub mod mub;
 pub mod multi;
 pub mod nme;
 pub mod peng;
+pub mod planner;
 pub mod teleport;
 pub mod term;
 pub mod theory;
@@ -54,4 +59,8 @@ pub use joint_nme::{NmeJointCut, NmeJointSolution};
 pub use mixed::{BellDiagonalCut, DistillThenCut, OverheadMetric};
 pub use nme::{NmeCut, TeleportationPassthrough};
 pub use peng::PengCut;
+pub use planner::{
+    uncut_plan_expectation, CompiledPlan, CutGroup, CutPlan, CutPlanner, PlanReport, PlanTerm,
+    PlannedCut, Protocol,
+};
 pub use term::{identity_distance, reconstructed_channel, term_channel, CutTerm, WireCut};

@@ -1,0 +1,28 @@
+//! Regenerates **E17**: the arbitrary-circuit cut-planner sweep —
+//! random circuits fragmented under a width budget, multi-cut plans
+//! compiled into product QPDs, sampled estimates checked against the
+//! uncut statevector with 5σ Wilson bands across the overlap axis.
+
+use experiments::plan_cut::{run, PlanCutConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = experiments::threads_flag(&args);
+    let mut config = if quick {
+        PlanCutConfig {
+            overlaps: vec![0.52, 0.75, 1.0],
+            num_circuits: 3,
+            repetitions: 8,
+            ..PlanCutConfig::default()
+        }
+    } else {
+        PlanCutConfig::default()
+    };
+    config.threads = threads;
+    let table = run(&config);
+    println!("{}", table.to_pretty());
+    let path = experiments::results_dir().join("plan_cut.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

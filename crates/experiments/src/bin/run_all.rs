@@ -4,8 +4,8 @@
 //! regeneration of the paper's evaluation.
 
 use experiments::{
-    allocation, distill_cut, fig6, joint_cut, joint_scaling, multicut, noise, overhead, tables,
-    teleport_channel, werner, werner_sweep,
+    allocation, distill_cut, fig6, joint_cut, joint_scaling, multicut, noise, overhead, plan_cut,
+    tables, teleport_channel, werner, werner_sweep,
 };
 
 fn main() {
@@ -207,6 +207,22 @@ fn main() {
         .unwrap();
     distill_cut::frontier(&cfg)
         .write_csv(&dir.join("distill_cut_frontier.csv"))
+        .unwrap();
+
+    println!("== E17: arbitrary-circuit cut planner ==");
+    let mut cfg = if quick {
+        plan_cut::PlanCutConfig {
+            overlaps: vec![0.52, 0.75, 1.0],
+            num_circuits: 3,
+            repetitions: 8,
+            ..Default::default()
+        }
+    } else {
+        plan_cut::PlanCutConfig::default()
+    };
+    cfg.threads = threads;
+    plan_cut::run(&cfg)
+        .write_csv(&dir.join("plan_cut.csv"))
         .unwrap();
 
     println!("all results written to {}", dir.display());

@@ -16,6 +16,7 @@
 //! | [`joint_scaling`] | **E13**: joint-vs-independent κ crossover map + NME joint exploration |
 //! | [`werner_sweep`] | **E15**: full Werner p-sweep with confidence bands vs the Theorem 1 bound |
 //! | [`distill_cut`] | **E16**: distill-then-cut (p, m) map — where recurrence distillation closes the κ-vs-γ gap |
+//! | [`plan_cut`] | **E17**: arbitrary-circuit cut-planner sweep — multi-fragment plans vs uncut statevector |
 //!
 //! Infrastructure: [`grid`] (the configuration-grid sharding engine:
 //! work-stealing over whole configurations with per-shard counter-based
@@ -40,6 +41,7 @@ pub mod multicut;
 pub mod noise;
 pub mod overhead;
 pub mod par;
+pub mod plan_cut;
 pub mod stats;
 pub mod tables;
 pub mod teleport_channel;

@@ -120,6 +120,46 @@ impl QpdSpec {
         }
         Ok(())
     }
+
+    /// The product QPD of several independent decompositions — the
+    /// coefficient structure of a whole multi-cut execution *plan*:
+    /// one term per combination of one term from each factor, with
+    /// coefficient `Π cᵢ`, label `l₁⊗l₂⊗…` and summed pair consumption.
+    ///
+    /// Terms are enumerated row-major (the **last** factor's index moves
+    /// fastest), matching an odometer over `combo[g] = (i / strideᵍ) %
+    /// lenᵍ`; plan compilers that enumerate stitched term circuits must
+    /// use the same order so shot allocations line up term-by-term.
+    /// `κ` multiplies: `κ(product) = Π κᵢ`.
+    ///
+    /// # Panics
+    /// Panics when `specs` is empty.
+    pub fn product(specs: &[QpdSpec]) -> QpdSpec {
+        assert!(!specs.is_empty(), "product of zero QPDs");
+        let mut terms = vec![TermSpec {
+            coefficient: 1.0,
+            label: String::new(),
+            pairs_consumed: 0.0,
+        }];
+        for spec in specs {
+            let mut next = Vec::with_capacity(terms.len() * spec.len());
+            for acc in &terms {
+                for t in spec.terms() {
+                    next.push(TermSpec {
+                        coefficient: acc.coefficient * t.coefficient,
+                        label: if acc.label.is_empty() {
+                            t.label.clone()
+                        } else {
+                            format!("{}⊗{}", acc.label, t.label)
+                        },
+                        pairs_consumed: acc.pairs_consumed + t.pairs_consumed,
+                    });
+                }
+            }
+            terms = next;
+        }
+        QpdSpec::new(terms)
+    }
 }
 
 #[cfg(test)]
@@ -189,5 +229,39 @@ mod tests {
     #[should_panic(expected = "at least one term")]
     fn empty_spec_panics() {
         let _ = QpdSpec::new(vec![]);
+    }
+
+    #[test]
+    fn product_spec_multiplies_kappa_and_counts() {
+        let a = harada_like(); // κ = 3, 3 terms
+        let b = QpdSpec::from_parts(&[(0.75, "tel", 1.0), (0.25, "mp", 0.0)]); // κ = 1
+        let p = QpdSpec::product(&[a.clone(), b.clone()]);
+        assert_eq!(p.len(), 6);
+        assert!((p.kappa() - a.kappa() * b.kappa()).abs() < 1e-12);
+        assert!(p.validate(1e-12).is_ok());
+        // Row-major order: last factor fastest.
+        assert_eq!(p.terms()[0].label, "meas-H⊗tel");
+        assert_eq!(p.terms()[1].label, "meas-H⊗mp");
+        assert_eq!(p.terms()[2].label, "meas-SH⊗tel");
+        // Pairs add across factors.
+        assert!((p.terms()[0].pairs_consumed - 1.0).abs() < 1e-12);
+        assert!((p.terms()[1].pairs_consumed - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_of_single_spec_is_identity() {
+        let a = harada_like();
+        let p = QpdSpec::product(std::slice::from_ref(&a));
+        assert_eq!(p.len(), a.len());
+        for (x, y) in p.terms().iter().zip(a.terms().iter()) {
+            assert!((x.coefficient - y.coefficient).abs() < 1e-15);
+            assert_eq!(x.label, y.label);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "product of zero QPDs")]
+    fn empty_product_panics() {
+        let _ = QpdSpec::product(&[]);
     }
 }

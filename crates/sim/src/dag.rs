@@ -1,0 +1,426 @@
+//! Circuit DAG analysis for the cut planner: wire lifetimes, dependency
+//! edges, greedy width-bounded fragment extraction, and the topological
+//! checks the planner's recompilation correctness rests on.
+//!
+//! The planner (`wirecut::planner`) needs three facts about an arbitrary
+//! [`Circuit`] that the flat instruction list does not expose directly:
+//!
+//! * **wire lifetimes** — the first/last instruction touching each qubit,
+//!   which bounds where a wire can be cut,
+//! * **dependency structure** — instruction `j` depends on the latest
+//!   earlier instruction sharing a qubit or classical bit with it; program
+//!   order is one valid topological order of this DAG by construction,
+//! * **fragments** — maximal consecutive instruction runs whose *active
+//!   wire set* fits a width budget. Cutting every wire that crosses a
+//!   fragment boundary makes each fragment executable on a
+//!   `budget`-qubit device.
+//!
+//! Fragmentation here is deliberately program-order greedy: it never
+//! reorders instructions, so every fragment sequence is trivially a
+//! topological recompilation of the original circuit — a property the
+//! planner proptests pin via [`CircuitDag::is_topological_order`] and
+//! gate-count preservation of [`fragment_circuit`].
+
+use crate::circuit::{Circuit, Instruction, Op};
+
+/// First/last instruction indices touching one qubit (`None` for a wire
+/// the circuit never uses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireLifetime {
+    /// Qubit index.
+    pub wire: usize,
+    /// Index of the first instruction touching the wire.
+    pub first: Option<usize>,
+    /// Index of the last instruction touching the wire.
+    pub last: Option<usize>,
+}
+
+/// Dependency DAG over a circuit's instructions.
+#[derive(Clone, Debug)]
+pub struct CircuitDag {
+    num_qubits: usize,
+    /// Per instruction: qubits it touches.
+    qubits: Vec<Vec<usize>>,
+    /// Per instruction: indices of the instructions it depends on
+    /// (strictly smaller, deduplicated, ascending).
+    deps: Vec<Vec<usize>>,
+}
+
+/// Qubits touched by one instruction (gate operands, measured/reset
+/// qubit; barriers touch nothing).
+pub fn instruction_qubits(instr: &Instruction) -> Vec<usize> {
+    match &instr.op {
+        Op::Gate(_, qs) => qs.clone(),
+        Op::Measure { qubit, .. } => vec![*qubit],
+        Op::Reset(q) => vec![*q],
+        Op::Barrier => vec![],
+    }
+}
+
+/// Classical bits an instruction reads or writes (measurement target,
+/// condition bit).
+pub fn instruction_clbits(instr: &Instruction) -> Vec<usize> {
+    let mut bits = Vec::new();
+    if let Op::Measure { clbit, .. } = instr.op {
+        bits.push(clbit);
+    }
+    if let Some(c) = instr.condition {
+        if !bits.contains(&c.bit) {
+            bits.push(c.bit);
+        }
+    }
+    bits
+}
+
+impl CircuitDag {
+    /// Builds the dependency DAG: instruction `j` depends on the latest
+    /// earlier instruction touching any of its qubits or classical bits.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut qubits = Vec::with_capacity(n);
+        let mut deps: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+        let mut last_on_clbit: Vec<Option<usize>> = vec![None; circuit.num_clbits()];
+        for (i, instr) in circuit.instructions().iter().enumerate() {
+            let qs = instruction_qubits(instr);
+            let cs = instruction_clbits(instr);
+            let mut d: Vec<usize> = qs
+                .iter()
+                .filter_map(|&q| last_on_qubit[q])
+                .chain(cs.iter().filter_map(|&c| last_on_clbit[c]))
+                .collect();
+            d.sort_unstable();
+            d.dedup();
+            for &q in &qs {
+                last_on_qubit[q] = Some(i);
+            }
+            for &c in &cs {
+                last_on_clbit[c] = Some(i);
+            }
+            qubits.push(qs);
+            deps.push(d);
+        }
+        Self {
+            num_qubits: circuit.num_qubits(),
+            qubits,
+            deps,
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// `true` when the circuit has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.qubits.is_empty()
+    }
+
+    /// Qubits touched by instruction `i`.
+    pub fn qubits_of(&self, i: usize) -> &[usize] {
+        &self.qubits[i]
+    }
+
+    /// Dependencies of instruction `i` (ascending instruction indices).
+    pub fn dependencies(&self, i: usize) -> &[usize] {
+        &self.deps[i]
+    }
+
+    /// `true` when every dependency edge points backwards in program
+    /// order — the DAG invariant (`dep < i` for every edge). Holds by
+    /// construction; exposed so recompiled orderings can be re-checked.
+    pub fn is_acyclic(&self) -> bool {
+        self.deps
+            .iter()
+            .enumerate()
+            .all(|(i, d)| d.iter().all(|&dep| dep < i))
+    }
+
+    /// `true` when `order` is a permutation of all instructions that
+    /// respects every dependency edge — i.e. a valid topological
+    /// recompilation of the circuit.
+    pub fn is_topological_order(&self, order: &[usize]) -> bool {
+        if order.len() != self.len() {
+            return false;
+        }
+        let mut position = vec![usize::MAX; self.len()];
+        for (pos, &i) in order.iter().enumerate() {
+            if i >= self.len() || position[i] != usize::MAX {
+                return false;
+            }
+            position[i] = pos;
+        }
+        self.deps
+            .iter()
+            .enumerate()
+            .all(|(i, d)| d.iter().all(|&dep| position[dep] < position[i]))
+    }
+
+    /// First/last touching instruction per wire.
+    pub fn wire_lifetimes(&self) -> Vec<WireLifetime> {
+        let mut lifetimes: Vec<WireLifetime> = (0..self.num_qubits)
+            .map(|wire| WireLifetime {
+                wire,
+                first: None,
+                last: None,
+            })
+            .collect();
+        for (i, qs) in self.qubits.iter().enumerate() {
+            for &q in qs {
+                let lt = &mut lifetimes[q];
+                if lt.first.is_none() {
+                    lt.first = Some(i);
+                }
+                lt.last = Some(i);
+            }
+        }
+        lifetimes
+    }
+}
+
+/// A maximal consecutive instruction run whose active wires fit the
+/// width budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fragment {
+    /// Instruction indices into the original circuit (consecutive,
+    /// ascending).
+    pub instructions: Vec<usize>,
+    /// Distinct wires touched by the fragment's instructions, ascending.
+    pub wires: Vec<usize>,
+}
+
+impl Fragment {
+    /// Fragment width: number of distinct wires the fragment touches.
+    pub fn width(&self) -> usize {
+        self.wires.len()
+    }
+}
+
+/// Greedy program-order fragmentation: pack instructions into the
+/// current fragment until admitting the next one would push the active
+/// wire set past `budget`, then close it and start a new fragment.
+/// Barriers never open a fragment on their own and carry no wires.
+///
+/// Returns at least one fragment for a non-empty circuit; every
+/// fragment's width is ≤ `budget`.
+///
+/// # Panics
+/// Panics if any single instruction touches more than `budget` qubits
+/// (such a gate cannot execute on a `budget`-wide device at all) or if
+/// `budget` is 0.
+pub fn fragments_by_width(circuit: &Circuit, budget: usize) -> Vec<Fragment> {
+    assert!(budget >= 1, "width budget must be at least 1");
+    let mut fragments = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let mut wires: Vec<usize> = Vec::new();
+    for (i, instr) in circuit.instructions().iter().enumerate() {
+        let qs = instruction_qubits(instr);
+        assert!(
+            qs.len() <= budget,
+            "instruction {i} touches {} qubits, exceeding the width budget {budget}",
+            qs.len()
+        );
+        let added: Vec<usize> = qs.iter().copied().filter(|q| !wires.contains(q)).collect();
+        if !current.is_empty() && wires.len() + added.len() > budget {
+            wires.sort_unstable();
+            fragments.push(Fragment {
+                instructions: std::mem::take(&mut current),
+                wires: std::mem::take(&mut wires),
+            });
+        }
+        current.push(i);
+        for q in instruction_qubits(instr) {
+            if !wires.contains(&q) {
+                wires.push(q);
+            }
+        }
+    }
+    if !current.is_empty() {
+        wires.sort_unstable();
+        fragments.push(Fragment {
+            instructions: current,
+            wires,
+        });
+    }
+    fragments
+}
+
+/// Extracts a fragment as a standalone circuit over its own wires
+/// (fragment wire `wires[i]` becomes local qubit `i`; classical bits are
+/// kept one-to-one so feed-forward conditions survive). Barriers are
+/// preserved; the result's instruction count equals the fragment's.
+pub fn fragment_circuit(circuit: &Circuit, fragment: &Fragment) -> Circuit {
+    let mut local = vec![usize::MAX; circuit.num_qubits()];
+    for (i, &w) in fragment.wires.iter().enumerate() {
+        local[w] = i;
+    }
+    let mut out = Circuit::new(fragment.wires.len().max(1), circuit.num_clbits());
+    for &idx in &fragment.instructions {
+        let instr = &circuit.instructions()[idx];
+        let op = match &instr.op {
+            Op::Gate(g, qs) => Op::Gate(g.clone(), qs.iter().map(|&q| local[q]).collect()),
+            Op::Measure { qubit, clbit } => Op::Measure {
+                qubit: local[*qubit],
+                clbit: *clbit,
+            },
+            Op::Reset(q) => Op::Reset(local[*q]),
+            Op::Barrier => Op::Barrier,
+        };
+        out.push(Instruction {
+            op,
+            condition: instr.condition,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder(n: usize) -> Circuit {
+        // h(0); cx(0,1); cx(1,2); …; cx(n−2, n−1)
+        let mut c = Circuit::new(n, 0);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c
+    }
+
+    #[test]
+    fn dag_edges_point_backwards_and_track_wires() {
+        let c = ladder(4);
+        let dag = CircuitDag::new(&c);
+        assert!(dag.is_acyclic());
+        assert_eq!(dag.len(), 4);
+        // cx(0,1) depends on h(0); cx(1,2) on cx(0,1); etc.
+        assert_eq!(dag.dependencies(1), &[0]);
+        assert_eq!(dag.dependencies(2), &[1]);
+        assert_eq!(dag.dependencies(3), &[2]);
+        assert_eq!(dag.qubits_of(3), &[2, 3]);
+    }
+
+    #[test]
+    fn classical_bits_create_dependencies() {
+        let mut c = Circuit::new(2, 1);
+        c.h(0).measure(0, 0).x_if(1, 0);
+        let dag = CircuitDag::new(&c);
+        // The conditioned X on a *different* qubit still depends on the
+        // measurement through the classical bit.
+        assert_eq!(dag.dependencies(2), &[1]);
+    }
+
+    #[test]
+    fn program_order_is_topological_and_violations_are_caught() {
+        let c = ladder(4);
+        let dag = CircuitDag::new(&c);
+        let order: Vec<usize> = (0..dag.len()).collect();
+        assert!(dag.is_topological_order(&order));
+        assert!(!dag.is_topological_order(&[1, 0, 2, 3]));
+        assert!(!dag.is_topological_order(&[0, 1, 2])); // not a permutation
+        assert!(!dag.is_topological_order(&[0, 0, 2, 3]));
+    }
+
+    #[test]
+    fn wire_lifetimes_span_first_to_last_touch() {
+        let mut c = Circuit::new(3, 0);
+        c.h(0).cx(0, 1).cx(1, 2).h(0);
+        let lt = CircuitDag::new(&c).wire_lifetimes();
+        assert_eq!(
+            lt[0],
+            WireLifetime {
+                wire: 0,
+                first: Some(0),
+                last: Some(3)
+            }
+        );
+        assert_eq!(
+            lt[1],
+            WireLifetime {
+                wire: 1,
+                first: Some(1),
+                last: Some(2)
+            }
+        );
+        assert_eq!(
+            lt[2],
+            WireLifetime {
+                wire: 2,
+                first: Some(2),
+                last: Some(2)
+            }
+        );
+    }
+
+    #[test]
+    fn unused_wire_has_empty_lifetime() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0);
+        let lt = CircuitDag::new(&c).wire_lifetimes();
+        assert_eq!(lt[1].first, None);
+        assert_eq!(lt[1].last, None);
+    }
+
+    #[test]
+    fn ladder_fragments_respect_budget() {
+        let c = ladder(5);
+        let frags = fragments_by_width(&c, 2);
+        assert!(frags.len() >= 3, "5-qubit ladder at budget 2: {frags:?}");
+        for f in &frags {
+            assert!(f.width() <= 2);
+        }
+        // All instructions covered exactly once, in order.
+        let all: Vec<usize> = frags.iter().flat_map(|f| f.instructions.clone()).collect();
+        assert_eq!(all, (0..c.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wide_budget_gives_single_fragment() {
+        let c = ladder(4);
+        let frags = fragments_by_width(&c, 4);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].wires, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding the width budget")]
+    fn oversized_gate_panics() {
+        let c = ladder(3);
+        fragments_by_width(&c, 1);
+    }
+
+    #[test]
+    fn fragment_circuits_preserve_gate_counts() {
+        let c = ladder(6);
+        let frags = fragments_by_width(&c, 3);
+        let total: usize = frags.iter().map(|f| fragment_circuit(&c, f).len()).sum();
+        assert_eq!(total, c.len());
+        for f in &frags {
+            let sub = fragment_circuit(&c, f);
+            assert!(CircuitDag::new(&sub).is_acyclic());
+            assert_eq!(sub.num_qubits(), f.width());
+        }
+    }
+
+    #[test]
+    fn repeated_wire_use_across_fragments() {
+        // Wire 0 used in multiple fragments ⇒ its fragment list has
+        // repeats — the "repeated cuts on one wire" scenario's substrate.
+        let mut c = Circuit::new(3, 0);
+        c.cx(0, 1).cx(1, 2).cx(0, 2);
+        let frags = fragments_by_width(&c, 2);
+        assert!(frags.len() >= 2);
+        let touching: Vec<usize> = frags
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.wires.contains(&0))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            touching.len() >= 2,
+            "wire 0 should span fragments: {frags:?}"
+        );
+    }
+}

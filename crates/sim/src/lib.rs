@@ -13,6 +13,8 @@
 //! Modules:
 //!
 //! * [`gate`] / [`circuit`] — gate library and circuit IR.
+//! * [`dag`] — circuit DAG analysis (wire lifetimes, dependency edges,
+//!   width-bounded fragment extraction) for the `wirecut` cut planner.
 //! * [`statevector`] — in-place strided gate kernels.
 //! * [`density`] — exact mixed-state evolution (Kraus, partial trace).
 //! * [`channel`] — superoperators and process tomography, used to verify
@@ -27,6 +29,7 @@
 
 pub mod channel;
 pub mod circuit;
+pub mod dag;
 pub mod density;
 pub mod executor;
 pub mod gate;
@@ -37,6 +40,7 @@ pub mod statevector;
 
 pub use channel::Superoperator;
 pub use circuit::{embed_unitary, Circuit, Condition, Instruction, Op};
+pub use dag::{fragment_circuit, fragments_by_width, CircuitDag, Fragment, WireLifetime};
 pub use density::DensityMatrix;
 pub use executor::{
     execute_density, execute_density_branches, run_shot, run_shots, BranchLeaf, CompiledSampler,
@@ -45,5 +49,8 @@ pub use executor::{
 pub use gate::Gate;
 pub use noise::{execute_density_noisy, NoiseChannel, NoiseModel};
 pub use pauli::{Pauli, PauliString};
-pub use random::{ginibre, haar_single_qubit_workload, haar_state, haar_unitary, standard_normal};
+pub use random::{
+    ginibre, haar_single_qubit_workload, haar_state, haar_unitary, random_unitary_circuit,
+    standard_normal,
+};
 pub use statevector::StateVector;

@@ -47,6 +47,37 @@ pub fn haar_state<R: Rng + ?Sized>(num_qubits: usize, rng: &mut R) -> StateVecto
     StateVector::from_amplitudes_normalised(num_qubits, amps)
 }
 
+/// Samples a random unitary circuit for planner/end-to-end workloads:
+/// `gates` instructions, each either a Haar-random single-qubit unitary
+/// on a random wire or (when `num_qubits ≥ 2`, with probability 1/2) a
+/// Haar-random two-qubit unitary on a random distinct pair. Purely
+/// unitary by construction (no measurement/reset/conditions), so the
+/// uncut statevector expectation is exactly computable, and every draw
+/// is fully determined by the `rng` stream.
+pub fn random_unitary_circuit<R: Rng + ?Sized>(
+    num_qubits: usize,
+    gates: usize,
+    rng: &mut R,
+) -> crate::circuit::Circuit {
+    assert!(num_qubits >= 1, "need at least one qubit");
+    let mut c = crate::circuit::Circuit::new(num_qubits, 0);
+    for _ in 0..gates {
+        let two = num_qubits >= 2 && rng.gen::<f64>() < 0.5;
+        if two {
+            let a = rng.gen_range(0..num_qubits);
+            let mut b = rng.gen_range(0..num_qubits - 1);
+            if b >= a {
+                b += 1;
+            }
+            c.unitary(haar_unitary(4, rng), &[a, b]);
+        } else {
+            let q = rng.gen_range(0..num_qubits);
+            c.unitary(haar_unitary(2, rng), &[q]);
+        }
+    }
+    c
+}
+
 /// Samples a Haar-random single-qubit unitary `W` and returns it together
 /// with the exact `⟨Z⟩` of `W|0⟩` — the paper's per-instance workload
 /// (`⟨Z⟩_{W|0⟩} = ⟨0|W†ZW|0⟩`).
@@ -115,6 +146,27 @@ mod tests {
         let mut sv = StateVector::new(1);
         sv.apply_matrix1(&w, 0);
         assert!((sv.expval_z(0) - z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_unitary_circuit_is_unitary_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = random_unitary_circuit(4, 12, &mut rng);
+        assert_eq!(c.len(), 12);
+        assert!(c.is_unitary());
+        assert_eq!(c.num_qubits(), 4);
+        // Same seed ⇒ byte-identical instruction stream.
+        let mut rng = StdRng::seed_from_u64(7);
+        let again = random_unitary_circuit(4, 12, &mut rng);
+        assert_eq!(c, again);
+    }
+
+    #[test]
+    fn single_qubit_random_circuit_avoids_two_qubit_gates() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let c = random_unitary_circuit(1, 6, &mut rng);
+        assert_eq!(c.len(), 6);
+        assert!(c.is_unitary());
     }
 
     #[test]

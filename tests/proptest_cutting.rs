@@ -3,10 +3,12 @@
 //! must hold exactly.
 
 use nme_wire_cutting::entangle::{recurrence_round, PhiK, RecurrenceProtocol};
-use nme_wire_cutting::qsim::{haar_unitary, Pauli};
+use nme_wire_cutting::qsim::{
+    fragment_circuit, haar_unitary, random_unitary_circuit, CircuitDag, Pauli,
+};
 use nme_wire_cutting::wirecut::mixed::DistillThenCut;
 use nme_wire_cutting::wirecut::{
-    identity_distance, theory, uncut_expectation, NmeCut, PreparedCut, WireCut,
+    identity_distance, theory, uncut_expectation, CutPlanner, NmeCut, PreparedCut, WireCut,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -173,5 +175,56 @@ proptest! {
         );
         // The raw-pair axis only ever adds cost on top.
         prop_assert!(pipeline.kappa_pair() >= kappa_eff - 1e-12);
+    }
+
+    #[test]
+    fn planner_structural_invariants_for_random_circuits(
+        seed in 0u64..100_000,
+        n in 3usize..7,
+        gates in 3usize..9,
+    ) {
+        // For any random circuit and any budget < n, the planner's
+        // fragmentation and cut derivation must satisfy its structural
+        // contract — no sampling involved, so these hold exactly.
+        let budget = n - 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = random_unitary_circuit(n, gates, &mut rng);
+        let plan = CutPlanner::new(budget).plan(&circuit);
+
+        // A cut set implies at least two fragments, and never vice versa
+        // with zero cuts spanning multiple fragments of a connected wire.
+        if plan.num_cuts() > 0 {
+            prop_assert!(plan.fragments.len() >= 2);
+        }
+        // Every cut names a real circuit wire and an ordered fragment pair.
+        for group in &plan.groups {
+            prop_assert!(!group.cuts.is_empty());
+            for cut in &group.cuts {
+                prop_assert!(cut.wire < n, "cut wire {} out of range", cut.wire);
+                prop_assert!(cut.source_fragment < cut.dest_fragment);
+                prop_assert!(cut.dest_fragment < plan.fragments.len());
+            }
+        }
+        // Fragmentation is a partition: gate counts are preserved, every
+        // fragment respects the budget, and each fragment circuit is a
+        // well-formed acyclic DAG.
+        let total: usize = plan.fragments.iter().map(|f| f.instructions.len()).sum();
+        prop_assert_eq!(total, circuit.len(), "fragmentation dropped gates");
+        for frag in &plan.fragments {
+            prop_assert!(frag.width() <= budget);
+            let fc = fragment_circuit(&circuit, frag);
+            prop_assert!(CircuitDag::new(&fc).is_acyclic());
+        }
+        // Plan γ is the product of per-cut γ: at f = 0.8 every group is
+        // in the NME regime (f*(n) < 2/3 for all n), so κ = γ(0.8)^cuts.
+        let plan = CutPlanner::new(budget).with_overlap(0.8).plan(&circuit);
+        let gamma = theory::gamma_from_overlap(0.8);
+        let expect = gamma.powi(plan.num_cuts() as i32);
+        prop_assert!(
+            (plan.kappa() - expect).abs() < 1e-9 * expect,
+            "κ {} vs γ^cuts {expect} at {} cuts",
+            plan.kappa(),
+            plan.num_cuts()
+        );
     }
 }

@@ -7,7 +7,7 @@
 
 use nme_wire_cutting::experiments::{
     allocation, distill_cut, fig6, grid::GridKey, grid::ShardedGrid, joint_cut, joint_scaling,
-    multicut, noise, overhead, parallel_map_indexed, werner, werner_sweep,
+    multicut, noise, overhead, parallel_map_indexed, plan_cut, werner, werner_sweep,
 };
 use nme_wire_cutting::qsample::{stream_block, StreamRng};
 use proptest::prelude::*;
@@ -182,6 +182,26 @@ fn noise_csv_is_thread_count_invariant() {
 }
 
 #[test]
+fn plan_cut_csv_is_thread_count_invariant() {
+    assert_csv_invariant("plan_cut", |threads| {
+        plan_cut::run(&plan_cut::PlanCutConfig {
+            num_qubits: 3,
+            gates: 5,
+            width_budget: 2,
+            overlaps: vec![0.52, 0.9],
+            max_cuts: 2,
+            shots: 512,
+            num_circuits: 3,
+            repetitions: 4,
+            seed: 23,
+            threads,
+            ..Default::default()
+        })
+        .to_csv()
+    });
+}
+
+#[test]
 fn joint_cut_csv_is_thread_count_invariant() {
     assert_csv_invariant("joint_cut", |threads| {
         joint_cut::run(&joint_cut::JointConfig {
@@ -270,6 +290,22 @@ fn experiment_grid_streams_are_pairwise_disjoint() {
     let ids: Vec<u64> = joint.iter().map(|c| c.grid_key()).collect();
     let unique: std::collections::HashSet<u64> = ids.iter().copied().collect();
     assert_eq!(unique.len(), ids.len(), "joint grid stream collision");
+
+    // The E17 planner grid: (overlap, circuit) cells plus the shared
+    // circuit-lane keys, all in one stream space — no collisions allowed
+    // between per-cell streams and the paired circuit streams.
+    let sweep = plan_cut::PlanCutConfig::default();
+    let mut ids: Vec<u64> = Vec::new();
+    for &f in &sweep.overlaps {
+        for s in 0..sweep.num_circuits as u64 {
+            ids.push((f, s).grid_key());
+        }
+    }
+    for s in 0..sweep.num_circuits as u64 {
+        ids.push((0xE17u64, s).grid_key());
+    }
+    let unique: std::collections::HashSet<u64> = ids.iter().copied().collect();
+    assert_eq!(unique.len(), ids.len(), "plan_cut stream collision");
 }
 
 /// Draws pooled across many shard streams stay uniform: chi-square over
