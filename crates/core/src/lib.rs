@@ -33,6 +33,11 @@
 //!   fragmentation, multi-cut derivation (subsequent wires, repeated
 //!   cuts), κ-crossover NME-vs-MUB protocol choice, and compilation into
 //!   one product-QPD execution plan on the batched samplers.
+//! * [`service`] — cutting as a service: an estimation-job engine with a
+//!   content-addressed compiled-plan cache ([`planner::PlanKey`]),
+//!   streaming per-batch partial estimates, sequential
+//!   (variance-adaptive) shot allocation, and work-stealing fleet
+//!   execution, deterministic given `(seed, plan)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +53,7 @@ pub mod multi;
 pub mod nme;
 pub mod peng;
 pub mod planner;
+pub mod service;
 pub mod teleport;
 pub mod term;
 pub mod theory;
@@ -60,7 +66,8 @@ pub use mixed::{BellDiagonalCut, DistillThenCut, OverheadMetric};
 pub use nme::{NmeCut, TeleportationPassthrough};
 pub use peng::PengCut;
 pub use planner::{
-    uncut_plan_expectation, CompiledPlan, CutGroup, CutPlan, CutPlanner, PlanReport, PlanTerm,
-    PlannedCut, Protocol,
+    uncut_plan_expectation, CompiledPlan, CutGroup, CutPlan, CutPlanner, PlanKey, PlanReport,
+    PlanTerm, PlannedCut, Protocol,
 };
+pub use service::{AllocationMode, BatchUpdate, CutService, EstimationJob, JobOutcome};
 pub use term::{identity_distance, reconstructed_channel, term_channel, CutTerm, WireCut};

@@ -308,6 +308,159 @@ impl CutPlanner {
     }
 }
 
+/// Content-addressed identity of a compiled plan: a stable 64-bit
+/// FNV-1a hash over everything [`CompiledPlan::compile`] reads — the
+/// planner's width budget and resource overlap, the circuit's full
+/// instruction stream (operation discriminants, gate parameters, unitary
+/// matrix entries, qubit operands, classical conditions) and the
+/// observable's Pauli string.
+///
+/// Two requests collide on a `PlanKey` exactly when they would compile
+/// the *same* plan (up to the negligible 64-bit hash-collision
+/// probability), which is what makes the key safe to use as the cache
+/// address in [`crate::service::CutService`] and as the job-level RNG
+/// stream id: the hash depends only on plan *content*, never on
+/// submission order, thread, or cache state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanKey(pub u64);
+
+/// Hashes an `f64` by IEEE-754 bits, normalising `-0.0` to `+0.0` (the
+/// same convention as `qsample::grid`'s `GridKey` for `f64`).
+fn absorb_f64(h: &mut qsample::KeyHasher, x: f64) {
+    debug_assert!(!x.is_nan(), "NaN cannot identify a plan");
+    let v = if x == 0.0 { 0.0f64 } else { x };
+    h.absorb(v.to_bits());
+}
+
+/// Hashes a unitary matrix element-wise (row-major, re then im).
+fn absorb_matrix(h: &mut qsample::KeyHasher, m: &qlinalg::Matrix) {
+    for z in m.as_slice() {
+        absorb_f64(h, z.re);
+        absorb_f64(h, z.im);
+    }
+}
+
+/// Hashes a gate: a per-variant discriminant code followed by the
+/// variant's parameters. Codes are part of the key's stability contract —
+/// new variants must take fresh codes, never renumber existing ones.
+fn absorb_gate(h: &mut qsample::KeyHasher, gate: &qsim::Gate) {
+    use qsim::Gate::*;
+    match gate {
+        I => h.absorb(0),
+        X => h.absorb(1),
+        Y => h.absorb(2),
+        Z => h.absorb(3),
+        H => h.absorb(4),
+        S => h.absorb(5),
+        Sdg => h.absorb(6),
+        T => h.absorb(7),
+        Tdg => h.absorb(8),
+        SX => h.absorb(9),
+        Rx(t) => {
+            h.absorb(10);
+            absorb_f64(h, *t);
+        }
+        Ry(t) => {
+            h.absorb(11);
+            absorb_f64(h, *t);
+        }
+        Rz(t) => {
+            h.absorb(12);
+            absorb_f64(h, *t);
+        }
+        Phase(t) => {
+            h.absorb(13);
+            absorb_f64(h, *t);
+        }
+        U(a, b, c) => {
+            h.absorb(14);
+            absorb_f64(h, *a);
+            absorb_f64(h, *b);
+            absorb_f64(h, *c);
+        }
+        Unitary1(m) => {
+            h.absorb(15);
+            absorb_matrix(h, m);
+        }
+        CX => h.absorb(16),
+        CZ => h.absorb(17),
+        CY => h.absorb(18),
+        Swap => h.absorb(19),
+        CPhase(t) => {
+            h.absorb(20);
+            absorb_f64(h, *t);
+        }
+        Unitary2(m) => {
+            h.absorb(21);
+            absorb_matrix(h, m);
+        }
+        Unitary(m) => {
+            h.absorb(22);
+            absorb_matrix(h, m);
+        }
+    }
+}
+
+/// Hashes a circuit: dimensions, then every instruction in program order.
+fn absorb_circuit(h: &mut qsample::KeyHasher, circuit: &Circuit) {
+    h.absorb(circuit.num_qubits() as u64);
+    h.absorb(circuit.num_clbits() as u64);
+    h.absorb(circuit.len() as u64);
+    for instr in circuit.instructions() {
+        match &instr.op {
+            Op::Gate(gate, qubits) => {
+                h.absorb(0xA0);
+                absorb_gate(h, gate);
+                h.absorb(qubits.len() as u64);
+                for &q in qubits {
+                    h.absorb(q as u64);
+                }
+            }
+            Op::Measure { qubit, clbit } => {
+                h.absorb(0xA1);
+                h.absorb(*qubit as u64);
+                h.absorb(*clbit as u64);
+            }
+            Op::Reset(q) => {
+                h.absorb(0xA2);
+                h.absorb(*q as u64);
+            }
+            Op::Barrier => h.absorb(0xA3),
+        }
+        match &instr.condition {
+            None => h.absorb(0xB0),
+            Some(c) => {
+                h.absorb(0xB1);
+                h.absorb(c.bit as u64);
+                h.absorb(u64::from(c.value));
+            }
+        }
+    }
+}
+
+impl CutPlanner {
+    /// The [`PlanKey`] of the plan this planner would compile for
+    /// `(circuit, observable)` — a pure content hash, computed without
+    /// planning or compiling anything. [`CutPlanner::plan`] is
+    /// deterministic, so equal keys imply equal compiled plans.
+    pub fn plan_key(&self, circuit: &Circuit, observable: &PauliString) -> PlanKey {
+        let mut h = qsample::KeyHasher::new();
+        h.absorb(self.width_budget as u64);
+        absorb_f64(&mut h, self.overlap);
+        absorb_circuit(&mut h, circuit);
+        h.absorb(observable.num_qubits() as u64);
+        for op in observable.ops() {
+            h.absorb(match op {
+                qsim::Pauli::I => 0,
+                qsim::Pauli::X => 1,
+                qsim::Pauli::Y => 2,
+                qsim::Pauli::Z => 3,
+            });
+        }
+        PlanKey(h.finish())
+    }
+}
+
 /// One compiled plan term: the stitched monolithic circuit for one
 /// combination of per-group QPD terms, with a diagonal parity observable
 /// over the final carrier qubits. Samples through the same branch-tree /
@@ -799,6 +952,48 @@ mod tests {
             let again = planner.plan(&c);
             assert_eq!(format!("{plan:?}"), format!("{again:?}"));
         }
+    }
+
+    #[test]
+    fn plan_keys_hash_content_not_identity() {
+        let c = ladder(4);
+        let obs = PauliString::from_label("ZZZZ");
+        let planner = CutPlanner::new(2).with_overlap(0.9);
+        // Stable across recomputation and across clones of the inputs.
+        let k = planner.plan_key(&c, &obs);
+        assert_eq!(k, planner.plan_key(&c.clone(), &obs.clone()));
+        // Any semantic change to the request moves the key.
+        assert_ne!(k, planner.plan_key(&c, &PauliString::from_label("ZZZI")));
+        assert_ne!(k, CutPlanner::new(3).with_overlap(0.9).plan_key(&c, &obs));
+        assert_ne!(k, CutPlanner::new(2).with_overlap(0.75).plan_key(&c, &obs));
+        let mut c2 = c.clone();
+        c2.rz(0.1, 0);
+        assert_ne!(k, planner.plan_key(&c2, &obs));
+    }
+
+    #[test]
+    fn plan_key_normalises_negative_zero_parameters() {
+        let planner = CutPlanner::new(2);
+        let obs = PauliString::from_label("ZZ");
+        let mut a = Circuit::new(2, 0);
+        a.rz(0.0, 0);
+        let mut b = Circuit::new(2, 0);
+        b.rz(-0.0, 0);
+        assert_eq!(planner.plan_key(&a, &obs), planner.plan_key(&b, &obs));
+    }
+
+    #[test]
+    fn plan_key_distinguishes_gate_variants_and_conditions() {
+        let planner = CutPlanner::new(2);
+        let obs = PauliString::from_label("ZZ");
+        let mut a = Circuit::new(2, 1);
+        a.x(0);
+        let mut b = Circuit::new(2, 1);
+        b.y(0);
+        assert_ne!(planner.plan_key(&a, &obs), planner.plan_key(&b, &obs));
+        let mut c = Circuit::new(2, 1);
+        c.x_if(0, 0);
+        assert_ne!(planner.plan_key(&a, &obs), planner.plan_key(&c, &obs));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use experiments::{
     allocation, distill_cut, fig6, joint_cut, joint_scaling, multicut, noise, overhead, plan_cut,
-    tables, teleport_channel, werner, werner_sweep,
+    service_load, tables, teleport_channel, werner, werner_sweep,
 };
 
 fn main() {
@@ -223,6 +223,21 @@ fn main() {
     cfg.threads = threads;
     plan_cut::run(&cfg)
         .write_csv(&dir.join("plan_cut.csv"))
+        .unwrap();
+
+    println!("== E18: cutting-as-a-service load ==");
+    let mut cfg = if quick {
+        service_load::ServiceLoadConfig {
+            num_circuits: 2,
+            repetitions: 8,
+            ..Default::default()
+        }
+    } else {
+        service_load::ServiceLoadConfig::default()
+    };
+    cfg.threads = threads;
+    service_load::run(&cfg)
+        .write_csv(&dir.join("service_load.csv"))
         .unwrap();
 
     println!("all results written to {}", dir.display());

@@ -1,0 +1,47 @@
+//! Regenerates **E18**: the cutting-as-a-service load experiment — a
+//! job fleet over planner-cut random circuits through one shared
+//! `CutService`, comparing sequential (variance-adaptive) against static
+//! proportional shot allocation per circuit, plus out-of-band throughput
+//! and plan-cache statistics (timing never enters the deterministic
+//! CSV).
+
+use experiments::service_load::{build_jobs, run, ServiceLoadConfig};
+use wirecut::planner::CutPlanner;
+use wirecut::service::CutService;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = experiments::threads_flag(&args);
+    let mut config = if quick {
+        ServiceLoadConfig {
+            num_circuits: 2,
+            repetitions: 8,
+            ..ServiceLoadConfig::default()
+        }
+    } else {
+        ServiceLoadConfig::default()
+    };
+    config.threads = threads;
+    let table = run(&config);
+    println!("{}", table.to_pretty());
+    let path = experiments::results_dir().join("service_load.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+
+    // Throughput report (stdout only — wall-clock figures are
+    // deliberately kept out of the CSV; see the module docs).
+    let service =
+        CutService::new(CutPlanner::new(config.width_budget).with_overlap(config.overlap));
+    let jobs = build_jobs(&config);
+    let start = std::time::Instant::now();
+    let outcomes = service.run_jobs(&jobs, config.threads);
+    let elapsed = start.elapsed().as_secs_f64();
+    let (hits, misses) = service.cache_stats();
+    println!(
+        "fleet: {} jobs in {elapsed:.3}s ({:.1} jobs/s), plan cache: {} plans, {hits} hits / {misses} misses",
+        outcomes.len(),
+        outcomes.len() as f64 / elapsed,
+        service.cache_len(),
+    );
+}

@@ -17,6 +17,7 @@
 //! | [`werner_sweep`] | **E15**: full Werner p-sweep with confidence bands vs the Theorem 1 bound |
 //! | [`distill_cut`] | **E16**: distill-then-cut (p, m) map — where recurrence distillation closes the κ-vs-γ gap |
 //! | [`plan_cut`] | **E17**: arbitrary-circuit cut-planner sweep — multi-fragment plans vs uncut statevector |
+//! | [`service_load`] | **E18**: cutting-as-a-service load — plan-cache reuse + sequential vs static allocation variance |
 //!
 //! Infrastructure: [`grid`] (the configuration-grid sharding engine:
 //! work-stealing over whole configurations with per-shard counter-based
@@ -42,6 +43,7 @@ pub mod noise;
 pub mod overhead;
 pub mod par;
 pub mod plan_cut;
+pub mod service_load;
 pub mod stats;
 pub mod tables;
 pub mod teleport_channel;

@@ -62,13 +62,10 @@ where
         .collect()
 }
 
-/// Default worker count: available parallelism, capped at 16.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16)
-}
+/// Default worker count: available parallelism, capped at 16
+/// (re-exported from [`qsample::grid`], where the sharding engine now
+/// lives so the service layer below this crate can use it too).
+pub use qsample::grid::default_threads;
 
 /// Derives a decorrelated 64-bit seed for item `i` from a base seed
 /// (splitmix64 step — avoids adjacent-seed correlations in the

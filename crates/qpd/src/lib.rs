@@ -17,9 +17,11 @@ pub mod allocator;
 pub mod estimator;
 pub mod spec;
 
-pub use allocator::{largest_remainder, neyman_allocation, stochastic_allocation, Allocator};
+pub use allocator::{
+    largest_remainder, neyman_allocation, stochastic_allocation, Allocator, SequentialAllocator,
+};
 pub use estimator::{
-    estimate_allocated, estimate_stochastic, estimate_with_allocation, exact_value,
-    proportional_sweep, BernoulliTerm, TermSampler,
+    estimate_allocated, estimate_sequential, estimate_stochastic, estimate_with_allocation,
+    exact_value, proportional_sweep, BernoulliTerm, TermSampler,
 };
 pub use spec::{QpdSpec, TermSpec};

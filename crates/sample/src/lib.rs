@@ -28,8 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod grid;
 pub mod stream;
 
+pub use grid::{
+    default_threads, keyed_stream, GridKey, KeyHasher, ShardCtx, ShardResult, ShardedGrid,
+};
 pub use stream::{stream_block, StreamRng};
 
 use rand::Rng;

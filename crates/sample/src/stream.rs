@@ -78,7 +78,7 @@ pub fn stream_block(seed: u64, stream: u64, counter: u64) -> u64 {
 /// i)`. Streams with distinct stream ids consume disjoint 128-bit PRF
 /// input blocks under the same keyed permutation, so they are
 /// non-overlapping by construction — exactly what per-shard randomness
-/// in a work-stealing grid runner needs (see `experiments::grid`).
+/// in a work-stealing grid runner needs (see [`crate::grid`]).
 ///
 /// Implements [`rand::RngCore`], so it drops into every sampler in the
 /// workspace (`qsample::binomial`, `qsim::CompiledSampler`, the `qpd`
@@ -121,6 +121,16 @@ impl StreamRng {
             self.seed,
             mix64(self.stream ^ tag.wrapping_mul(GOLDEN_GAMMA)),
         )
+    }
+
+    /// A stream addressed by a *path* of tags: `derive(&[a, b, c])` is
+    /// `split(a).split(b).split(c)`. This is the hierarchical form of
+    /// [`split`](Self::split) used by the service layer to key one lane
+    /// per `(job, batch, term)` — every level of the path contributes to
+    /// the derived stream id, so sibling paths get structurally disjoint
+    /// counter spaces just like sibling splits.
+    pub fn derive(&self, tags: &[u64]) -> StreamRng {
+        tags.iter().fold(self.clone(), |rng, &tag| rng.split(tag))
     }
 }
 
@@ -188,6 +198,19 @@ mod tests {
         assert_ne!(v0, v2);
         assert_ne!(v1, v2);
         assert_ne!(s1.stream(), s2.stream());
+    }
+
+    #[test]
+    fn derive_is_the_fold_of_split() {
+        let root = StreamRng::new(9, 1234);
+        let a = root.derive(&[5, 6, 7]);
+        let b = root.split(5).split(6).split(7);
+        assert_eq!(a.stream(), b.stream());
+        // Empty path is the identity stream (fresh counter).
+        assert_eq!(root.derive(&[]).stream(), root.stream());
+        // Path order matters and sibling paths diverge.
+        assert_ne!(root.derive(&[5, 6]).stream(), root.derive(&[6, 5]).stream());
+        assert_ne!(root.derive(&[5, 6]).stream(), root.derive(&[5, 7]).stream());
     }
 
     #[test]

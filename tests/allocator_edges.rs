@@ -1,0 +1,174 @@
+//! Edge-case and property tests for the shot allocators: every allocator
+//! in the crate must spend **exactly** the requested budget — no shot
+//! lost, none invented — for arbitrary coefficient vectors, σ profiles,
+//! and budgets (including budgets smaller than the term count), and the
+//! degenerate-input failure modes must be loud and named.
+
+use nme_wire_cutting::qpd::{
+    largest_remainder, neyman_allocation, stochastic_allocation, Allocator, QpdSpec,
+    SequentialAllocator,
+};
+use nme_wire_cutting::qsample::StreamRng;
+use proptest::collection::vec as prop_vec;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Arbitrary spec: 1–12 terms with signed coefficients bounded away from
+/// an all-zero vector (largest_remainder rejects zero weight vectors; a
+/// spec whose κ is zero is not a QPD).
+fn arb_spec() -> impl Strategy<Value = QpdSpec> {
+    prop_vec(-4.0f64..4.0, 1..12)
+        .prop_filter("need nonzero kappa", |cs| {
+            cs.iter().map(|c| c.abs()).sum::<f64>() > 1e-6
+        })
+        .prop_map(|cs| {
+            let parts: Vec<(f64, &str, f64)> = cs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, "t", (i % 2) as f64))
+                .collect();
+            QpdSpec::from_parts(&parts)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn proportional_spends_exactly_the_budget(spec in arb_spec(), total in 0u64..100_000) {
+        let alloc = Allocator::Proportional.allocate(&spec, total);
+        prop_assert_eq!(alloc.len(), spec.len());
+        prop_assert_eq!(alloc.iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn uniform_spends_exactly_the_budget(spec in arb_spec(), total in 0u64..100_000) {
+        let alloc = Allocator::Uniform.allocate(&spec, total);
+        prop_assert_eq!(alloc.len(), spec.len());
+        prop_assert_eq!(alloc.iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn neyman_spends_exactly_the_budget(
+        spec in arb_spec(),
+        total in 0u64..100_000,
+        sigma_seed in 0u64..1_000,
+    ) {
+        // Arbitrary σ profile, including exact zeros on some terms.
+        let sigmas: Vec<f64> = (0..spec.len())
+            .map(|i| if (sigma_seed + i as u64).is_multiple_of(3) {
+                0.0
+            } else {
+                ((sigma_seed * 31 + i as u64 * 7) % 100) as f64 / 50.0
+            })
+            .collect();
+        let alloc = neyman_allocation(&spec, &sigmas, total);
+        prop_assert_eq!(alloc.len(), spec.len());
+        prop_assert_eq!(alloc.iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn stochastic_spends_exactly_the_budget(
+        spec in arb_spec(),
+        total in 0u64..100_000,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StreamRng::new(seed, 0xA110C);
+        let alloc = stochastic_allocation(&spec, total, &mut rng);
+        prop_assert_eq!(alloc.len(), spec.len());
+        prop_assert_eq!(alloc.iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn sequential_spends_exactly_the_budget_every_batch(
+        spec in arb_spec(),
+        batch in 0u64..10_000,
+        obs_seed in 0u64..1_000,
+    ) {
+        let mut seq = SequentialAllocator::new(spec.len());
+        // Feed a couple of rounds of synthetic observations so the σ̂
+        // profile is arbitrary (some terms pinned at mean ±1 → σ̂ small,
+        // some unseen → σ̂ = 1).
+        let mut rng = StreamRng::new(obs_seed, 0x5E0);
+        for term in 0..spec.len() {
+            if rng.gen::<f64>() < 0.7 {
+                let shots = 1 + (rng.gen::<u64>() % 50);
+                let mean = 2.0 * rng.gen::<f64>() - 1.0;
+                seq.record(term, mean * shots as f64, shots);
+            }
+        }
+        let alloc = seq.next_allocation(&spec, batch);
+        prop_assert_eq!(alloc.len(), spec.len());
+        prop_assert_eq!(alloc.iter().sum::<u64>(), batch);
+    }
+
+    #[test]
+    fn largest_remainder_spends_exactly_the_budget(
+        weights in prop_vec(0.0f64..10.0, 1..12)
+            .prop_filter("need nonzero mass", |ws| ws.iter().sum::<f64>() > 1e-9),
+        total in 0u64..100_000,
+    ) {
+        let alloc = largest_remainder(&weights, total);
+        prop_assert_eq!(alloc.iter().sum::<u64>(), total);
+    }
+}
+
+// ---- budgets smaller than the term count ----------------------------
+
+#[test]
+fn neyman_with_budget_below_term_count_still_sums_exactly() {
+    let spec = QpdSpec::from_parts(&[
+        (0.5, "a", 0.0),
+        (-0.25, "b", 1.0),
+        (0.5, "c", 0.0),
+        (0.25, "d", 1.0),
+        (-0.5, "e", 0.0),
+    ]);
+    let sigmas = [1.0, 0.2, 0.0, 0.9, 0.4];
+    for total in 0..5u64 {
+        let alloc = neyman_allocation(&spec, &sigmas, total);
+        assert_eq!(alloc.iter().sum::<u64>(), total, "total {total}: {alloc:?}");
+    }
+}
+
+#[test]
+fn proportional_with_budget_below_term_count_still_sums_exactly() {
+    let spec = QpdSpec::from_parts(&[(0.7, "a", 0.0), (-0.2, "b", 1.0), (0.1, "c", 0.0)]);
+    for total in 0..3u64 {
+        let alloc = Allocator::Proportional.allocate(&spec, total);
+        assert_eq!(alloc.iter().sum::<u64>(), total);
+    }
+}
+
+// ---- loud, named failure modes (the fixed panics) -------------------
+
+#[test]
+#[should_panic(expected = "allocation weights must be finite and non-negative")]
+fn largest_remainder_names_a_nan_weight() {
+    largest_remainder(&[0.5, f64::NAN, 0.25], 100);
+}
+
+#[test]
+#[should_panic(expected = "allocation weights must be finite and non-negative")]
+fn largest_remainder_names_an_infinite_weight() {
+    largest_remainder(&[0.5, f64::INFINITY], 100);
+}
+
+#[test]
+#[should_panic(expected = "zero weight vector")]
+fn largest_remainder_rejects_all_zero_weights() {
+    largest_remainder(&[0.0, 0.0, 0.0], 100);
+}
+
+#[test]
+#[should_panic(expected = "per-term σ must be finite and non-negative")]
+fn neyman_names_an_infinite_sigma() {
+    let spec = QpdSpec::from_parts(&[(0.5, "a", 0.0), (0.5, "b", 1.0)]);
+    neyman_allocation(&spec, &[f64::INFINITY, 1.0], 100);
+}
+
+#[test]
+#[should_panic(expected = "cannot allocate shots across an empty QPD term list")]
+fn largest_remainder_rejects_empty_weights() {
+    largest_remainder(&[], 100);
+}

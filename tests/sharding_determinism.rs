@@ -7,7 +7,7 @@
 
 use nme_wire_cutting::experiments::{
     allocation, distill_cut, fig6, grid::GridKey, grid::ShardedGrid, joint_cut, joint_scaling,
-    multicut, noise, overhead, parallel_map_indexed, plan_cut, werner, werner_sweep,
+    multicut, noise, overhead, parallel_map_indexed, plan_cut, service_load, werner, werner_sweep,
 };
 use nme_wire_cutting::qsample::{stream_block, StreamRng};
 use proptest::prelude::*;
@@ -194,6 +194,24 @@ fn plan_cut_csv_is_thread_count_invariant() {
             num_circuits: 3,
             repetitions: 4,
             seed: 23,
+            threads,
+            ..Default::default()
+        })
+        .to_csv()
+    });
+}
+
+#[test]
+fn service_load_csv_is_thread_count_invariant() {
+    assert_csv_invariant("service_load", |threads| {
+        service_load::run(&service_load::ServiceLoadConfig {
+            num_qubits: 3,
+            gates: 5,
+            width_budget: 2,
+            max_cuts: 2,
+            num_circuits: 2,
+            shots: 512,
+            repetitions: 6,
             threads,
             ..Default::default()
         })
