@@ -3,7 +3,10 @@
 //! tomography — the hot paths every experiment sits on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use qsim::{haar_unitary, Circuit, CompiledSampler, DensityMatrix, Gate, StateVector};
+use qsim::{
+    fuse_single_qubit_runs, haar_unitary, Circuit, CompiledSampler, DensityMatrix, Gate,
+    StateVector,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -82,6 +85,103 @@ fn density_tomography(c: &mut Criterion) {
     group.finish();
 }
 
+/// An entanglement-distillation round: Bell pairs, a transversal local
+/// Clifford twirl, bilateral CNOTs and parity measurements with
+/// feed-forward — entirely Clifford, the stabilizer fast path's home turf.
+fn distillation_workload(pairs: usize) -> Circuit {
+    let n = 2 * pairs;
+    let mut c = Circuit::new(n, pairs - 1);
+    for i in 0..pairs {
+        c.h(2 * i);
+        c.cx(2 * i, 2 * i + 1);
+    }
+    for q in 0..n {
+        c.s(q);
+        c.h(q);
+    }
+    for i in 0..pairs - 1 {
+        c.cx(2 * i, 2 * (i + 1));
+        c.cx(2 * i + 1, 2 * (i + 1) + 1);
+        c.measure(2 * (i + 1) + 1, i);
+        c.x_if(2 * i + 1, i);
+    }
+    c
+}
+
+/// A stabilizer MUB rotation (layers of S/H with CX ladders) followed by
+/// a small dense readout rotation and measurements: a long Clifford
+/// prefix with a short dense suffix, exercising the prefix split.
+fn mub_rotation_workload(n: usize) -> Circuit {
+    let mut c = Circuit::new(n, 2);
+    for q in 0..n {
+        c.h(q);
+    }
+    for layer in 0..3 {
+        for q in 0..n {
+            c.s(q);
+            if (q + layer) % 2 == 0 {
+                c.h(q);
+            }
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+    }
+    c.ry(0.3, 0);
+    c.measure(0, 0);
+    c.measure(n / 2, 1);
+    c
+}
+
+fn clifford_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/clifford_vs_dense");
+    group.sample_size(20);
+    let distill = distillation_workload(6); // 12 qubits, 5 measurements
+    group.bench_function("distillation_12q_hybrid", |b| {
+        b.iter(|| CompiledSampler::compile(&distill, None))
+    });
+    group.bench_function("distillation_12q_dense", |b| {
+        b.iter(|| CompiledSampler::compile_dense(&distill, None))
+    });
+    let mub = mub_rotation_workload(12);
+    group.bench_function("mub_rotation_12q_hybrid", |b| {
+        b.iter(|| CompiledSampler::compile(&mub, None))
+    });
+    group.bench_function("mub_rotation_12q_dense", |b| {
+        b.iter(|| CompiledSampler::compile_dense(&mub, None))
+    });
+    group.finish();
+}
+
+fn gate_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/fusion");
+    // A single-qubit-heavy circuit: interleaved rotation runs broken up
+    // by a sparse CX ladder, the shape fusion targets.
+    let n = 14;
+    let mut circ = Circuit::new(n, 0);
+    for round in 0..8 {
+        for q in 0..n {
+            circ.rz(0.1 * (round + 1) as f64, q);
+            circ.ry(0.2, q);
+            circ.rz(-0.1, q);
+        }
+        circ.cx(round % n, (round + 1) % n);
+    }
+    let (fused, _) = fuse_single_qubit_runs(&circ);
+    group.bench_function("unfused_apply_14q", |b| {
+        let mut sv = StateVector::new(n);
+        b.iter(|| sv.apply_circuit(&circ));
+    });
+    group.bench_function("fused_apply_14q", |b| {
+        let mut sv = StateVector::new(n);
+        b.iter(|| sv.apply_circuit(&fused));
+    });
+    group.bench_function("fusion_pass_344_gates", |b| {
+        b.iter(|| fuse_single_qubit_runs(&circ))
+    });
+    group.finish();
+}
+
 fn haar_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/haar");
     for &n in &[2usize, 4, 8] {
@@ -97,6 +197,8 @@ criterion_group!(
     benches,
     gate_kernels,
     circuit_execution,
+    clifford_vs_dense,
+    gate_fusion,
     density_tomography,
     haar_sampling
 );

@@ -66,8 +66,8 @@ pub use mixed::{BellDiagonalCut, DistillThenCut, OverheadMetric};
 pub use nme::{NmeCut, TeleportationPassthrough};
 pub use peng::PengCut;
 pub use planner::{
-    uncut_plan_expectation, CompiledPlan, CutGroup, CutPlan, CutPlanner, PlanKey, PlanReport,
-    PlanTerm, PlannedCut, Protocol,
+    uncut_plan_expectation, BackendReport, CompiledPlan, CutGroup, CutPlan, CutPlanner, PlanKey,
+    PlanReport, PlanTerm, PlannedCut, Protocol,
 };
 pub use service::{AllocationMode, BatchUpdate, CutService, EstimationJob, JobOutcome};
 pub use term::{identity_distance, reconstructed_channel, term_channel, CutTerm, WireCut};

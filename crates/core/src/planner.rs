@@ -477,6 +477,18 @@ impl PlanTerm {
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
     }
+
+    /// The Clifford prefix of this term's stitched circuit that compiled
+    /// onto the stabilizer tableau (zero-length when the term ran
+    /// all-dense).
+    pub fn clifford_prefix(&self) -> qsim::CliffordPrefix {
+        self.sampler.clifford_prefix()
+    }
+
+    /// Single-qubit fusion summary for this term's dense portion.
+    pub fn fusion_stats(&self) -> qsim::FusionStats {
+        self.sampler.fusion_stats()
+    }
 }
 
 impl TermSampler for PlanTerm {
@@ -516,6 +528,35 @@ impl TermSampler for PlanTerm {
 
     fn exact_expectation(&self) -> f64 {
         self.exact
+    }
+}
+
+/// Which simulator backends a compiled plan's terms ride, aggregated
+/// over all stitched term circuits (see
+/// [`qsim::CompiledSampler::compile`]'s backend split).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackendReport {
+    /// Compiled term count.
+    pub terms: usize,
+    /// Terms whose stitched circuit had a tableau-executed prefix.
+    pub hybrid_terms: usize,
+    /// Total instructions across all stitched term circuits.
+    pub total_instructions: usize,
+    /// Instructions executed on the stabilizer tableau.
+    pub clifford_instructions: usize,
+    /// Single-qubit gates absorbed by fusion in the dense portions.
+    pub gates_fused: usize,
+}
+
+impl BackendReport {
+    /// Fraction of stitched instructions on the stabilizer fast path
+    /// (1.0 for an empty plan, which trivially has no dense work).
+    pub fn clifford_fraction(&self) -> f64 {
+        if self.total_instructions == 0 {
+            1.0
+        } else {
+            self.clifford_instructions as f64 / self.total_instructions as f64
+        }
     }
 }
 
@@ -597,6 +638,11 @@ impl CompiledPlan {
         self.terms.iter().map(|t| t as &dyn TermSampler).collect()
     }
 
+    /// The compiled terms, aligned with [`CompiledPlan::spec`].
+    pub fn plan_terms(&self) -> &[PlanTerm] {
+        &self.terms
+    }
+
     /// Exact decomposed value `Σ cᵢ·⟨O⟩ᵢ` — must equal the uncut
     /// statevector expectation for a correct plan.
     pub fn exact_value(&self) -> f64 {
@@ -611,6 +657,26 @@ impl CompiledPlan {
     /// The plan's γ/κ overhead report.
     pub fn report(&self) -> &PlanReport {
         &self.report
+    }
+
+    /// Aggregates which simulator backend the plan's terms actually
+    /// compiled onto — the fast-path visibility the service surfaces per
+    /// job.
+    pub fn backend_report(&self) -> BackendReport {
+        let mut r = BackendReport {
+            terms: self.terms.len(),
+            ..BackendReport::default()
+        };
+        for t in &self.terms {
+            let p = t.clifford_prefix();
+            if p.prefix_len > 0 {
+                r.hybrid_terms += 1;
+            }
+            r.total_instructions += p.total;
+            r.clifford_instructions += p.prefix_len;
+            r.gates_fused += t.fusion_stats().gates_fused;
+        }
+        r
     }
 
     /// Structural verification of the compiled plan: the product spec's
@@ -894,6 +960,40 @@ mod tests {
                 compiled.verify(1e-8).unwrap();
             }
         }
+    }
+
+    #[test]
+    fn backend_report_aggregates_term_prefixes() {
+        // A Clifford-heavy plan: the ladder is H-free but all-CX after
+        // one Ry, so every stitched term has a dense head (the Ry) and
+        // the clifford_fraction reflects the per-term prefix analysis.
+        let c = ladder(4);
+        let obs = PauliString::from_label("ZZZZ");
+        let plan = CutPlanner::new(2).with_overlap(0.8).plan(&c);
+        let compiled = CompiledPlan::compile(&plan, &obs);
+        let r = compiled.backend_report();
+        assert_eq!(r.terms, compiled.plan_terms().len());
+        assert!(r.total_instructions > 0);
+        assert!(r.clifford_fraction() >= 0.0 && r.clifford_fraction() <= 1.0);
+        let prefix_sum: usize = compiled
+            .plan_terms()
+            .iter()
+            .map(|t| t.clifford_prefix().prefix_len)
+            .sum();
+        assert_eq!(prefix_sum, r.clifford_instructions);
+        // An all-Clifford circuit compiles to a plan whose uncut single
+        // term is fully on the fast path.
+        let mut cliff = Circuit::new(2, 0);
+        cliff.h(0).cx(0, 1).cx(0, 1).cx(0, 1);
+        let plan = CutPlanner::new(4).plan(&cliff);
+        let compiled = CompiledPlan::compile(&plan, &PauliString::from_label("ZZ"));
+        let r = compiled.backend_report();
+        assert!(
+            (r.clifford_fraction() - 1.0).abs() < 1e-12,
+            "all-Clifford plan reports fraction {}",
+            r.clifford_fraction()
+        );
+        assert_eq!(r.hybrid_terms, r.terms);
     }
 
     #[test]

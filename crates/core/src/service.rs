@@ -170,6 +170,10 @@ pub struct JobOutcome {
     pub updates: Vec<BatchUpdate>,
     /// Pooled per-term shot counts (sums to `shots`).
     pub allocation: Vec<u64>,
+    /// Fraction of the plan's stitched instructions that compiled onto
+    /// the stabilizer fast path (see
+    /// [`crate::planner::BackendReport::clifford_fraction`]).
+    pub clifford_fraction: f64,
 }
 
 /// A job tagged with its plan key for grid scheduling.
@@ -332,6 +336,7 @@ impl CutService {
             cache_hit,
             updates,
             allocation: (0..num_terms).map(|i| seq.count(i)).collect(),
+            clifford_fraction: plan.backend_report().clifford_fraction(),
         }
     }
 

@@ -289,6 +289,36 @@ pub fn multinomial<R: Rng + ?Sized>(n: u64, weights: &[f64], rng: &mut R) -> Vec
     counts
 }
 
+/// Total-variation distance `½ Σᵢ |cᵢ/shots − pᵢ|` between empirical
+/// counts and a probability vector — the statistic every equivalence
+/// suite in the workspace tests sampled distributions with.
+///
+/// # Panics
+/// Panics when `counts` and `probs` have different lengths or
+/// `shots == 0`.
+pub fn tv_distance(counts: &[u64], probs: &[f64], shots: u64) -> f64 {
+    assert_eq!(counts.len(), probs.len(), "counts/probs length mismatch");
+    assert!(shots > 0, "tv_distance of an empty sample");
+    counts
+        .iter()
+        .zip(probs.iter())
+        .map(|(&c, &p)| (c as f64 / shots as f64 - p).abs())
+        .sum::<f64>()
+        / 2.0
+}
+
+/// 5σ bound on the TV distance of a multinomial sample of size `shots`
+/// from its generating distribution: TV = ½Σ|fᵢ − pᵢ| where each
+/// marginal deviation has σᵢ = √(pᵢ(1−pᵢ)/shots). Summing 5σᵢ bounds is
+/// conservative (the deviations are negatively correlated), so a
+/// violation is a real distributional bug, not noise.
+pub fn tv_bound_5_sigma(probs: &[f64], shots: u64) -> f64 {
+    2.5 * probs
+        .iter()
+        .map(|&p| (p * (1.0 - p) / shots as f64).sqrt())
+        .sum::<f64>()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,5 +552,37 @@ mod tests {
     fn binomial_rejects_bad_p() {
         let mut rng = StdRng::seed_from_u64(46);
         binomial(5, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn tv_distance_basics() {
+        // Perfect agreement → 0; total disagreement → 1.
+        assert_eq!(tv_distance(&[50, 50], &[0.5, 0.5], 100), 0.0);
+        assert!((tv_distance(&[100, 0], &[0.0, 1.0], 100) - 1.0).abs() < 1e-15);
+        // Half the mass misplaced → TV ½.
+        assert!((tv_distance(&[75, 25], &[0.25, 0.75], 100) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tv_bound_shrinks_with_shots() {
+        let probs = [0.25, 0.25, 0.25, 0.25];
+        let b100 = tv_bound_5_sigma(&probs, 100);
+        let b10k = tv_bound_5_sigma(&probs, 10_000);
+        assert!(
+            (b100 / b10k - 10.0).abs() < 1e-9,
+            "bound must scale 1/sqrt(shots)"
+        );
+        // Degenerate distribution has zero variance.
+        assert_eq!(tv_bound_5_sigma(&[1.0, 0.0], 100), 0.0);
+    }
+
+    #[test]
+    fn multinomial_tv_within_bound() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let probs = [0.5, 0.2, 0.2, 0.1];
+        let shots = 100_000;
+        let counts = multinomial(shots, &probs, &mut rng);
+        let tv = tv_distance(&counts, &probs, shots);
+        assert!(tv < tv_bound_5_sigma(&probs, shots), "tv {tv} out of bound");
     }
 }

@@ -22,8 +22,14 @@ pub struct DensityMatrix {
 }
 
 impl DensityMatrix {
+    /// Widest register the dense `2^n × 2^n` representation supports:
+    /// the buffer grows as `4^n`, so the guard sits at half the
+    /// statevector's 30-qubit limit.
+    pub const MAX_QUBITS: usize = 15;
+
     /// `|0…0⟩⟨0…0|` on `n` qubits.
     pub fn new(n: usize) -> Self {
+        assert!(n <= Self::MAX_QUBITS, "density matrix too large");
         let dim = 1usize << n;
         let mut mat = Matrix::zeros(dim, dim);
         mat[(0, 0)] = qlinalg::C_ONE;
@@ -47,6 +53,7 @@ impl DensityMatrix {
 
     /// The maximally mixed state `I/2^n`.
     pub fn maximally_mixed(n: usize) -> Self {
+        assert!(n <= Self::MAX_QUBITS, "density matrix too large");
         let dim = 1usize << n;
         Self {
             n,
@@ -349,5 +356,17 @@ mod tests {
         assert!(rho.is_physical(1e-10));
         let bad = DensityMatrix::from_matrix(1, Matrix::diag(&[c64(1.5, 0.0), c64(-0.5, 0.0)]));
         assert!(!bad.is_physical(1e-10));
+    }
+
+    #[test]
+    #[should_panic(expected = "density matrix too large")]
+    fn oversized_register_panics() {
+        let _ = DensityMatrix::new(DensityMatrix::MAX_QUBITS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "density matrix too large")]
+    fn oversized_mixed_state_panics() {
+        let _ = DensityMatrix::maximally_mixed(16);
     }
 }

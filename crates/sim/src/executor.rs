@@ -38,8 +38,10 @@
 //! Both paths consume the RNG differently, so fixed-seed runs of the two
 //! paths give different (equally valid) draws.
 
-use crate::circuit::{Circuit, Op};
+use crate::circuit::{Circuit, Instruction, Op};
 use crate::density::DensityMatrix;
+use crate::fuse::{fuse_single_qubit_runs, FusionStats};
+use crate::stabilizer::{CliffordPrefix, Tableau};
 use crate::statevector::StateVector;
 use rand::Rng;
 use std::collections::HashMap;
@@ -272,114 +274,342 @@ pub struct BranchLeaf {
     pub state: StateVector,
 }
 
+/// A partially-evolved measurement branch during compilation.
+struct Branch {
+    p: f64,
+    clbits: u64,
+    state: StateVector,
+}
+
+/// Advances `branches` through `instrs` on the dense backend, splitting
+/// at measurements/resets and pruning numerically-dead branches.
+fn dense_branches(instrs: &[Instruction], mut branches: Vec<Branch>) -> Vec<Branch> {
+    for instr in instrs {
+        match &instr.op {
+            Op::Gate(g, qs) => {
+                for b in branches.iter_mut() {
+                    if let Some(cond) = instr.condition {
+                        if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
+                            continue;
+                        }
+                    }
+                    b.state.apply_gate(g, qs);
+                }
+            }
+            Op::Measure { qubit, clbit } => {
+                let mut next = Vec::with_capacity(branches.len() * 2);
+                for b in branches.into_iter() {
+                    if let Some(cond) = instr.condition {
+                        if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
+                            next.push(b);
+                            continue;
+                        }
+                    }
+                    let p1 = b.state.prob_one(*qubit);
+                    if p1 < 1.0 - 1e-14 {
+                        let mut s0 = b.state.clone();
+                        s0.collapse(*qubit, false);
+                        next.push(Branch {
+                            p: b.p * (1.0 - p1),
+                            clbits: b.clbits & !(1 << clbit),
+                            state: s0,
+                        });
+                    }
+                    if p1 > 1e-14 {
+                        let mut s1 = b.state;
+                        s1.collapse(*qubit, true);
+                        next.push(Branch {
+                            p: b.p * p1,
+                            clbits: b.clbits | (1 << clbit),
+                            state: s1,
+                        });
+                    }
+                }
+                branches = next;
+            }
+            Op::Reset(q) => {
+                let mut next = Vec::with_capacity(branches.len() * 2);
+                for b in branches.into_iter() {
+                    if let Some(cond) = instr.condition {
+                        if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
+                            next.push(b);
+                            continue;
+                        }
+                    }
+                    let p1 = b.state.prob_one(*q);
+                    if p1 < 1.0 - 1e-14 {
+                        let mut s0 = b.state.clone();
+                        s0.collapse(*q, false);
+                        next.push(Branch {
+                            p: b.p * (1.0 - p1),
+                            clbits: b.clbits,
+                            state: s0,
+                        });
+                    }
+                    if p1 > 1e-14 {
+                        let mut s1 = b.state;
+                        s1.collapse(*q, true);
+                        s1.apply_gate(&crate::gate::Gate::X, &[*q]);
+                        next.push(Branch {
+                            p: b.p * p1,
+                            clbits: b.clbits,
+                            state: s1,
+                        });
+                    }
+                }
+                branches = next;
+            }
+            Op::Barrier => {}
+        }
+    }
+    branches
+}
+
+/// A measurement branch evolving on the stabilizer tableau. Branch
+/// probabilities are exact dyadics (products of ½ from random
+/// measurements), so no pruning is ever needed.
+struct TableauBranch {
+    p: f64,
+    clbits: u64,
+    tab: Tableau,
+}
+
+/// Advances tableau branches through a fully-Clifford instruction run.
+fn tableau_branches(
+    instrs: &[Instruction],
+    mut branches: Vec<TableauBranch>,
+) -> Vec<TableauBranch> {
+    for instr in instrs {
+        match &instr.op {
+            Op::Gate(g, qs) => {
+                for b in branches.iter_mut() {
+                    if let Some(cond) = instr.condition {
+                        if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
+                            continue;
+                        }
+                    }
+                    b.tab.apply_gate(g, qs);
+                }
+            }
+            Op::Measure { qubit, clbit } => {
+                let mut next = Vec::with_capacity(branches.len() * 2);
+                for b in branches.into_iter() {
+                    if let Some(cond) = instr.condition {
+                        if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
+                            next.push(b);
+                            continue;
+                        }
+                    }
+                    match b.tab.deterministic_outcome(*qubit) {
+                        Some(outcome) => {
+                            let clbits = if outcome {
+                                b.clbits | (1 << clbit)
+                            } else {
+                                b.clbits & !(1 << clbit)
+                            };
+                            next.push(TableauBranch { clbits, ..b });
+                        }
+                        None => {
+                            let mut t0 = b.tab.clone();
+                            t0.collapse(*qubit, false);
+                            next.push(TableauBranch {
+                                p: b.p * 0.5,
+                                clbits: b.clbits & !(1 << clbit),
+                                tab: t0,
+                            });
+                            let mut t1 = b.tab;
+                            t1.collapse(*qubit, true);
+                            next.push(TableauBranch {
+                                p: b.p * 0.5,
+                                clbits: b.clbits | (1 << clbit),
+                                tab: t1,
+                            });
+                        }
+                    }
+                }
+                branches = next;
+            }
+            Op::Reset(q) => {
+                let mut next = Vec::with_capacity(branches.len() * 2);
+                for b in branches.into_iter() {
+                    if let Some(cond) = instr.condition {
+                        if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
+                            next.push(b);
+                            continue;
+                        }
+                    }
+                    match b.tab.deterministic_outcome(*q) {
+                        Some(outcome) => {
+                            let mut t = b.tab;
+                            if outcome {
+                                t.apply_x(*q);
+                            }
+                            next.push(TableauBranch { tab: t, ..b });
+                        }
+                        None => {
+                            let mut t0 = b.tab.clone();
+                            t0.collapse(*q, false);
+                            next.push(TableauBranch {
+                                p: b.p * 0.5,
+                                clbits: b.clbits,
+                                tab: t0,
+                            });
+                            let mut t1 = b.tab;
+                            t1.collapse(*q, true);
+                            t1.apply_x(*q);
+                            next.push(TableauBranch {
+                                p: b.p * 0.5,
+                                clbits: b.clbits,
+                                tab: t1,
+                            });
+                        }
+                    }
+                }
+                branches = next;
+            }
+            Op::Barrier => {}
+        }
+    }
+    branches
+}
+
 /// Pre-enumerated measurement branch tree for a circuit and fixed input.
 ///
 /// Compiling costs one statevector simulation per measurement branch
 /// (≤ `2^m` for `m` measurements); sampling a shot afterwards is O(#leaves)
 /// with no gate application at all. Exactly equivalent in distribution to
 /// [`run_shot`] — asserted by tests.
+///
+/// # Backends
+///
+/// [`compile`](Self::compile) is a hybrid: starting from `|0…0⟩`, the
+/// maximal Clifford prefix of the circuit rides a stabilizer
+/// [`Tableau`] (`O(n²)` per gate, exact dyadic branch probabilities)
+/// and is converted to a dense state only at the first non-Clifford
+/// gate; the dense suffix then runs with adjacent single-qubit gates
+/// fused per wire ([`fuse_single_qubit_runs`]). The backend choice
+/// depends only on the circuit, never on runtime state, so compiled
+/// plans stay byte-deterministic. [`compile_dense`](Self::compile_dense)
+/// is the pristine all-dense, no-fusion reference path the differential
+/// suite checks the hybrid against.
 #[derive(Clone, Debug)]
 pub struct CompiledSampler {
     leaves: Vec<BranchLeaf>,
     cumulative: Vec<f64>,
+    prefix: CliffordPrefix,
+    fusion: FusionStats,
 }
 
 impl CompiledSampler {
-    /// Enumerates all measurement branches of `circuit` on `input`.
+    /// Minimum Clifford-prefix length before the tableau path is worth
+    /// the conversion cost at the split point.
+    const HYBRID_THRESHOLD: usize = 4;
+
+    /// Enumerates all measurement branches of `circuit` on `input`,
+    /// choosing the backend per the type-level docs.
     pub fn compile(circuit: &Circuit, input: Option<&StateVector>) -> Self {
         assert!(circuit.num_clbits() <= 64);
-        let init = match input {
-            Some(sv) => sv.clone(),
-            None => StateVector::new(circuit.num_qubits()),
-        };
-        struct Branch {
-            p: f64,
-            clbits: u64,
-            state: StateVector,
-        }
-        let mut branches = vec![Branch {
-            p: 1.0,
-            clbits: 0,
-            state: init,
-        }];
-        for instr in circuit.instructions() {
-            match &instr.op {
-                Op::Gate(g, qs) => {
-                    for b in branches.iter_mut() {
-                        if let Some(cond) = instr.condition {
-                            if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
-                                continue;
-                            }
-                        }
-                        b.state.apply_gate(g, qs);
-                    }
-                }
-                Op::Measure { qubit, clbit } => {
-                    let mut next = Vec::with_capacity(branches.len() * 2);
-                    for b in branches.into_iter() {
-                        if let Some(cond) = instr.condition {
-                            if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
-                                next.push(b);
-                                continue;
-                            }
-                        }
-                        let p1 = b.state.prob_one(*qubit);
-                        if p1 < 1.0 - 1e-14 {
-                            let mut s0 = b.state.clone();
-                            s0.collapse(*qubit, false);
-                            next.push(Branch {
-                                p: b.p * (1.0 - p1),
-                                clbits: b.clbits & !(1 << clbit),
-                                state: s0,
-                            });
-                        }
-                        if p1 > 1e-14 {
-                            let mut s1 = b.state;
-                            s1.collapse(*qubit, true);
-                            next.push(Branch {
-                                p: b.p * p1,
-                                clbits: b.clbits | (1 << clbit),
-                                state: s1,
-                            });
-                        }
-                    }
-                    branches = next;
-                }
-                Op::Reset(q) => {
-                    let mut next = Vec::with_capacity(branches.len() * 2);
-                    for b in branches.into_iter() {
-                        if let Some(cond) = instr.condition {
-                            if ((b.clbits >> cond.bit) & 1 == 1) != cond.value {
-                                next.push(b);
-                                continue;
-                            }
-                        }
-                        let p1 = b.state.prob_one(*q);
-                        if p1 < 1.0 - 1e-14 {
-                            let mut s0 = b.state.clone();
-                            s0.collapse(*q, false);
-                            next.push(Branch {
-                                p: b.p * (1.0 - p1),
-                                clbits: b.clbits,
-                                state: s0,
-                            });
-                        }
-                        if p1 > 1e-14 {
-                            let mut s1 = b.state;
-                            s1.collapse(*q, true);
-                            s1.apply_gate(&crate::gate::Gate::X, &[*q]);
-                            next.push(Branch {
-                                p: b.p * p1,
-                                clbits: b.clbits,
-                                state: s1,
-                            });
-                        }
-                    }
-                    branches = next;
-                }
-                Op::Barrier => {}
+        if input.is_none() && circuit.num_qubits() <= 30 {
+            let prefix = CliffordPrefix::split(circuit);
+            if prefix.prefix_len >= Self::HYBRID_THRESHOLD {
+                return Self::compile_hybrid(circuit, prefix);
             }
         }
+        let init = match input {
+            Some(sv) => {
+                assert_eq!(sv.num_qubits(), circuit.num_qubits());
+                sv.clone()
+            }
+            None => StateVector::new(circuit.num_qubits()),
+        };
+        let (fused, fusion) = fuse_single_qubit_runs(circuit);
+        let branches = dense_branches(
+            fused.instructions(),
+            vec![Branch {
+                p: 1.0,
+                clbits: 0,
+                state: init,
+            }],
+        );
+        Self::finalize(
+            branches,
+            CliffordPrefix {
+                prefix_len: 0,
+                total: circuit.len(),
+            },
+            fusion,
+        )
+    }
+
+    /// The all-dense, fusion-free reference compilation: the exact code
+    /// path every estimator rode before the hybrid backend existed.
+    /// Differential tests compare [`compile`](Self::compile) against it.
+    pub fn compile_dense(circuit: &Circuit, input: Option<&StateVector>) -> Self {
+        assert!(circuit.num_clbits() <= 64);
+        let init = match input {
+            Some(sv) => {
+                assert_eq!(sv.num_qubits(), circuit.num_qubits());
+                sv.clone()
+            }
+            None => StateVector::new(circuit.num_qubits()),
+        };
+        let branches = dense_branches(
+            circuit.instructions(),
+            vec![Branch {
+                p: 1.0,
+                clbits: 0,
+                state: init,
+            }],
+        );
+        Self::finalize(
+            branches,
+            CliffordPrefix {
+                prefix_len: 0,
+                total: circuit.len(),
+            },
+            FusionStats {
+                input_len: circuit.len(),
+                output_len: circuit.len(),
+                ..FusionStats::default()
+            },
+        )
+    }
+
+    /// Clifford prefix on the tableau, fused dense suffix from the
+    /// converted branch states.
+    fn compile_hybrid(circuit: &Circuit, prefix: CliffordPrefix) -> Self {
+        let n = circuit.num_qubits();
+        let instrs = circuit.instructions();
+        let tb = tableau_branches(
+            &instrs[..prefix.prefix_len],
+            vec![TableauBranch {
+                p: 1.0,
+                clbits: 0,
+                tab: Tableau::new(n),
+            }],
+        );
+        let mut suffix = Circuit::new(n, circuit.num_clbits());
+        for instr in &instrs[prefix.prefix_len..] {
+            suffix.push(instr.clone());
+        }
+        let (fused, fusion) = fuse_single_qubit_runs(&suffix);
+        let branches = tb
+            .into_iter()
+            .map(|b| Branch {
+                p: b.p,
+                clbits: b.clbits,
+                state: b.tab.to_statevector(),
+            })
+            .collect();
+        Self::finalize(
+            dense_branches(fused.instructions(), branches),
+            prefix,
+            fusion,
+        )
+    }
+
+    /// Sorts, renormalises and indexes the final branches.
+    fn finalize(branches: Vec<Branch>, prefix: CliffordPrefix, fusion: FusionStats) -> Self {
         let mut leaves: Vec<BranchLeaf> = branches
             .into_iter()
             .map(|b| BranchLeaf {
@@ -416,7 +646,24 @@ impl CompiledSampler {
         if let Some(last) = cumulative.last_mut() {
             *last = 1.0;
         }
-        Self { leaves, cumulative }
+        Self {
+            leaves,
+            cumulative,
+            prefix,
+            fusion,
+        }
+    }
+
+    /// The Clifford prefix the compiler actually ran on the tableau
+    /// (`prefix_len` is 0 when the circuit compiled all-dense — custom
+    /// input state, short prefix, or the reference path).
+    pub fn clifford_prefix(&self) -> CliffordPrefix {
+        self.prefix
+    }
+
+    /// What single-qubit gate fusion did to the dense portion.
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.fusion
     }
 
     /// The enumerated leaves.

@@ -1,0 +1,271 @@
+//! Single-qubit gate fusion.
+//!
+//! Runs of adjacent unconditioned single-qubit gates on the same wire
+//! are multiplied into one [`Gate::Unitary1`] before execution, so the
+//! dense backend makes one strided pass over the amplitudes instead of
+//! one per gate. Basis-rotation chains (MUB conjugations, distillation
+//! twirls, Euler-angle `Rz·Ry·Rz` decompositions) collapse 3–6× here.
+//!
+//! Contract — [`fuse_single_qubit_runs`] output is *unitarily
+//! identical* to its input (`tests/fuse_equivalence.rs` fences this
+//! with proptests), and conservative beyond that:
+//!
+//! * runs of length 1 are emitted **verbatim** (same `Gate` variant, so
+//!   circuits with nothing to fuse round-trip byte-identically and keep
+//!   their named fast paths in the statevector kernels);
+//! * fused products within `1e-12` of the identity are **eliminated**
+//!   (up to global phase — the product of a gate and its inverse);
+//! * conditioned gates, measurements, resets, barriers and multi-qubit
+//!   gates flush the pending runs on the wires they touch and pass
+//!   through unchanged, preserving program order across them.
+
+use crate::circuit::{Circuit, Instruction, Op};
+use crate::gate::Gate;
+use qlinalg::Matrix;
+
+/// What [`fuse_single_qubit_runs`] did, for plan reports and benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Instructions in the input circuit.
+    pub input_len: usize,
+    /// Instructions in the fused circuit.
+    pub output_len: usize,
+    /// Single-qubit gates absorbed into `Unitary1` products.
+    pub gates_fused: usize,
+    /// Fused runs whose product collapsed to the identity and vanished.
+    pub runs_eliminated: usize,
+}
+
+impl FusionStats {
+    /// `true` when fusion changed nothing (output is the input verbatim).
+    pub fn is_noop(&self) -> bool {
+        self.input_len == self.output_len && self.gates_fused == 0
+    }
+}
+
+/// `true` when `m` is the 2×2 identity up to global phase, within `tol`
+/// per entry.
+fn is_identity_up_to_phase(m: &Matrix, tol: f64) -> bool {
+    let d00 = m.row(0)[0];
+    let d11 = m.row(1)[1];
+    if m.row(0)[1].abs() > tol || m.row(1)[0].abs() > tol {
+        return false;
+    }
+    // Diagonal: both entries unit-modulus and equal ⇒ phase · I.
+    (d00 - d11).abs() <= tol && (d00.abs() - 1.0).abs() <= tol
+}
+
+/// A pending run of unconditioned single-qubit gates on one wire.
+struct PendingRun {
+    /// Accumulated product (left-multiplied: later gates on the left).
+    product: Matrix,
+    /// The original instructions, kept so singletons emit verbatim.
+    gates: Vec<Gate>,
+    /// Arrival index of the run's first gate, for stable ordering.
+    first_seen: usize,
+}
+
+/// Fuses runs of adjacent unconditioned single-qubit gates per wire into
+/// single [`Gate::Unitary1`] instructions. Returns the fused circuit and
+/// a [`FusionStats`] summary. See the module docs for the exact contract.
+pub fn fuse_single_qubit_runs(circuit: &Circuit) -> (Circuit, FusionStats) {
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_clbits());
+    let mut stats = FusionStats {
+        input_len: circuit.len(),
+        ..FusionStats::default()
+    };
+    let mut pending: Vec<Option<PendingRun>> = (0..circuit.num_qubits()).map(|_| None).collect();
+
+    // Flush helper: emit the pending run on wire `q` (if any) in arrival
+    // order relative to other flushed wires — callers collect-and-sort.
+    fn take(pending: &mut [Option<PendingRun>], q: usize) -> Option<(usize, usize, PendingRun)> {
+        pending[q].take().map(|run| (run.first_seen, q, run))
+    }
+    fn emit(out: &mut Circuit, stats: &mut FusionStats, q: usize, run: PendingRun) {
+        const ID_TOL: f64 = 1e-12;
+        if run.gates.len() == 1 {
+            out.gate(run.gates.into_iter().next().unwrap(), &[q]);
+            return;
+        }
+        if is_identity_up_to_phase(&run.product, ID_TOL) {
+            stats.gates_fused += run.gates.len();
+            stats.runs_eliminated += 1;
+            return;
+        }
+        stats.gates_fused += run.gates.len();
+        out.gate(Gate::Unitary1(run.product), &[q]);
+    }
+    let flush_wires = |out: &mut Circuit,
+                       stats: &mut FusionStats,
+                       pending: &mut [Option<PendingRun>],
+                       wires: &[usize]| {
+        let mut runs: Vec<(usize, usize, PendingRun)> =
+            wires.iter().filter_map(|&q| take(pending, q)).collect();
+        runs.sort_by_key(|&(first_seen, _, _)| first_seen);
+        for (_, q, run) in runs {
+            emit(out, stats, q, run);
+        }
+    };
+    let all_wires: Vec<usize> = (0..circuit.num_qubits()).collect();
+
+    for (idx, instr) in circuit.instructions().iter().enumerate() {
+        match (&instr.op, instr.condition) {
+            (Op::Gate(g, qs), None) if g.arity() == 1 => {
+                let q = qs[0];
+                match &mut pending[q] {
+                    Some(run) => {
+                        run.product = g.matrix().matmul(&run.product);
+                        run.gates.push(g.clone());
+                    }
+                    slot @ None => {
+                        *slot = Some(PendingRun {
+                            product: g.matrix(),
+                            gates: vec![g.clone()],
+                            first_seen: idx,
+                        });
+                    }
+                }
+            }
+            (op, _) => {
+                // Anything else flushes the wires it touches (a barrier
+                // or wide instruction flushes everything), then passes
+                // through unchanged.
+                match op {
+                    Op::Gate(_, qs) => flush_wires(&mut out, &mut stats, &mut pending, qs),
+                    Op::Measure { qubit, .. } | Op::Reset(qubit) => {
+                        flush_wires(&mut out, &mut stats, &mut pending, &[*qubit]);
+                    }
+                    Op::Barrier => flush_wires(&mut out, &mut stats, &mut pending, &all_wires),
+                }
+                out.push(Instruction {
+                    op: instr.op.clone(),
+                    condition: instr.condition,
+                });
+            }
+        }
+    }
+    flush_wires(&mut out, &mut stats, &mut pending, &all_wires);
+    stats.output_len = out.len();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_4;
+
+    #[test]
+    fn singleton_runs_round_trip_verbatim() {
+        let mut c = Circuit::new(2, 1);
+        c.h(0).cx(0, 1).t(1).measure(1, 0);
+        let (fused, stats) = fuse_single_qubit_runs(&c);
+        assert_eq!(fused.instructions(), c.instructions());
+        assert!(stats.is_noop());
+    }
+
+    #[test]
+    fn adjacent_run_fuses_to_one_unitary() {
+        let mut c = Circuit::new(1, 0);
+        c.h(0).s(0).t(0);
+        let (fused, stats) = fuse_single_qubit_runs(&c);
+        assert_eq!(fused.len(), 1);
+        assert_eq!(stats.gates_fused, 3);
+        let expect = Gate::T
+            .matrix()
+            .matmul(&Gate::S.matrix())
+            .matmul(&Gate::H.matrix());
+        match &fused.instructions()[0].op {
+            Op::Gate(Gate::Unitary1(m), qs) => {
+                assert_eq!(qs, &[0]);
+                assert!(m.approx_eq(&expect, 1e-12));
+            }
+            other => panic!("expected fused Unitary1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inverse_pair_is_eliminated() {
+        let mut c = Circuit::new(1, 0);
+        c.h(0).h(0);
+        let (fused, stats) = fuse_single_qubit_runs(&c);
+        assert_eq!(fused.len(), 0);
+        assert_eq!(stats.runs_eliminated, 1);
+        // T·Tdg differs from I only by bookkeeping; also eliminated.
+        let mut c2 = Circuit::new(1, 0);
+        c2.t(0).gate(Gate::Tdg, &[0]);
+        let (fused2, _) = fuse_single_qubit_runs(&c2);
+        assert_eq!(fused2.len(), 0);
+        // S·S = Z is NOT identity and must survive.
+        let mut c3 = Circuit::new(1, 0);
+        c3.s(0).s(0);
+        let (fused3, _) = fuse_single_qubit_runs(&c3);
+        assert_eq!(fused3.len(), 1);
+    }
+
+    #[test]
+    fn global_phase_identity_is_eliminated() {
+        // Rz(π/4)·T† = e^{−iπ/8}·I: identity up to global phase.
+        let mut c = Circuit::new(1, 0);
+        c.gate(Gate::Rz(FRAC_PI_4), &[0]).gate(Gate::Tdg, &[0]);
+        let (fused, stats) = fuse_single_qubit_runs(&c);
+        assert_eq!(fused.len(), 0);
+        assert_eq!(stats.runs_eliminated, 1);
+    }
+
+    #[test]
+    fn boundaries_flush_in_program_order() {
+        let mut c = Circuit::new(2, 1);
+        c.t(0).s(0); // run on wire 0
+        c.h(1); // singleton on wire 1
+        c.cx(0, 1); // flushes both, wire-0 run first (arrived first)
+        c.measure(0, 0);
+        c.x_if(1, 0); // conditioned: passes through, not fused
+        c.t(1).t(1); // trailing run flushed at end
+        let (fused, stats) = fuse_single_qubit_runs(&c);
+        let kinds: Vec<String> = fused
+            .instructions()
+            .iter()
+            .map(|i| match &i.op {
+                Op::Gate(g, qs) => format!("{}{:?}{}", g.name(), qs, i.condition.is_some() as u8),
+                Op::Measure { .. } => "measure".into(),
+                Op::Reset(_) => "reset".into(),
+                Op::Barrier => "barrier".into(),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "u1q[0]0",
+                "h[1]0",
+                "cx[0, 1]0",
+                "measure",
+                "x[1]1",
+                "u1q[1]0",
+            ]
+        );
+        assert_eq!(stats.gates_fused, 4);
+        assert_eq!(stats.output_len, 6);
+    }
+
+    #[test]
+    fn conditioned_single_qubit_gate_is_never_fused() {
+        let mut c = Circuit::new(1, 1);
+        c.h(0).measure(0, 0);
+        c.gate_if(Gate::S, &[0], 0, true);
+        c.gate_if(Gate::S, &[0], 0, true);
+        let (fused, stats) = fuse_single_qubit_runs(&c);
+        assert_eq!(fused.len(), 4);
+        assert_eq!(stats.gates_fused, 0);
+    }
+
+    #[test]
+    fn barrier_splits_runs() {
+        let mut c = Circuit::new(1, 0);
+        c.h(0).barrier().h(0);
+        let (fused, stats) = fuse_single_qubit_runs(&c);
+        // Two singleton H runs split by the barrier: nothing fused,
+        // nothing eliminated.
+        assert_eq!(fused.len(), 3);
+        assert_eq!(stats.runs_eliminated, 0);
+    }
+}

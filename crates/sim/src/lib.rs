@@ -32,10 +32,12 @@ pub mod circuit;
 pub mod dag;
 pub mod density;
 pub mod executor;
+pub mod fuse;
 pub mod gate;
 pub mod noise;
 pub mod pauli;
 pub mod random;
+pub mod stabilizer;
 pub mod statevector;
 
 pub use channel::Superoperator;
@@ -46,6 +48,7 @@ pub use executor::{
     execute_density, execute_density_branches, run_shot, run_shots, BranchLeaf, CompiledSampler,
     Counts, DensityBranch, Shot,
 };
+pub use fuse::{fuse_single_qubit_runs, FusionStats};
 pub use gate::Gate;
 pub use noise::{execute_density_noisy, NoiseChannel, NoiseModel};
 pub use pauli::{Pauli, PauliString};
@@ -53,4 +56,5 @@ pub use random::{
     ginibre, haar_single_qubit_workload, haar_state, haar_unitary, random_unitary_circuit,
     standard_normal,
 };
+pub use stabilizer::{clifford_prefix_len, is_clifford_gate, CliffordPrefix, Tableau};
 pub use statevector::StateVector;

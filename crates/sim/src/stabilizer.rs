@@ -1,0 +1,839 @@
+//! Stabilizer-tableau (Clifford) fast path.
+//!
+//! Most of the circuitry the cut pipeline executes — Bell/`|Φ_k⟩`
+//! preparation, MUB basis rotations, the entire DEJMPS/BBPSSW
+//! distillation layer, teleportation feed-forward — is Clifford, exactly
+//! the class a phase-tracked tableau simulates in `O(n²)` per gate
+//! instead of the dense backend's `O(2^n)` (Aaronson & Gottesman,
+//! quant-ph/0406196). This module provides:
+//!
+//! * [`Tableau`] — the simulator: `2n` phase-tracked X/Z generator rows
+//!   (destabilizers then stabilizers), update rules for every fixed
+//!   Clifford gate in the [`Gate`] library, deterministic **and** random
+//!   Z-basis measurement with forced-outcome collapse, reset, and full
+//!   circuit execution with classical feed-forward.
+//! * [`Tableau::to_statevector`] — exact conversion to the dense
+//!   backend: solve the stabilizer group for a support basis state, then
+//!   apply the group projector `Π (I + Sᵢ)/2`. The dense state is seeded
+//!   from the tableau **only** when a non-Clifford gate or an amplitude
+//!   query forces it (see [`crate::executor::CompiledSampler::compile`]).
+//! * [`CliffordPrefix`] / [`clifford_prefix_len`] — splits any
+//!   [`Circuit`] into its maximal leading Clifford run and the dense
+//!   suffix the statevector backend must finish.
+//!
+//! Conventions: row `(x, z, r)` represents the Hermitian Pauli
+//! `(−1)^r · Πⱼ σⱼ` with `σⱼ ∈ {I, X, Y, Z}` selected by the `(xⱼ, zⱼ)`
+//! bit pair (`(1,1)` is `Y`). Qubit `q` is bit `q` of the row masks,
+//! matching the little-endian statevector layout.
+
+use crate::circuit::{Circuit, Op};
+use crate::gate::Gate;
+use crate::statevector::StateVector;
+use qlinalg::{c64, Complex64, C_ZERO};
+use rand::Rng;
+
+/// `true` for gates the tableau can apply by type: the fixed Clifford
+/// subset of the gate library. Parameterised rotations (`Rz(π/2)` etc.)
+/// and matrix-valued gates are conservatively classified dense even when
+/// their matrix happens to be Clifford.
+pub fn is_clifford_gate(g: &Gate) -> bool {
+    matches!(
+        g,
+        Gate::I
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::S
+            | Gate::Sdg
+            | Gate::SX
+            | Gate::CX
+            | Gate::CZ
+            | Gate::CY
+            | Gate::Swap
+    )
+}
+
+/// Length of the maximal leading instruction run of `circuit` that a
+/// [`Tableau`] can execute: Clifford gates (conditioned or not),
+/// measurements, resets and barriers. Returns 0 when the register is too
+/// wide for the tableau's bit masks.
+pub fn clifford_prefix_len(circuit: &Circuit) -> usize {
+    if circuit.num_qubits() > Tableau::MAX_QUBITS || circuit.num_clbits() > 64 {
+        return 0;
+    }
+    circuit
+        .instructions()
+        .iter()
+        .take_while(|instr| match &instr.op {
+            Op::Gate(g, _) => is_clifford_gate(g),
+            Op::Measure { .. } | Op::Reset(_) | Op::Barrier => true,
+        })
+        .count()
+}
+
+/// The Clifford-prefix/dense-suffix split of a circuit: instructions
+/// `[0, prefix_len)` ride the tableau, the rest ride the dense backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CliffordPrefix {
+    /// Number of leading instructions executable on the tableau.
+    pub prefix_len: usize,
+    /// Total instruction count of the analysed circuit.
+    pub total: usize,
+}
+
+impl CliffordPrefix {
+    /// Analyses `circuit`.
+    pub fn split(circuit: &Circuit) -> Self {
+        Self {
+            prefix_len: clifford_prefix_len(circuit),
+            total: circuit.len(),
+        }
+    }
+
+    /// `true` when the whole circuit is Clifford (rides the tableau end
+    /// to end; the dense backend is only touched for final amplitudes).
+    pub fn is_full(&self) -> bool {
+        self.prefix_len == self.total
+    }
+
+    /// Fraction of instructions on the fast path (1.0 for an empty
+    /// circuit, which is trivially all-Clifford).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.prefix_len as f64 / self.total as f64
+        }
+    }
+}
+
+/// Phase-tracked stabilizer tableau over `n ≤ 64` qubits.
+///
+/// Rows `0..n` are destabilizers, rows `n..2n` stabilizers; the state is
+/// the unique (up to global phase) joint `+1` eigenstate of the
+/// stabilizer rows. Gate updates are `O(n)` bit operations, measurement
+/// `O(n²)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tableau {
+    n: usize,
+    /// X bit masks, one `u64` per row (bit `q` = qubit `q`).
+    x: Vec<u64>,
+    /// Z bit masks.
+    z: Vec<u64>,
+    /// Phase bits (`true` = −1).
+    r: Vec<bool>,
+}
+
+impl Tableau {
+    /// Widest register the single-word row masks support.
+    pub const MAX_QUBITS: usize = 64;
+
+    /// The all-zeros state `|0…0⟩`: destabilizer `i` = `Xᵢ`, stabilizer
+    /// `i` = `Zᵢ`.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= Self::MAX_QUBITS, "tableau too wide");
+        let mut x = vec![0u64; 2 * n];
+        let mut z = vec![0u64; 2 * n];
+        for i in 0..n {
+            x[i] = 1 << i;
+            z[n + i] = 1 << i;
+        }
+        Self {
+            n,
+            x,
+            z,
+            r: vec![false; 2 * n],
+        }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    // ----------------------------------------------------------------
+    // Gate updates (conjugation of every row by the gate unitary)
+    // ----------------------------------------------------------------
+
+    /// Applies a Clifford gate.
+    ///
+    /// # Panics
+    /// Panics when [`is_clifford_gate`] is false for `g`.
+    pub fn apply_gate(&mut self, g: &Gate, qubits: &[usize]) {
+        debug_assert_eq!(g.arity(), qubits.len());
+        match g {
+            Gate::I => {}
+            Gate::X => self.apply_x(qubits[0]),
+            Gate::Y => self.apply_y(qubits[0]),
+            Gate::Z => self.apply_z(qubits[0]),
+            Gate::H => self.apply_h(qubits[0]),
+            Gate::S => self.apply_s(qubits[0]),
+            Gate::Sdg => self.apply_sdg(qubits[0]),
+            Gate::SX => self.apply_sx(qubits[0]),
+            Gate::CX => self.apply_cx(qubits[0], qubits[1]),
+            Gate::CZ => self.apply_cz(qubits[0], qubits[1]),
+            Gate::CY => {
+                // CY = S_b · CX · S_b†: conjugate rows right-to-left.
+                self.apply_sdg(qubits[1]);
+                self.apply_cx(qubits[0], qubits[1]);
+                self.apply_s(qubits[1]);
+            }
+            Gate::Swap => self.apply_swap(qubits[0], qubits[1]),
+            other => panic!("non-Clifford gate {other} on tableau"),
+        }
+    }
+
+    /// Hadamard: `X ↔ Z`, `Y → −Y`.
+    pub fn apply_h(&mut self, q: usize) {
+        let bit = 1u64 << q;
+        for i in 0..2 * self.n {
+            let xq = self.x[i] & bit;
+            let zq = self.z[i] & bit;
+            self.r[i] ^= xq != 0 && zq != 0;
+            if (xq != 0) != (zq != 0) {
+                self.x[i] ^= bit;
+                self.z[i] ^= bit;
+            }
+        }
+    }
+
+    /// Phase gate: `X → Y`, `Y → −X`.
+    pub fn apply_s(&mut self, q: usize) {
+        let bit = 1u64 << q;
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i] & self.z[i] & bit != 0;
+            self.z[i] ^= self.x[i] & bit;
+        }
+    }
+
+    /// Inverse phase gate: `X → −Y`, `Y → X`.
+    pub fn apply_sdg(&mut self, q: usize) {
+        let bit = 1u64 << q;
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i] & !self.z[i] & bit != 0;
+            self.z[i] ^= self.x[i] & bit;
+        }
+    }
+
+    /// `√X`: `Z → −Y`, `Y → Z`.
+    pub fn apply_sx(&mut self, q: usize) {
+        let bit = 1u64 << q;
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.z[i] & !self.x[i] & bit != 0;
+            self.x[i] ^= self.z[i] & bit;
+        }
+    }
+
+    /// Pauli-X: `Z → −Z`, `Y → −Y`.
+    pub fn apply_x(&mut self, q: usize) {
+        let bit = 1u64 << q;
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.z[i] & bit != 0;
+        }
+    }
+
+    /// Pauli-Y: `X → −X`, `Z → −Z`.
+    pub fn apply_y(&mut self, q: usize) {
+        let bit = 1u64 << q;
+        for i in 0..2 * self.n {
+            self.r[i] ^= (self.x[i] ^ self.z[i]) & bit != 0;
+        }
+    }
+
+    /// Pauli-Z: `X → −X`, `Y → −Y`.
+    pub fn apply_z(&mut self, q: usize) {
+        let bit = 1u64 << q;
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i] & bit != 0;
+        }
+    }
+
+    /// CNOT with control `a`, target `b`.
+    pub fn apply_cx(&mut self, a: usize, b: usize) {
+        debug_assert_ne!(a, b);
+        let (ba, bb) = (1u64 << a, 1u64 << b);
+        for i in 0..2 * self.n {
+            let xa = self.x[i] & ba != 0;
+            let za = self.z[i] & ba != 0;
+            let xb = self.x[i] & bb != 0;
+            let zb = self.z[i] & bb != 0;
+            self.r[i] ^= xa && zb && (xb == za);
+            if xa {
+                self.x[i] ^= bb;
+            }
+            if zb {
+                self.z[i] ^= ba;
+            }
+        }
+    }
+
+    /// Controlled-Z (symmetric).
+    pub fn apply_cz(&mut self, a: usize, b: usize) {
+        debug_assert_ne!(a, b);
+        let (ba, bb) = (1u64 << a, 1u64 << b);
+        for i in 0..2 * self.n {
+            let xa = self.x[i] & ba != 0;
+            let za = self.z[i] & ba != 0;
+            let xb = self.x[i] & bb != 0;
+            let zb = self.z[i] & bb != 0;
+            self.r[i] ^= xa && xb && (za != zb);
+            if xb {
+                self.z[i] ^= ba;
+            }
+            if xa {
+                self.z[i] ^= bb;
+            }
+        }
+    }
+
+    /// SWAP of `a` and `b`.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        debug_assert_ne!(a, b);
+        let (ba, bb) = (1u64 << a, 1u64 << b);
+        for i in 0..2 * self.n {
+            let xa = self.x[i] & ba != 0;
+            let xb = self.x[i] & bb != 0;
+            if xa != xb {
+                self.x[i] ^= ba | bb;
+            }
+            let za = self.z[i] & ba != 0;
+            let zb = self.z[i] & bb != 0;
+            if za != zb {
+                self.z[i] ^= ba | bb;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Row algebra
+    // ----------------------------------------------------------------
+
+    /// Exponent of `i` picked up multiplying single-qubit Paulis
+    /// `(x1,z1)·(x2,z2)` (Aaronson–Gottesman `g`).
+    #[inline]
+    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+        match (x1, z1) {
+            (false, false) => 0,
+            (true, true) => (z2 as i32) - (x2 as i32),
+            (true, false) => (z2 as i32) * (2 * (x2 as i32) - 1),
+            (false, true) => (x2 as i32) * (1 - 2 * (z2 as i32)),
+        }
+    }
+
+    /// Exponent of `i` (mod 4) of the product `row1 · row2`.
+    fn phase_exponent(n: usize, x1: u64, z1: u64, r1: bool, x2: u64, z2: u64, r2: bool) -> i32 {
+        let mut sum = 2 * (r1 as i32) + 2 * (r2 as i32);
+        for q in 0..n {
+            sum += Self::g(
+                x1 >> q & 1 == 1,
+                z1 >> q & 1 == 1,
+                x2 >> q & 1 == 1,
+                z2 >> q & 1 == 1,
+            );
+        }
+        sum.rem_euclid(4)
+    }
+
+    /// Phase bit of the product `row1 · row2` of two **commuting**
+    /// Hermitian Pauli rows (the product is then Hermitian itself).
+    fn product_phase(n: usize, x1: u64, z1: u64, r1: bool, x2: u64, z2: u64, r2: bool) -> bool {
+        let m = Self::phase_exponent(n, x1, z1, r1, x2, z2, r2);
+        debug_assert!(m == 0 || m == 2, "non-Hermitian row product (i^{m})");
+        m == 2
+    }
+
+    /// `row_h := row_i · row_h` (the CHP `rowsum`). Destabilizer products
+    /// may pick up an `±i` (their phases are never read back); the phase
+    /// bit then records the sign half of the exponent only.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let m = Self::phase_exponent(
+            self.n, self.x[i], self.z[i], self.r[i], self.x[h], self.z[h], self.r[h],
+        );
+        debug_assert!(h < self.n || m == 0 || m == 2, "non-Hermitian stabilizer");
+        self.r[h] = m >= 2;
+        self.x[h] ^= self.x[i];
+        self.z[h] ^= self.z[i];
+    }
+
+    // ----------------------------------------------------------------
+    // Measurement
+    // ----------------------------------------------------------------
+
+    /// Index of a stabilizer row anticommuting with `Z_q`, if any — the
+    /// marker of a random measurement outcome.
+    fn anticommuting_stabilizer(&self, q: usize) -> Option<usize> {
+        let bit = 1u64 << q;
+        (self.n..2 * self.n).find(|&i| self.x[i] & bit != 0)
+    }
+
+    /// The outcome of measuring qubit `q` when it is deterministic, or
+    /// `None` when the outcome is uniformly random.
+    pub fn deterministic_outcome(&self, q: usize) -> Option<bool> {
+        if self.anticommuting_stabilizer(q).is_some() {
+            return None;
+        }
+        // Accumulate the product of stabilizers whose destabilizer
+        // partner anticommutes with Z_q; its phase is the outcome.
+        let bit = 1u64 << q;
+        let (mut sx, mut sz, mut sr) = (0u64, 0u64, false);
+        for i in 0..self.n {
+            if self.x[i] & bit != 0 {
+                sr = Self::product_phase(
+                    self.n,
+                    self.x[self.n + i],
+                    self.z[self.n + i],
+                    self.r[self.n + i],
+                    sx,
+                    sz,
+                    sr,
+                );
+                sx ^= self.x[self.n + i];
+                sz ^= self.z[self.n + i];
+            }
+        }
+        debug_assert_eq!(sx, 0, "accumulated outcome operator not Z-type");
+        Some(sr)
+    }
+
+    /// Probability that measuring qubit `q` yields 1 — always exactly
+    /// `0.0`, `0.5` or `1.0` for a stabilizer state.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        match self.deterministic_outcome(q) {
+            None => 0.5,
+            Some(true) => 1.0,
+            Some(false) => 0.0,
+        }
+    }
+
+    /// Projects qubit `q` onto `outcome`, returning the probability of
+    /// that outcome (`0.5` for random, `1.0` for a consistent
+    /// deterministic outcome, `0.0` — state unchanged — otherwise).
+    pub fn collapse(&mut self, q: usize, outcome: bool) -> f64 {
+        match self.anticommuting_stabilizer(q) {
+            Some(p) => {
+                let bit = 1u64 << q;
+                for i in 0..2 * self.n {
+                    if i != p && self.x[i] & bit != 0 {
+                        self.rowsum(i, p);
+                    }
+                }
+                // The old stabilizer becomes the new destabilizer; the
+                // stabilizer row becomes ±Z_q with the forced outcome.
+                self.x[p - self.n] = self.x[p];
+                self.z[p - self.n] = self.z[p];
+                self.r[p - self.n] = self.r[p];
+                self.x[p] = 0;
+                self.z[p] = bit;
+                self.r[p] = outcome;
+                0.5
+            }
+            None => {
+                let det = self
+                    .deterministic_outcome(q)
+                    .expect("no anticommuting stabilizer implies determinism");
+                if det == outcome {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Measures qubit `q` in the Z basis, collapsing the state. Draws
+    /// exactly one variate per call (like the dense backend) so hybrid
+    /// and dense shot loops consume RNG streams identically.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        let p1 = self.prob_one(q);
+        let outcome = rng.gen::<f64>() < p1;
+        self.collapse(q, outcome);
+        outcome
+    }
+
+    /// Resets qubit `q` to `|0⟩` (measure, then flip if 1).
+    pub fn reset<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) {
+        if self.measure(q, rng) {
+            self.apply_x(q);
+        }
+    }
+
+    /// Executes a fully-Clifford circuit shot (gates, measurement,
+    /// reset, feed-forward), returning the classical register.
+    ///
+    /// # Panics
+    /// Panics on a non-Clifford gate; gate the call with
+    /// [`clifford_prefix_len`].
+    pub fn run<R: Rng + ?Sized>(&mut self, circuit: &Circuit, rng: &mut R) -> u64 {
+        assert_eq!(circuit.num_qubits(), self.n, "qubit count mismatch");
+        assert!(circuit.num_clbits() <= 64, "at most 64 classical bits");
+        let mut clbits = 0u64;
+        for instr in circuit.instructions() {
+            if let Some(cond) = instr.condition {
+                if ((clbits >> cond.bit) & 1 == 1) != cond.value {
+                    continue;
+                }
+            }
+            match &instr.op {
+                Op::Gate(g, qs) => self.apply_gate(g, qs),
+                Op::Measure { qubit, clbit } => {
+                    if self.measure(*qubit, rng) {
+                        clbits |= 1 << clbit;
+                    } else {
+                        clbits &= !(1 << clbit);
+                    }
+                }
+                Op::Reset(q) => self.reset(*q, rng),
+                Op::Barrier => {}
+            }
+        }
+        clbits
+    }
+
+    // ----------------------------------------------------------------
+    // Dense seeding
+    // ----------------------------------------------------------------
+
+    /// The exact dense statevector stabilized by this tableau, with the
+    /// deterministic phase convention that the lexicographically-solved
+    /// support basis state carries a positive real amplitude. (The
+    /// tableau does not track global phase, so hybrid and all-dense runs
+    /// of the same circuit may differ by a physically-irrelevant global
+    /// phase per measurement branch.)
+    ///
+    /// Cost `O(2^k + n³)` where `2^k ≤ 2^n` is the support size — one
+    /// O(1) amplitude write per stabilizer-group element with X-support,
+    /// enumerated in Gray-code order — versus `O(gates · 2^n)` for
+    /// replaying the Clifford prefix densely.
+    pub fn to_statevector(&self) -> StateVector {
+        let n = self.n;
+        assert!(n <= 30, "statevector too large");
+        // 1. Row-reduce a copy of the stabilizer rows over their X parts
+        //    (phase-tracked products keep every row in the group).
+        let mut xs: Vec<u64> = self.x[n..].to_vec();
+        let mut zs: Vec<u64> = self.z[n..].to_vec();
+        let mut rs: Vec<bool> = self.r[n..].to_vec();
+        let mut pivot = 0usize;
+        for q in 0..n {
+            let bit = 1u64 << q;
+            if let Some(row) = (pivot..n).find(|&i| xs[i] & bit != 0) {
+                xs.swap(pivot, row);
+                zs.swap(pivot, row);
+                rs.swap(pivot, row);
+                for i in 0..n {
+                    if i != pivot && xs[i] & bit != 0 {
+                        rs[i] = Self::product_phase(
+                            n, xs[pivot], zs[pivot], rs[pivot], xs[i], zs[i], rs[i],
+                        );
+                        xs[i] ^= xs[pivot];
+                        zs[i] ^= zs[pivot];
+                    }
+                }
+                pivot += 1;
+            }
+        }
+        // 2. Rows pivot..n are Z-type: each demands (−1)^{z·b} = (−1)^r
+        //    of a support basis state b. Solve the GF(2) system.
+        let mut cons: Vec<(u64, bool)> = (pivot..n).map(|i| (zs[i], rs[i])).collect();
+        let mut lead: Vec<(usize, usize)> = Vec::new(); // (row, col)
+        let mut row = 0usize;
+        for col in 0..n {
+            let bit = 1u64 << col;
+            if let Some(r2) = (row..cons.len()).find(|&i| cons[i].0 & bit != 0) {
+                cons.swap(row, r2);
+                for i in 0..cons.len() {
+                    if i != row && cons[i].0 & bit != 0 {
+                        cons[i].0 ^= cons[row].0;
+                        cons[i].1 ^= cons[row].1;
+                    }
+                }
+                lead.push((row, col));
+                row += 1;
+            }
+        }
+        debug_assert!(
+            cons.iter().all(|&(z, r)| z != 0 || !r),
+            "inconsistent stabilizer constraints"
+        );
+        let mut support = 0usize;
+        for &(ri, col) in &lead {
+            if cons[ri].1 {
+                support |= 1 << col;
+            }
+        }
+        // 3. ψ ∝ Σ_{g ∈ ⟨rows 0..pivot⟩} g|support⟩: the Z-only rows fix
+        //    |support⟩, so only the 2^pivot products of X-type generators
+        //    contribute — each one distinct basis state (X-parts are
+        //    linearly independent). Enumerate them in Gray-code order,
+        //    extending the running Pauli product by one generator per
+        //    step; all amplitudes share magnitude 2^{-pivot/2}, so the
+        //    state is normalised by construction.
+        let k = pivot;
+        let dim = 1usize << n;
+        let mut amps = vec![C_ZERO; dim];
+        let amp = 1.0 / ((1u64 << k) as f64).sqrt();
+        amps[support] = c64(amp, 0.0);
+        let (mut px, mut pz, mut pr) = (0u64, 0u64, false);
+        let mut gray = 0u64;
+        for m in 1..(1u64 << k) {
+            let g = m ^ (m >> 1);
+            let flip = (gray ^ g).trailing_zeros() as usize;
+            gray = g;
+            // The group is abelian, so the multiplication order does not
+            // affect the product phase; Hermiticity of group elements
+            // keeps the i-exponent even.
+            let mexp = Self::phase_exponent(n, xs[flip], zs[flip], rs[flip], px, pz, pr);
+            debug_assert!(mexp % 2 == 0, "non-Hermitian stabilizer product");
+            px ^= xs[flip];
+            pz ^= zs[flip];
+            pr = mexp >= 2;
+            let mut phase = pauli_base_phase(px, pz, pr);
+            if ((pz as usize) & support).count_ones() & 1 == 1 {
+                phase = -phase;
+            }
+            amps[support ^ (px as usize)] = phase.scale(amp);
+        }
+        StateVector::from_amplitudes(n, amps)
+    }
+}
+
+/// Basis-state-independent phase factor `(−1)^r · i^{|x∧z|}` of the
+/// Hermitian Pauli row `(x, z, r)`; the `(−1)^{z·b}` part is applied per
+/// basis state.
+fn pauli_base_phase(x: u64, z: u64, r: bool) -> Complex64 {
+    let mut phase = match (x & z).count_ones() % 4 {
+        0 => c64(1.0, 0.0),
+        1 => c64(0.0, 1.0),
+        2 => c64(-1.0, 0.0),
+        _ => c64(0.0, -1.0),
+    };
+    if r {
+        phase = -phase;
+    }
+    phase
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlinalg::vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// |⟨a|b⟩| — 1, i.e. equality up to the untracked global phase.
+    fn fidelity_gap(a: &StateVector, b: &StateVector) -> f64 {
+        (vector::inner(a.amplitudes(), b.amplitudes()).abs() - 1.0).abs()
+    }
+
+    const CLIFFORD_1Q: [Gate; 8] = [
+        Gate::I,
+        Gate::X,
+        Gate::Y,
+        Gate::Z,
+        Gate::H,
+        Gate::S,
+        Gate::Sdg,
+        Gate::SX,
+    ];
+    const CLIFFORD_2Q: [Gate; 4] = [Gate::CX, Gate::CZ, Gate::CY, Gate::Swap];
+
+    fn random_clifford_circuit(n: usize, gates: usize, rng: &mut StdRng) -> Circuit {
+        let mut c = Circuit::new(n, 0);
+        for _ in 0..gates {
+            if n >= 2 && rng.gen::<f64>() < 0.4 {
+                let a = rng.gen_range(0..n);
+                let mut b = rng.gen_range(0..n - 1);
+                if b >= a {
+                    b += 1;
+                }
+                c.gate(
+                    CLIFFORD_2Q[rng.gen_range(0..CLIFFORD_2Q.len())].clone(),
+                    &[a, b],
+                );
+            } else {
+                let q = rng.gen_range(0..n);
+                c.gate(
+                    CLIFFORD_1Q[rng.gen_range(0..CLIFFORD_1Q.len())].clone(),
+                    &[q],
+                );
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn initial_state_converts_to_all_zeros() {
+        let t = Tableau::new(3);
+        let sv = t.to_statevector();
+        assert!((sv.amplitude(0).re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_matches_dense() {
+        let mut t = Tableau::new(2);
+        t.apply_h(0);
+        t.apply_cx(0, 1);
+        let sv = t.to_statevector();
+        let mut dense = StateVector::new(2);
+        dense.apply_gate(&Gate::H, &[0]);
+        dense.apply_gate(&Gate::CX, &[0, 1]);
+        assert!(fidelity_gap(&sv, &dense) < 1e-12);
+    }
+
+    #[test]
+    fn every_clifford_gate_matches_dense_conjugation() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..60 {
+            let c = random_clifford_circuit(3, 12 + trial % 7, &mut rng);
+            let mut t = Tableau::new(3);
+            let mut dense = StateVector::new(3);
+            for instr in c.instructions() {
+                if let Op::Gate(g, qs) = &instr.op {
+                    t.apply_gate(g, qs);
+                    dense.apply_gate(g, qs);
+                }
+            }
+            assert!(
+                fidelity_gap(&t.to_statevector(), &dense) < 1e-10,
+                "trial {trial} diverged:\n{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_outcomes() {
+        let mut t = Tableau::new(2);
+        assert_eq!(t.deterministic_outcome(0), Some(false));
+        assert_eq!(t.prob_one(0), 0.0);
+        t.apply_x(1);
+        assert_eq!(t.deterministic_outcome(1), Some(true));
+        assert_eq!(t.prob_one(1), 1.0);
+        // |+⟩ is random.
+        t.apply_h(0);
+        assert_eq!(t.deterministic_outcome(0), None);
+        assert_eq!(t.prob_one(0), 0.5);
+    }
+
+    #[test]
+    fn collapse_probabilities_match_dense() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..40 {
+            let c = random_clifford_circuit(3, 10, &mut rng);
+            let mut t = Tableau::new(3);
+            let mut dense = StateVector::new(3);
+            for instr in c.instructions() {
+                if let Op::Gate(g, qs) = &instr.op {
+                    t.apply_gate(g, qs);
+                    dense.apply_gate(g, qs);
+                }
+            }
+            let q = rng.gen_range(0..3);
+            let p1 = t.prob_one(q);
+            assert!((p1 - dense.prob_one(q)).abs() < 1e-10);
+            let outcome = if p1 == 0.5 {
+                rng.gen::<f64>() < 0.5
+            } else {
+                p1 == 1.0
+            };
+            let got = t.collapse(q, outcome);
+            let want = dense.collapse(q, outcome);
+            assert!((got - want).abs() < 1e-10);
+            assert!(fidelity_gap(&t.to_statevector(), &dense) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ghz_run_outcomes_are_correlated() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = Circuit::new(4, 4);
+        c.h(0);
+        for q in 0..3 {
+            c.cx(q, q + 1);
+        }
+        for q in 0..4 {
+            c.measure(q, q);
+        }
+        let (mut zeros, mut ones) = (0u32, 0u32);
+        for _ in 0..400 {
+            let clbits = Tableau::new(4).run(&c, &mut rng);
+            match clbits {
+                0b0000 => zeros += 1,
+                0b1111 => ones += 1,
+                other => panic!("uncorrelated GHZ outcome {other:b}"),
+            }
+        }
+        assert!(zeros > 120 && ones > 120, "{zeros} vs {ones}");
+    }
+
+    #[test]
+    fn feed_forward_reset_run() {
+        // Measure |+⟩, X-correct conditioned on the outcome: always |1⟩…
+        let mut c = Circuit::new(1, 2);
+        c.h(0).measure(0, 0);
+        c.gate_if(Gate::X, &[0], 0, false);
+        c.measure(0, 1);
+        // …then reset back to |0⟩.
+        c.reset(0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let mut t = Tableau::new(1);
+            let clbits = t.run(&c, &mut rng);
+            assert_eq!(clbits >> 1, 1, "correction failed");
+            assert_eq!(t.deterministic_outcome(0), Some(false), "reset failed");
+        }
+    }
+
+    #[test]
+    fn prefix_classification() {
+        let mut c = Circuit::new(2, 1);
+        c.h(0).cx(0, 1).measure(0, 0);
+        c.x_if(1, 0);
+        c.t(1); // first non-Clifford
+        c.h(1);
+        assert_eq!(clifford_prefix_len(&c), 4);
+        let p = CliffordPrefix::split(&c);
+        assert_eq!(p.prefix_len, 4);
+        assert!(!p.is_full());
+        assert!((p.fraction() - 4.0 / 6.0).abs() < 1e-12);
+        let mut full = Circuit::new(1, 0);
+        full.h(0).s(0);
+        assert!(CliffordPrefix::split(&full).is_full());
+        assert!(CliffordPrefix::split(&Circuit::new(1, 0)).is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-Clifford gate")]
+    fn non_clifford_gate_panics() {
+        let mut t = Tableau::new(1);
+        t.apply_gate(&Gate::T, &[0]);
+    }
+
+    #[test]
+    fn random_measurement_branches_match_dense_states() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..20 {
+            let c = random_clifford_circuit(4, 14, &mut rng);
+            let mut t = Tableau::new(4);
+            let mut dense = StateVector::new(4);
+            for instr in c.instructions() {
+                if let Op::Gate(g, qs) = &instr.op {
+                    t.apply_gate(g, qs);
+                    dense.apply_gate(g, qs);
+                }
+            }
+            for q in 0..4 {
+                if t.prob_one(q) != 0.5 {
+                    continue;
+                }
+                for outcome in [false, true] {
+                    let mut tb = t.clone();
+                    let mut db = dense.clone();
+                    assert_eq!(tb.collapse(q, outcome), 0.5);
+                    db.collapse(q, outcome);
+                    assert!(fidelity_gap(&tb.to_statevector(), &db) < 1e-10);
+                }
+            }
+        }
+    }
+}

@@ -112,18 +112,57 @@ impl StateVector {
     }
 
     /// Applies a dense 2×2 unitary to qubit `q`.
+    ///
+    /// The inner loop works on split re/im `f64` locals (no `Complex64`
+    /// temporaries), and exactly-diagonal / exactly-antidiagonal matrices
+    /// — the shape every fused phase/rotation chain collapses to — take
+    /// scale-only / swap-and-scale passes touching half the flops.
     pub fn apply_matrix1(&mut self, m: &Matrix, q: usize) {
         debug_assert_eq!(m.rows(), 2);
         let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
         let step = 1usize << q;
         let dim = self.amps.len();
+        let zero = |c: Complex64| c.re == 0.0 && c.im == 0.0;
+        if zero(m01) && zero(m10) {
+            // Diagonal: amps[i] *= m00, amps[i+step] *= m11.
+            let mut base = 0usize;
+            while base < dim {
+                for i in base..base + step {
+                    self.amps[i] *= m00;
+                    self.amps[i + step] *= m11;
+                }
+                base += step << 1;
+            }
+            return;
+        }
+        if zero(m00) && zero(m11) {
+            // Antidiagonal (X·diag): swap the pair, then scale.
+            let mut base = 0usize;
+            while base < dim {
+                for i in base..base + step {
+                    let a = self.amps[i];
+                    self.amps[i] = m01 * self.amps[i + step];
+                    self.amps[i + step] = m10 * a;
+                }
+                base += step << 1;
+            }
+            return;
+        }
+        let (m00r, m00i, m01r, m01i) = (m00.re, m00.im, m01.re, m01.im);
+        let (m10r, m10i, m11r, m11i) = (m10.re, m10.im, m11.re, m11.im);
         let mut base = 0usize;
         while base < dim {
             for i in base..base + step {
-                let a = self.amps[i];
-                let b = self.amps[i + step];
-                self.amps[i] = m00 * a + m01 * b;
-                self.amps[i + step] = m10 * a + m11 * b;
+                let (ar, ai) = (self.amps[i].re, self.amps[i].im);
+                let (br, bi) = (self.amps[i + step].re, self.amps[i + step].im);
+                self.amps[i] = c64(
+                    m00r * ar - m00i * ai + m01r * br - m01i * bi,
+                    m00r * ai + m00i * ar + m01r * bi + m01i * br,
+                );
+                self.amps[i + step] = c64(
+                    m10r * ar - m10i * ai + m11r * br - m11i * bi,
+                    m10r * ai + m10i * ar + m11r * bi + m11i * br,
+                );
             }
             base += step << 1;
         }
@@ -131,22 +170,27 @@ impl StateVector {
 
     /// Applies a dense 4×4 unitary to qubits `(q0, q1)` where `q0` carries
     /// bit 0 of the matrix index and `q1` bit 1.
+    ///
+    /// Enumerates the `2^{n−2}` base indices directly by zero-bit
+    /// insertion instead of scanning (and discarding ¾ of) the full
+    /// index range.
     pub fn apply_matrix2(&mut self, m: &Matrix, q0: usize, q1: usize) {
         debug_assert_eq!(m.rows(), 4);
         debug_assert_ne!(q0, q1);
         let dim = self.amps.len();
         let b0 = 1usize << q0;
         let b1 = 1usize << q1;
+        let (lo, hi) = if b0 < b1 { (b0, b1) } else { (b1, b0) };
         let mut rows = [[C_ZERO; 4]; 4];
         for r in 0..4 {
             for c in 0..4 {
                 rows[r][c] = m[(r, c)];
             }
         }
-        for i in 0..dim {
-            if i & b0 != 0 || i & b1 != 0 {
-                continue;
-            }
+        for t in 0..dim >> 2 {
+            // Insert a zero bit at the lower then the higher position.
+            let s = ((t & !(lo - 1)) << 1) | (t & (lo - 1));
+            let i = ((s & !(hi - 1)) << 1) | (s & (hi - 1));
             let idx = [i, i | b0, i | b1, i | b0 | b1];
             let v = [
                 self.amps[idx[0]],
@@ -167,6 +211,12 @@ impl StateVector {
 
     /// Applies a dense `2^k × 2^k` unitary to an arbitrary ordered qubit
     /// subset (`qubits[i]` is bit `i` of the matrix index).
+    ///
+    /// Batched kernel: scatter offsets `offs[s] = Σ_{b∈s} 2^{q_b}` are
+    /// precomputed once, base indices are enumerated by zero-bit
+    /// insertion (`2^{n−k}` iterations, not `2^n`), and the matrix rows
+    /// are walked as contiguous slices — one gather, `2^k` dot products,
+    /// one scatter per block.
     pub fn apply_matrix(&mut self, m: &Matrix, qubits: &[usize]) {
         let k = qubits.len();
         debug_assert_eq!(m.rows(), 1 << k);
@@ -177,33 +227,33 @@ impl StateVector {
         }
         let dim = self.amps.len();
         let sub = 1usize << k;
-        let mask: usize = qubits.iter().map(|&q| 1usize << q).sum();
+        // offs[s]: statevector offset of matrix index s relative to a base.
+        let mut offs = vec![0usize; sub];
+        for (s, off) in offs.iter_mut().enumerate() {
+            for (b, &q) in qubits.iter().enumerate() {
+                if (s >> b) & 1 == 1 {
+                    *off |= 1 << q;
+                }
+            }
+        }
+        let mut sorted_bits: Vec<usize> = qubits.iter().map(|&q| 1usize << q).collect();
+        sorted_bits.sort_unstable();
         let mut gathered = vec![C_ZERO; sub];
-        for i in 0..dim {
-            if i & mask != 0 {
-                continue;
+        for t in 0..dim >> k {
+            let mut base = t;
+            for &bit in &sorted_bits {
+                base = ((base & !(bit - 1)) << 1) | (base & (bit - 1));
             }
-            for (s, g) in gathered.iter_mut().enumerate() {
-                let mut idx = i;
-                for (b, &q) in qubits.iter().enumerate() {
-                    if (s >> b) & 1 == 1 {
-                        idx |= 1 << q;
-                    }
-                }
-                *g = self.amps[idx];
+            for (g, &off) in gathered.iter_mut().zip(&offs) {
+                *g = self.amps[base | off];
             }
-            for r in 0..sub {
+            for (r, &off) in offs.iter().enumerate() {
+                let row = m.row(r);
                 let mut acc = C_ZERO;
-                for (s, &g) in gathered.iter().enumerate() {
-                    acc = m[(r, s)].mul_add(g, acc);
+                for (&mrs, &g) in row.iter().zip(&gathered) {
+                    acc = mrs.mul_add(g, acc);
                 }
-                let mut idx = i;
-                for (b, &q) in qubits.iter().enumerate() {
-                    if (r >> b) & 1 == 1 {
-                        idx |= 1 << q;
-                    }
-                }
-                self.amps[idx] = acc;
+                self.amps[base | off] = acc;
             }
         }
     }
@@ -731,5 +781,11 @@ mod tests {
         let s2 = std::f64::consts::FRAC_1_SQRT_2;
         assert!(sv.amplitude(0b00).approx_eq(c64(s2, 0.0), TOL));
         assert!(sv.amplitude(0b11).approx_eq(c64(-s2, 0.0), TOL));
+    }
+
+    #[test]
+    #[should_panic(expected = "statevector too large")]
+    fn oversized_register_panics() {
+        let _ = StateVector::new(31);
     }
 }

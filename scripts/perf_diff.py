@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare two sets of criterion bench outputs and emit a markdown table.
+
+Usage:
+    perf_diff.py BASELINE_DIR HEAD_DIR [--threshold PCT]
+
+Both directories hold the ``perf-baseline`` artifact files
+(``<bench>.txt``), i.e. the raw ``cargo bench`` stdout.  Lines look like::
+
+    sim/gate_kernels/h_mid_qubit/8     time:      1.23 µs  (9 × 128 iters)
+
+The script matches benchmark labels across the two sets, converts every
+time to nanoseconds, and prints a markdown report (regressions beyond
+``--threshold`` percent flagged, biggest regression first) suitable for a
+GitHub step summary or PR comment.  Exit status is always 0: the report
+is advisory — CI runners are noisy, so regressions gate review, not the
+merge.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+LINE = re.compile(
+    r"^(?P<label>\S.*?)\s+time:\s+(?P<value>[0-9.]+)\s+(?P<unit>ns|µs|us|ms|s)\s+\("
+)
+UNIT_NS = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def parse_dir(directory: pathlib.Path) -> dict[str, float]:
+    """All benchmark timings under ``directory``, label → nanoseconds."""
+    timings: dict[str, float] = {}
+    for path in sorted(directory.glob("*.txt")):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            match = LINE.match(line)
+            if match:
+                nanos = float(match["value"]) * UNIT_NS[match["unit"]]
+                timings[match["label"].strip()] = nanos
+    return timings
+
+
+def fmt_ns(nanos: float) -> str:
+    if nanos < 1e3:
+        return f"{nanos:.1f} ns"
+    if nanos < 1e6:
+        return f"{nanos / 1e3:.2f} µs"
+    if nanos < 1e9:
+        return f"{nanos / 1e6:.2f} ms"
+    return f"{nanos / 1e9:.2f} s"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("head", type=pathlib.Path)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="percent slowdown flagged as a regression (default 10)",
+    )
+    args = parser.parse_args()
+
+    base = parse_dir(args.baseline)
+    head = parse_dir(args.head)
+    if not base:
+        print("No baseline benchmarks found — nothing to compare against.")
+        return 0
+    if not head:
+        print("No head benchmarks found — did the bench step run?")
+        return 0
+
+    shared = sorted(set(base) & set(head))
+    rows = []
+    for label in shared:
+        delta = (head[label] - base[label]) / base[label] * 100.0
+        rows.append((delta, label))
+    rows.sort(reverse=True)
+
+    regressions = [r for r in rows if r[0] > args.threshold]
+    improvements = [r for r in rows if r[0] < -args.threshold]
+
+    print("<!-- perf-diff -->")
+    print("## Perf diff vs `main`")
+    print()
+    print(
+        f"{len(shared)} shared benchmarks · "
+        f"{len(regressions)} regression(s) and {len(improvements)} "
+        f"improvement(s) beyond ±{args.threshold:g}%"
+    )
+    only_head = sorted(set(head) - set(base))
+    only_base = sorted(set(base) - set(head))
+    if only_head:
+        print(f"· {len(only_head)} new benchmark(s) with no baseline")
+    if only_base:
+        print(f"· {len(only_base)} baseline benchmark(s) missing from this PR")
+    print()
+    print("| Benchmark | main | PR | Δ |")
+    print("|---|---:|---:|---:|")
+    for delta, label in rows:
+        flag = " ⚠️" if delta > args.threshold else ""
+        print(
+            f"| `{label}` | {fmt_ns(base[label])} | {fmt_ns(head[label])} "
+            f"| {delta:+.1f}%{flag} |"
+        )
+    if only_head:
+        print()
+        print("New benchmarks (no baseline on main):")
+        for label in only_head:
+            print(f"- `{label}` — {fmt_ns(head[label])}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,188 @@
+//! Equivalence tests for the single-qubit gate-fusion pass.
+//!
+//! Fusion must be semantics-preserving: the fused circuit acts
+//! identically on states (statevector difference ≤ 1e-10), preserves
+//! branch distributions through measurement and feed-forward, and its
+//! bookkeeping ([`FusionStats`]) is consistent. Pinned regressions
+//! cover identity elimination and adjacent-diagonal merging.
+
+use nme_wire_cutting::qlinalg::vector::approx_eq;
+use nme_wire_cutting::qsim::{
+    fuse_single_qubit_runs, haar_state, Circuit, CompiledSampler, Gate, Op, StateVector,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A gate pick: `(kind, wire_a, wire_b, angle)`; wires taken mod `n`.
+type Pick = (usize, usize, usize, f64);
+
+fn pick_strategy() -> impl Strategy<Value = Pick> {
+    ((0usize..10), (0usize..8), (0usize..8), -3.0f64..3.0)
+}
+
+fn apply_picks(c: &mut Circuit, n: usize, picks: &[Pick]) {
+    for &(kind, a, b, theta) in picks {
+        // On a single wire there is no distinct partner for a two-qubit
+        // gate; fold those picks onto Hadamards instead.
+        let kind = if kind >= 8 && n < 2 { 0 } else { kind };
+        let a = a % n;
+        let mut b = b % n;
+        if kind >= 8 && b == a {
+            b = (a + 1) % n;
+        }
+        match kind {
+            0 => c.h(a),
+            1 => c.s(a),
+            2 => c.t(a),
+            3 => c.sdg(a),
+            4 => c.gate(Gate::Tdg, &[a]),
+            5 => c.rz(theta, a),
+            6 => c.ry(theta, a),
+            7 => c.rx(theta, a),
+            8 => c.cx(a, b),
+            _ => c.cz(a, b),
+        };
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fused_circuit_acts_identically(
+        n in 1usize..6,
+        picks in proptest::collection::vec(pick_strategy(), 1..40),
+        seed in 0u64..10_000,
+    ) {
+        let mut c = Circuit::new(n, 0);
+        apply_picks(&mut c, n, &picks);
+        let (fused, stats) = fuse_single_qubit_runs(&c);
+
+        prop_assert_eq!(stats.input_len, c.len());
+        prop_assert_eq!(stats.output_len, fused.len());
+        prop_assert!(fused.len() <= c.len());
+
+        // Same action on |0…0⟩ and on a Haar-random state.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for input in [StateVector::new(n), haar_state(n, &mut rng)] {
+            let mut a = input.clone();
+            let mut b = input;
+            a.apply_circuit(&c);
+            b.apply_circuit(&fused);
+            prop_assert!(approx_eq(a.amplitudes(), b.amplitudes(), 1e-10));
+            prop_assert!((b.norm() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fusion_preserves_branch_distributions(
+        n in 2usize..5,
+        first in proptest::collection::vec(pick_strategy(), 1..12),
+        second in proptest::collection::vec(pick_strategy(), 1..12),
+    ) {
+        // Measurement + feed-forward act as fusion barriers on the wires
+        // they touch; the branch tree must be unaffected.
+        let mut c = Circuit::new(n, 1);
+        apply_picks(&mut c, n, &first);
+        c.measure(0, 0);
+        c.x_if(n - 1, 0);
+        apply_picks(&mut c, n, &second);
+        let (fused, _) = fuse_single_qubit_runs(&c);
+
+        let original = CompiledSampler::compile_dense(&c, None);
+        let rewritten = CompiledSampler::compile_dense(&fused, None);
+        prop_assert_eq!(original.leaves().len(), rewritten.leaves().len());
+        for (a, b) in original.leaves().iter().zip(rewritten.leaves()) {
+            prop_assert_eq!(a.clbits, b.clbits);
+            prop_assert!((a.probability - b.probability).abs() < 1e-10);
+            prop_assert!(
+                approx_eq(a.state.amplitudes(), b.state.amplitudes(), 1e-9)
+            );
+        }
+        for q in 0..n {
+            prop_assert!(
+                (original.exact_expval_z(q) - rewritten.exact_expval_z(q)).abs() < 1e-10
+            );
+        }
+    }
+}
+
+/// Pinned regression: an identity product (H·H) on one wire disappears
+/// entirely while untouched wires keep their gates verbatim.
+#[test]
+fn identity_run_is_eliminated() {
+    let mut c = Circuit::new(2, 0);
+    c.h(0);
+    c.h(0);
+    c.x(1);
+    let (fused, stats) = fuse_single_qubit_runs(&c);
+
+    assert_eq!(fused.len(), 1);
+    assert!(matches!(&fused.instructions()[0].op, Op::Gate(Gate::X, _)));
+    assert_eq!(stats.input_len, 3);
+    assert_eq!(stats.output_len, 1);
+    assert!(stats.runs_eliminated >= 1);
+}
+
+/// Pinned regression: identity up to a *global phase* is also
+/// eliminated — Rz(π/4)·T† is e^{-iπ/8}·I.
+#[test]
+fn global_phase_identity_is_eliminated() {
+    let mut c = Circuit::new(1, 0);
+    c.rz(std::f64::consts::FRAC_PI_4, 0);
+    c.gate(Gate::Tdg, &[0]);
+    let (fused, stats) = fuse_single_qubit_runs(&c);
+    assert!(fused.is_empty(), "got {} instructions", fused.len());
+    assert_eq!(stats.output_len, 0);
+}
+
+/// Pinned regression: adjacent diagonal gates merge into one unitary
+/// whose matrix equals the analytic product — Rz(a)·Rz(b)·T acts as a
+/// single diagonal with relative phase a + b + π/4.
+#[test]
+fn adjacent_diagonal_gates_merge() {
+    let (a, b) = (0.3, -1.1);
+    let mut c = Circuit::new(1, 0);
+    c.rz(a, 0);
+    c.rz(b, 0);
+    c.t(0);
+    let (fused, stats) = fuse_single_qubit_runs(&c);
+
+    assert_eq!(fused.len(), 1);
+    let Op::Gate(g, _) = &fused.instructions()[0].op else {
+        panic!("expected a fused gate");
+    };
+    assert_eq!(g.name(), "u1q");
+    assert_eq!(stats.gates_fused, 3);
+
+    // Compare against the analytic single diagonal, up to global phase:
+    // amplitudes of (|0⟩+|1⟩)/√2 pick up relative phase a + b + π/4.
+    let mut sv = StateVector::new(1);
+    sv.apply_gate(&Gate::H, &[0]);
+    sv.apply_circuit(&fused);
+    let rel = a + b + std::f64::consts::FRAC_PI_4;
+    let amp0 = sv.amplitude(0);
+    let amp1 = sv.amplitude(1);
+    let got =
+        (amp1.im.atan2(amp1.re) - amp0.im.atan2(amp0.re)).rem_euclid(2.0 * std::f64::consts::PI);
+    let want = rel.rem_euclid(2.0 * std::f64::consts::PI);
+    assert!(
+        (got - want).abs() < 1e-10 || (got - want).abs() > 2.0 * std::f64::consts::PI - 1e-10,
+        "relative phase {got} vs {want}"
+    );
+}
+
+/// Singleton gates that have nothing to fuse with round-trip verbatim,
+/// keeping compiled artifacts byte-stable.
+#[test]
+fn singletons_round_trip_verbatim() {
+    let mut c = Circuit::new(3, 0);
+    c.h(0);
+    c.cx(0, 1);
+    c.t(2);
+    c.cz(1, 2);
+    let (fused, stats) = fuse_single_qubit_runs(&c);
+    assert_eq!(fused.instructions(), c.instructions());
+    assert!(stats.is_noop());
+}

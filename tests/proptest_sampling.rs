@@ -4,6 +4,7 @@
 //! distribution as repeated per-shot draws — held to a 5σ multinomial
 //! bound on total-variation distance against the exact probabilities.
 
+use nme_wire_cutting::qsample::{tv_bound_5_sigma, tv_distance};
 use nme_wire_cutting::qsim::{Circuit, CompiledSampler};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -49,28 +50,6 @@ fn build(picks: &[OpPick]) -> Circuit {
     c
 }
 
-/// Total-variation distance between empirical counts and a probability
-/// vector.
-fn tv_from_counts(counts: &[u64], probs: &[f64], shots: u64) -> f64 {
-    counts
-        .iter()
-        .zip(probs.iter())
-        .map(|(&c, &p)| (c as f64 / shots as f64 - p).abs())
-        .sum::<f64>()
-        / 2.0
-}
-
-/// 5σ bound on the TV distance of a multinomial sample of size `shots`
-/// from its generating distribution: TV = ½Σ|fᵢ − pᵢ| where each
-/// marginal deviation has σᵢ = √(pᵢ(1−pᵢ)/shots). Summing 5σᵢ bounds is
-/// conservative (the deviations are negatively correlated).
-fn tv_bound_5_sigma(probs: &[f64], shots: u64) -> f64 {
-    2.5 * probs
-        .iter()
-        .map(|&p| (p * (1.0 - p) / shots as f64).sqrt())
-        .sum::<f64>()
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -90,7 +69,7 @@ proptest! {
         let counts = sampler.sample_batch(shots, &mut rng);
         prop_assert_eq!(counts.iter().sum::<u64>(), shots);
 
-        let tv = tv_from_counts(&counts, &probs, shots);
+        let tv = tv_distance(&counts, &probs, shots);
         let bound = tv_bound_5_sigma(&probs, shots);
         prop_assert!(tv <= bound, "TV {tv} exceeds 5σ bound {bound} ({} leaves)", probs.len());
     }
@@ -126,8 +105,8 @@ proptest! {
         // Both empirical distributions must sit within 5σ of the exact
         // one; the triangle inequality then bounds their mutual distance.
         let bound = tv_bound_5_sigma(&probs, shots);
-        let tv_batched = tv_from_counts(&batched, &probs, shots);
-        let tv_per_shot = tv_from_counts(&per_shot, &probs, shots);
+        let tv_batched = tv_distance(&batched, &probs, shots);
+        let tv_per_shot = tv_distance(&per_shot, &probs, shots);
         prop_assert!(tv_batched <= bound, "batched TV {tv_batched} > {bound}");
         prop_assert!(tv_per_shot <= bound, "per-shot TV {tv_per_shot} > {bound}");
     }

@@ -3,12 +3,12 @@
 //! branch-tree sampler's exactness.
 
 use nme_wire_cutting::qsim::{
-    execute_density, haar_unitary, Circuit, CompiledSampler, DensityMatrix, Gate, Pauli,
-    PauliString, StateVector,
+    embed_unitary, execute_density, fuse_single_qubit_runs, haar_unitary, Circuit, CompiledSampler,
+    DensityMatrix, Gate, Pauli, PauliString, StateVector,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Strategy: a random unitary circuit description on `n` qubits.
 #[derive(Clone, Debug)]
@@ -144,6 +144,45 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let u = haar_unitary(2, &mut rng);
         prop_assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn batched_unitary_matches_embedding_at_arity_3_and_4(
+        k in 3usize..5,
+        seed in 0u64..10_000,
+        picks in proptest::collection::vec(gate_strategy(5), 1..10),
+    ) {
+        // The general k-qubit scatter kernel must agree with the dense
+        // embedding for Haar-random 8×8 and 16×16 unitaries applied to
+        // arbitrary (shuffled, non-contiguous) wire subsets.
+        let n = 5;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = haar_unitary(1 << k, &mut rng);
+        let mut qubits: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..i + 1);
+            qubits.swap(i, j);
+        }
+        qubits.truncate(k);
+
+        let mut sv = StateVector::new(n);
+        sv.apply_circuit(&build(n, &picks));
+        let expect = embed_unitary(&u, &qubits, n).matvec(sv.amplitudes());
+        sv.apply_gate(&Gate::Unitary(u), &qubits);
+        prop_assert!(nme_wire_cutting::qlinalg::vector::approx_eq(sv.amplitudes(), &expect, 1e-9));
+        prop_assert!((sv.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_execution_preserves_norm_and_state(picks in proptest::collection::vec(gate_strategy(4), 1..30)) {
+        let c = build(4, &picks);
+        let (fused, _) = fuse_single_qubit_runs(&c);
+        let mut via_fused = StateVector::new(4);
+        via_fused.apply_circuit(&fused);
+        prop_assert!((via_fused.norm() - 1.0).abs() < 1e-9);
+        let mut direct = StateVector::new(4);
+        direct.apply_circuit(&c);
+        prop_assert!(nme_wire_cutting::qlinalg::vector::approx_eq(via_fused.amplitudes(), direct.amplitudes(), 1e-9));
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Differential-testing suite fencing the stabilizer fast path.
+//!
+//! Random Clifford circuits (up to 10 qubits, with mid-circuit
+//! measurement and feed-forward) run through the tableau simulator and
+//! the dense backends must agree: exact amplitudes (up to global phase)
+//! for the unitary part, identical branch distributions for the
+//! compiled hybrid vs the pristine dense compiler, and 5σ
+//! total-variation bounds for shot-sampled measurement statistics.
+//! Across the property tests (80 + 80 cases) and the seeded sweep
+//! (60 circuits) every run checks well over 200 random circuits.
+
+use std::collections::BTreeMap;
+
+use nme_wire_cutting::qsample::{tv_bound_5_sigma, tv_distance};
+use nme_wire_cutting::qsim::{Circuit, CompiledSampler, Gate, StateVector, Tableau};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Clifford gate pick: `(kind, wire_a, wire_b)` with wires taken
+/// modulo the circuit width at build time.
+type Pick = (usize, usize, usize);
+
+fn pick_strategy() -> impl Strategy<Value = Pick> {
+    ((0usize..11), (0usize..10), (0usize..10))
+}
+
+/// Appends `picks` to `c`, remapping wires into `0..n` and splitting
+/// colliding two-qubit wire pairs.
+fn apply_picks(c: &mut Circuit, n: usize, picks: &[Pick]) {
+    for &(kind, a, b) in picks {
+        let a = a % n;
+        let mut b = b % n;
+        if kind >= 7 && b == a {
+            b = (a + 1) % n;
+        }
+        match kind {
+            0 => c.h(a),
+            1 => c.s(a),
+            2 => c.sdg(a),
+            3 => c.gate(Gate::SX, &[a]),
+            4 => c.x(a),
+            5 => c.y(a),
+            6 => c.z(a),
+            7 => c.cx(a, b),
+            8 => c.cz(a, b),
+            9 => c.gate(Gate::CY, &[a, b]),
+            _ => c.swap(a, b),
+        };
+    }
+}
+
+fn build_unitary(n: usize, picks: &[Pick]) -> Circuit {
+    let mut c = Circuit::new(n, 0);
+    apply_picks(&mut c, n, picks);
+    c
+}
+
+/// A Clifford circuit with two mid-circuit measurements and
+/// feed-forward corrections between the unitary blocks.
+fn build_measured(n: usize, first: &[Pick], second: &[Pick]) -> Circuit {
+    let mut c = Circuit::new(n, 2);
+    apply_picks(&mut c, n, first);
+    c.measure(0, 0);
+    c.x_if(n - 1, 0);
+    apply_picks(&mut c, n, second);
+    c.measure(1, 1);
+    c.z_if(n - 1, 1);
+    c
+}
+
+/// |⟨a|b⟩| — 1 exactly when the states agree up to global phase.
+fn fidelity(a: &StateVector, b: &StateVector) -> f64 {
+    let mut re = 0.0;
+    let mut im = 0.0;
+    for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+        re += x.re * y.re + x.im * y.im;
+        im += x.re * y.im - x.im * y.re;
+    }
+    (re * re + im * im).sqrt()
+}
+
+/// Aggregates a compiled sampler's leaves into a classical-bit
+/// distribution.
+fn clbit_distribution(s: &CompiledSampler) -> BTreeMap<u64, f64> {
+    let mut map = BTreeMap::new();
+    for leaf in s.leaves() {
+        *map.entry(leaf.clbits).or_insert(0.0) += leaf.probability;
+    }
+    map
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    #[test]
+    fn tableau_amplitudes_match_dense(n in 2usize..11, picks in proptest::collection::vec(pick_strategy(), 1..40)) {
+        let c = build_unitary(n, &picks);
+
+        let mut tab = Tableau::new(n);
+        let mut rng = StdRng::seed_from_u64(7);
+        tab.run(&c, &mut rng);
+        let got = tab.to_statevector();
+
+        let mut want = StateVector::new(n);
+        want.apply_circuit(&c);
+
+        // Same state up to global phase …
+        prop_assert!((fidelity(&got, &want) - 1.0).abs() < 1e-9);
+        // … and exact Born probabilities amplitude by amplitude.
+        for (p, q) in got.probabilities().iter().zip(want.probabilities()) {
+            prop_assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hybrid_compiler_matches_dense_compiler(
+        n in 2usize..9,
+        first in proptest::collection::vec(pick_strategy(), 1..16),
+        second in proptest::collection::vec(pick_strategy(), 1..16),
+    ) {
+        let c = build_measured(n, &first, &second);
+        let hybrid = CompiledSampler::compile(&c, None);
+        let dense = CompiledSampler::compile_dense(&c, None);
+
+        // Every instruction is Clifford (measure + feed-forward included),
+        // so the analyzer must classify the whole circuit as prefix.
+        prop_assert!(hybrid.clifford_prefix().is_full());
+
+        // Identical classical-outcome distributions.
+        let dh = clbit_distribution(&hybrid);
+        let dd = clbit_distribution(&dense);
+        prop_assert_eq!(dh.keys().collect::<Vec<_>>(), dd.keys().collect::<Vec<_>>());
+        for (key, p) in &dh {
+            prop_assert!((p - dd[key]).abs() < 1e-9, "clbits {key:b}: {p} vs {}", dd[key]);
+        }
+
+        // Identical post-measurement physics: exact ⟨Z⟩ on every wire.
+        for q in 0..n {
+            let a = hybrid.exact_expval_z(q);
+            let b = dense.exact_expval_z(q);
+            prop_assert!((a - b).abs() < 1e-9, "⟨Z_{q}⟩: {a} vs {b}");
+        }
+    }
+}
+
+/// Shot statistics from repeated `Tableau::run` stay within 5σ of the
+/// exact dense branch distribution, over a sweep of seeded circuits.
+#[test]
+fn tableau_shots_within_5_sigma_of_dense() {
+    const SHOTS: u64 = 2048;
+    for seed in 0..60u64 {
+        let mut gen = StdRng::seed_from_u64(0xC11F_F0D0 ^ seed);
+        let n = gen.gen_range(2..6);
+        let depth = gen.gen_range(4..24);
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for _ in 0..depth {
+            let pick = (
+                gen.gen_range(0..11),
+                gen.gen_range(0..n),
+                gen.gen_range(0..n),
+            );
+            if gen.gen::<bool>() {
+                first.push(pick);
+            } else {
+                second.push(pick);
+            }
+        }
+        let c = build_measured(n, &first, &second);
+
+        let exact = clbit_distribution(&CompiledSampler::compile_dense(&c, None));
+        let keys: Vec<u64> = exact.keys().copied().collect();
+        let probs: Vec<f64> = keys.iter().map(|k| exact[k]).collect();
+
+        let mut counts = vec![0u64; keys.len()];
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+        for _ in 0..SHOTS {
+            let mut tab = Tableau::new(n);
+            let outcome = tab.run(&c, &mut rng);
+            let slot = keys.iter().position(|&k| k == outcome).unwrap_or_else(|| {
+                panic!("seed {seed}: sampled clbits {outcome:b} outside dense support")
+            });
+            counts[slot] += 1;
+        }
+
+        let tv = tv_distance(&counts, &probs, SHOTS);
+        let bound = tv_bound_5_sigma(&probs, SHOTS);
+        assert!(
+            tv <= bound,
+            "seed {seed}: TV {tv} exceeds 5σ bound {bound} over {} outcomes",
+            keys.len()
+        );
+    }
+}
+
+/// GHZ preparation: the tableau reproduces the dense amplitudes and the
+/// two-outcome distribution exactly.
+#[test]
+fn ghz_state_is_exact() {
+    let n = 6;
+    let mut c = Circuit::new(n, 0);
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+
+    let mut tab = Tableau::new(n);
+    let mut rng = StdRng::seed_from_u64(1);
+    tab.run(&c, &mut rng);
+    let got = tab.to_statevector();
+
+    let mut want = StateVector::new(n);
+    want.apply_circuit(&c);
+    assert!((fidelity(&got, &want) - 1.0).abs() < 1e-12);
+
+    let probs = got.probabilities();
+    assert!((probs[0] - 0.5).abs() < 1e-12);
+    assert!((probs[(1 << n) - 1] - 0.5).abs() < 1e-12);
+    let middle: f64 = probs[1..(1 << n) - 1].iter().sum();
+    assert!(middle < 1e-12);
+}
+
+/// Deterministic measurements are exact on both paths: a flipped qubit
+/// always reads 1, and the compiled samplers agree leaf for leaf.
+#[test]
+fn deterministic_measurement_is_exact() {
+    let mut c = Circuit::new(2, 1);
+    c.x(0);
+    c.cx(0, 1);
+    c.measure(1, 0);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..32 {
+        let mut tab = Tableau::new(2);
+        assert_eq!(tab.run(&c, &mut rng), 1);
+    }
+
+    for sampler in [
+        CompiledSampler::compile(&c, None),
+        CompiledSampler::compile_dense(&c, None),
+    ] {
+        assert_eq!(sampler.leaves().len(), 1);
+        assert_eq!(sampler.leaves()[0].clbits, 1);
+        assert!((sampler.leaves()[0].probability - 1.0).abs() < 1e-12);
+    }
+}
+
+/// Clifford teleportation of |+i⟩ = S·H|0⟩ with feed-forward: after the
+/// corrections and an S†·H change of basis on the target, ⟨Z⟩ = +1
+/// exactly on both the hybrid and the dense compiler.
+#[test]
+fn teleportation_feed_forward_is_exact() {
+    let mut c = Circuit::new(3, 2);
+    c.h(0);
+    c.s(0); // payload |+i⟩ on q0
+    c.h(1);
+    c.cx(1, 2); // Bell pair (q1, q2)
+    c.cx(0, 1);
+    c.h(0);
+    c.measure(0, 0);
+    c.measure(1, 1);
+    c.x_if(2, 1);
+    c.z_if(2, 0);
+    c.sdg(2);
+    c.h(2); // rotate the recovered |+i⟩ back to |0⟩
+
+    let hybrid = CompiledSampler::compile(&c, None);
+    let dense = CompiledSampler::compile_dense(&c, None);
+    assert!(hybrid.clifford_prefix().is_full());
+    assert!((hybrid.exact_expval_z(2) - 1.0).abs() < 1e-9);
+    assert!((dense.exact_expval_z(2) - 1.0).abs() < 1e-9);
+
+    // All four measurement branches appear with probability 1/4 each.
+    let dist = clbit_distribution(&hybrid);
+    assert_eq!(dist.len(), 4);
+    for p in dist.values() {
+        assert!((p - 0.25).abs() < 1e-9);
+    }
+}
