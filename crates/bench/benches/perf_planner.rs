@@ -1,18 +1,21 @@
 //! Performance benches for the arbitrary-circuit cut planner
 //! (`wirecut::planner`): the cost of planning + compiling a multi-cut
-//! execution plan, the cost of sampling from a compiled plan, and the
-//! wall-clock scaling of the full E17 sweep at 1/2/4/8 worker threads.
+//! execution plan, the cost of sampling from a compiled plan, the
+//! cut-count scaling of the contracted fragment-block backend against
+//! monolithic stitching, and the wall-clock scaling of the full E17
+//! sweep at 1/2/4/8 worker threads.
 //!
 //! Planning itself (DAG analysis + fragmentation + protocol choice) is
-//! microseconds; the dominant costs are term-circuit compilation (one
-//! branching statevector simulation per product term) and batched
-//! sampling. All workloads derive their circuits from fixed seeds so
-//! every run and every thread count measures identical work.
+//! microseconds; the dominant costs are term-circuit compilation
+//! (`Σ 6^incoming` fragment variants contracted, `Π terms(group)`
+//! stitched circuits monolithic) and batched sampling. All workloads
+//! derive their circuits from fixed seeds so every run and every thread
+//! count measures identical work.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use experiments::plan_cut::{self, tractable_random_circuit, PlanCutConfig};
 use qpd::Allocator;
-use qsim::PauliString;
+use qsim::{Circuit, PauliString};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wirecut::planner::{CompiledPlan, CutPlanner};
@@ -81,6 +84,48 @@ fn compiled_plan_sampling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Compilation cost vs cut count, contracted fragment blocks against
+/// monolithic stitching. A CX ladder on `k + 2` qubits planned at width
+/// budget 2 yields exactly `k` single-wire NME cuts, so the monolithic
+/// backend stitches `3^k` product circuits while the contracted backend
+/// compiles `Σ 6^incoming` fragment variants (linear in `k` here).
+/// Monolithic is capped at 4 cuts — past that its exponential bill
+/// dominates the whole bench run, which is precisely the regression the
+/// contracted series guards against.
+fn cut_count_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_planner/cut_scaling");
+    group.sample_size(10);
+    let planner = CutPlanner::new(2).with_overlap(0.8);
+    for cuts in 1..=6usize {
+        let n = cuts + 2;
+        let mut circuit = Circuit::new(n, 0);
+        circuit.ry(0.4, 0);
+        for q in 0..n - 1 {
+            circuit.cx(q, q + 1);
+        }
+        let plan = planner.plan(&circuit);
+        assert_eq!(plan.num_cuts(), cuts, "ladder plan shape drifted");
+        let observable = PauliString::from_label(&"Z".repeat(n));
+        group.bench_with_input(BenchmarkId::new("contracted", cuts), &plan, |b, plan| {
+            b.iter(|| {
+                CompiledPlan::compile_contracted(plan, &observable)
+                    .spec
+                    .len()
+            })
+        });
+        if cuts <= 4 {
+            group.bench_with_input(BenchmarkId::new("monolithic", cuts), &plan, |b, plan| {
+                b.iter(|| {
+                    CompiledPlan::compile_monolithic(plan, &observable)
+                        .spec
+                        .len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// The full E17 planner sweep per worker count — plan + compile +
 /// sample across the (overlap, circuit) grid, byte-identical output at
 /// every thread count so the timings are directly comparable.
@@ -111,6 +156,7 @@ criterion_group!(
     plan_construction,
     plan_compilation,
     compiled_plan_sampling,
+    cut_count_scaling,
     plan_cut_sweep
 );
 criterion_main!(benches);

@@ -1,0 +1,634 @@
+//! **Per-fragment tensor-block compilation** for the cut planner — the
+//! scalable alternative to stitching one monolithic circuit per product
+//! term ([`crate::planner::CompiledPlan`]).
+//!
+//! Wire cutting's value proposition is that fragments are simulated
+//! *independently* and recombined classically. The monolithic compiler
+//! inverts that: every combination of per-group QPD terms stitches and
+//! simulates its own carrier-threaded circuit, so compilation cost grows
+//! as `Π terms(group)` — intractable past ~4 cuts. This module restores
+//! the fragment-local structure in the Pauli-transfer picture:
+//!
+//! * **Group transfer matrices** — each cut group's term `t` realises a
+//!   channel `C_t` on the cut wires; its Pauli transfer matrix
+//!   `R_t[a, b] = Tr[P_a · C_t(P_b)] / d` is computed once per group
+//!   (per *wire* for NME groups, whose channels factorise; via the
+//!   sparse MUB appliers [`crate::joint::apply_basis_term`] /
+//!   [`crate::joint::apply_flip_term`] for joint groups).
+//! * **Fragment blocks** — each fragment `F` is compiled once per local
+//!   *variant*: every incoming cut wire is prepared in each of the six
+//!   Pauli eigenstates (a basis input plus H/S Clifford prep, riding the
+//!   [`CompiledSampler`] hybrid-stabilizer machinery), the fragment runs
+//!   as a statevector, and all outgoing-Pauli ⊗ local-Z expectations are
+//!   read off with [`StateVector::expval_pauli`]. Eigenstate weights
+//!   fold the variants into the block tensor
+//!   `F[a_in, b_out] = Tr[(P_{b_out} ⊗ Z_local) · E_F(σ_{a_in}/2 ⊗ |0⟩⟨0|)]`.
+//! * **Per-term contraction** — a product term's exact expectation is
+//!   the frontier contraction `Σ F_dest[a] · R[a, b] · F_src[b]` chained
+//!   through the fragments in program order. No extra normalisation:
+//!   with `σ_a/2 = P_a/d` receiver inputs the block entries *are* Pauli
+//!   coefficients, and `C†(P_a) = Σ_b R[a, b] P_b`.
+//!
+//! Total cost is `Σ_F 6^{in(F)}` fragment simulations plus a cheap
+//! tensor contraction per term — `Σ variants(fragment)` instead of
+//! `Π terms(group)` — so plans with 6+ cuts compile where the monolithic
+//! path blows up. The monolithic compiler stays as the pristine
+//! differential-testing reference (`tests/fragment_contraction.rs`),
+//! mirroring how `compile_dense` fences the hybrid sampler.
+
+use crate::joint::{apply_basis_term, apply_flip_term, JointWireCut};
+use crate::nme::NmeCut;
+use crate::planner::{BackendReport, CutGroup, CutPlan, Protocol};
+use crate::term::{term_channel, WireCut};
+use qlinalg::Matrix;
+use qsim::{
+    fragment_circuit, Circuit, CompiledSampler, Pauli, PauliString, StateVector, Superoperator,
+};
+
+/// Hard cap on incoming cut wires per fragment for the contracted path
+/// (`6^incoming` prep variants per fragment).
+pub const MAX_INCOMING: usize = 5;
+
+/// Hard cap on joint-MUB group width for the contracted path (the dense
+/// group transfer matrix is `4^n × 4^n`).
+pub const MAX_JOINT_WIRES: usize = 4;
+
+/// `true` when `plan` can compile through the contracted fragment-block
+/// path: at least one cut, a purely unitary planned circuit (measurement
+/// or feed-forward would thread classical bits *between* fragments,
+/// breaking their independence), and the variant/transfer size caps.
+pub fn supports_contraction(plan: &CutPlan) -> bool {
+    if plan.groups.is_empty() || !plan.circuit().is_unitary() {
+        return false;
+    }
+    if plan
+        .groups
+        .iter()
+        .any(|g| g.protocol == Protocol::JointMub && g.num_wires() > MAX_JOINT_WIRES)
+    {
+        return false;
+    }
+    let mut incoming = vec![0usize; plan.fragments.len()];
+    for g in &plan.groups {
+        incoming[g.cuts[0].dest_fragment] += g.num_wires();
+    }
+    incoming.iter().all(|&c| c <= MAX_INCOMING)
+}
+
+/// One cut group's Pauli transfer matrices, one per QPD term, in the
+/// exact order [`CutGroup::terms`] enumerates them.
+enum GroupTransfer {
+    /// NME groups factorise per wire: every wire shares the same
+    /// single-wire term family (`[[f64; 4]; 4]` PTM per term), and the
+    /// group term index decodes with the **last wire fastest** — the
+    /// [`crate::multi::ParallelWireCut`] combination order.
+    PerWire {
+        wires: usize,
+        per_term: Vec<[[f64; 4]; 4]>,
+    },
+    /// Joint-MUB groups: a dense `4^n × 4^n` PTM per term (row-major,
+    /// `r[a * 4^n + b]`; slot 0 = least-significant base-4 digit).
+    Dense { wires: usize, ptms: Vec<Vec<f64>> },
+}
+
+impl GroupTransfer {
+    fn num_terms(&self) -> usize {
+        match self {
+            GroupTransfer::PerWire { wires, per_term } => per_term.len().pow(*wires as u32),
+            GroupTransfer::Dense { ptms, .. } => ptms.len(),
+        }
+    }
+}
+
+/// The single-wire PTM `r[a][b] = Re Tr[P_a · C(P_b)] / 2` of a channel.
+fn ptm_1q(ch: &Superoperator) -> [[f64; 4]; 4] {
+    let paulis: Vec<Matrix> = (0..4).map(|i| Pauli::from_index(i).matrix()).collect();
+    let mut r = [[0.0; 4]; 4];
+    for (b, pb) in paulis.iter().enumerate() {
+        let image = ch.apply(pb);
+        for (a, pa) in paulis.iter().enumerate() {
+            r[a][b] = pa.matmul(&image).trace().re * 0.5;
+        }
+    }
+    r
+}
+
+/// Dense PTM of an `n`-wire channel given its sparse applier.
+fn ptm_dense(apply: impl Fn(&Matrix) -> Matrix, paulis: &[Matrix], d: usize) -> Vec<f64> {
+    let dim4 = paulis.len();
+    let mut r = vec![0.0; dim4 * dim4];
+    for (b, pb) in paulis.iter().enumerate() {
+        let image = apply(pb);
+        for (a, pa) in paulis.iter().enumerate() {
+            r[a * dim4 + b] = pa.matmul(&image).trace().re / d as f64;
+        }
+    }
+    r
+}
+
+/// Builds one group's transfer matrices from its protocol.
+fn group_transfer(group: &CutGroup) -> GroupTransfer {
+    match group.protocol {
+        Protocol::Nme { k } => {
+            let per_term: Vec<[[f64; 4]; 4]> = NmeCut::new(k)
+                .terms()
+                .iter()
+                .map(|t| ptm_1q(&term_channel(t)))
+                .collect();
+            GroupTransfer::PerWire {
+                wires: group.num_wires(),
+                per_term,
+            }
+        }
+        Protocol::JointMub => {
+            let n = group.num_wires();
+            let jw = JointWireCut::new(n);
+            let d = 1usize << n;
+            let dim4 = 1usize << (2 * n);
+            let paulis: Vec<Matrix> = (0..dim4)
+                .map(|code| qsim::pauli::pauli_string_from_code(code, n).matrix())
+                .collect();
+            let mut ptms = Vec::with_capacity(d + 1);
+            for u in jw.bases().iter().skip(1) {
+                ptms.push(ptm_dense(|p| apply_basis_term(u, p), &paulis, d));
+            }
+            ptms.push(ptm_dense(apply_flip_term, &paulis, d));
+            GroupTransfer::Dense { wires: n, ptms }
+        }
+    }
+}
+
+/// One fragment's compiled expectation block.
+struct FragmentBlock {
+    /// Incoming cut slots `(group, slot)`, ascending; slot `i` is the
+    /// `i`-th base-4 digit of the tensor's `a` index.
+    in_slots: Vec<(usize, usize)>,
+    /// Outgoing cut slots, ascending; slot `i` is the `i`-th base-4
+    /// digit of the tensor's `b` index.
+    out_slots: Vec<(usize, usize)>,
+    /// `tensor[a * 4^out + b]`.
+    tensor: Vec<f64>,
+}
+
+/// Public per-fragment compilation summary (introspection for the
+/// service and experiments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FragmentBlockSummary {
+    /// Fragment index in plan order.
+    pub fragment: usize,
+    /// Fragment width (local qubits).
+    pub width: usize,
+    /// Incoming cut wires.
+    pub incoming: usize,
+    /// Outgoing cut wires.
+    pub outgoing: usize,
+    /// Compiled prep variants (`6^incoming`).
+    pub variants: usize,
+}
+
+/// All per-fragment blocks and per-group transfer matrices of one plan —
+/// everything needed to evaluate any product term by contraction. Built
+/// once per plan ([`FragmentBlocks::build`]); cached inside the compiled
+/// plan, so the service's compiled-plan cache shares the blocks across
+/// every job hitting the same [`crate::planner::PlanKey`].
+pub struct FragmentBlocks {
+    blocks: Vec<FragmentBlock>,
+    transfers: Vec<GroupTransfer>,
+    /// Per fragment: indices of groups whose source is that fragment.
+    groups_at_source: Vec<Vec<usize>>,
+    summaries: Vec<FragmentBlockSummary>,
+    backend: BackendReport,
+}
+
+/// Six Pauli eigenstate preps per incoming wire, indexed `0..6`:
+/// `|0⟩, |1⟩, |+⟩, |−⟩, |+i⟩, |−i⟩`. Odd indices set the input basis
+/// bit; `{2,3}` append H; `{4,5}` append H then S (`S·H|1⟩ = |−i⟩`).
+const NUM_PREPS: usize = 6;
+
+/// `σ_a/2` expanded over eigenstate preps: `WEIGHTS[a]` lists the two
+/// `(prep, weight)` entries with `σ_a/2 = Σ w·|s⟩⟨s|`.
+const WEIGHTS: [[(usize, f64); 2]; 4] = [
+    [(0, 0.5), (1, 0.5)],  // I/2
+    [(2, 0.5), (3, -0.5)], // X/2
+    [(4, 0.5), (5, -0.5)], // Y/2
+    [(0, 0.5), (1, -0.5)], // Z/2
+];
+
+impl FragmentBlocks {
+    /// Compiles every fragment variant and every group transfer matrix
+    /// for `plan` against a diagonal (Z/I) `observable`. Deterministic:
+    /// identical plans produce bit-identical blocks.
+    ///
+    /// # Panics
+    /// Panics when `!supports_contraction(plan)` or the observable does
+    /// not match the planned circuit.
+    pub fn build(plan: &CutPlan, observable: &PauliString) -> Self {
+        assert!(
+            supports_contraction(plan),
+            "plan does not support contracted compilation"
+        );
+        let circuit = plan.circuit();
+        assert_eq!(observable.num_qubits(), circuit.num_qubits());
+        assert!(observable.is_diagonal());
+        let transfers: Vec<GroupTransfer> = plan.groups.iter().map(group_transfer).collect();
+        let mut groups_at_source = vec![Vec::new(); plan.fragments.len()];
+        for (gi, g) in plan.groups.iter().enumerate() {
+            groups_at_source[g.cuts[0].source_fragment].push(gi);
+        }
+        let mut blocks = Vec::with_capacity(plan.fragments.len());
+        let mut summaries = Vec::with_capacity(plan.fragments.len());
+        let mut backend = BackendReport::default();
+        for (fi, frag) in plan.fragments.iter().enumerate() {
+            let mut local = vec![usize::MAX; circuit.num_qubits()];
+            for (i, &w) in frag.wires.iter().enumerate() {
+                local[w] = i;
+            }
+            let width = frag.wires.len().max(1);
+            // Ascending (group, slot) — the canonical axis order.
+            let mut in_slots: Vec<((usize, usize), usize)> = Vec::new();
+            let mut out_slots: Vec<((usize, usize), usize)> = Vec::new();
+            let mut out_wires: Vec<usize> = Vec::new();
+            for (gi, g) in plan.groups.iter().enumerate() {
+                for (si, cut) in g.cuts.iter().enumerate() {
+                    if cut.dest_fragment == fi {
+                        in_slots.push(((gi, si), local[cut.wire]));
+                    }
+                    if cut.source_fragment == fi {
+                        out_slots.push(((gi, si), local[cut.wire]));
+                        out_wires.push(cut.wire);
+                    }
+                }
+            }
+            // Z factors terminate on the wire's *last* fragment — any
+            // wire still outgoing defers its Z through the cut channel.
+            let z_locals: Vec<usize> = frag
+                .wires
+                .iter()
+                .filter(|&&w| observable.op(w) == Pauli::Z && !out_wires.contains(&w))
+                .map(|&w| local[w])
+                .collect();
+            let base = fragment_circuit(circuit, frag);
+            let n_in = in_slots.len();
+            let n_out = out_slots.len();
+            let dim_out = 1usize << (2 * n_out);
+            let num_variants = NUM_PREPS.pow(n_in as u32);
+            let mut vals = vec![vec![0.0f64; dim_out]; num_variants];
+            for (v, val) in vals.iter_mut().enumerate() {
+                let mut c = Circuit::new(width, base.num_clbits());
+                let mut basis_mask = 0usize;
+                let mut rem = v;
+                for &(_, q) in &in_slots {
+                    let s = rem % NUM_PREPS;
+                    rem /= NUM_PREPS;
+                    if s % 2 == 1 {
+                        basis_mask |= 1 << q;
+                    }
+                    if s >= 2 {
+                        c.h(q);
+                    }
+                    if s >= 4 {
+                        c.s(q);
+                    }
+                }
+                c.compose(&base);
+                let input = if basis_mask == 0 {
+                    None
+                } else {
+                    let mut amps = vec![qlinalg::c64(0.0, 0.0); 1 << width];
+                    amps[basis_mask] = qlinalg::c64(1.0, 0.0);
+                    Some(StateVector::from_amplitudes(width, amps))
+                };
+                let sampler = CompiledSampler::compile(&c, input.as_ref());
+                let prefix = sampler.clifford_prefix();
+                backend.terms += 1;
+                if prefix.prefix_len > 0 {
+                    backend.hybrid_terms += 1;
+                }
+                backend.total_instructions += prefix.total;
+                backend.clifford_instructions += prefix.prefix_len;
+                backend.gates_fused += sampler.fusion_stats().gates_fused;
+                debug_assert_eq!(
+                    sampler.leaves().len(),
+                    1,
+                    "unitary fragment must not branch"
+                );
+                let state = &sampler.leaves()[0].state;
+                for (b, slot) in val.iter_mut().enumerate() {
+                    let mut ops = vec![Pauli::I; width];
+                    for &q in &z_locals {
+                        ops[q] = Pauli::Z;
+                    }
+                    for (i, &(_, q)) in out_slots.iter().enumerate() {
+                        ops[q] = Pauli::from_index((b >> (2 * i)) & 3);
+                    }
+                    *slot = state.expval_pauli(&PauliString::new(ops));
+                }
+            }
+            // Fold eigenstate weights into the block tensor.
+            let mut tensor = vec![0.0f64; (1usize << (2 * n_in)) * dim_out];
+            for a in 0..(1usize << (2 * n_in)) {
+                for choice in 0..(1usize << n_in) {
+                    let mut weight = 1.0f64;
+                    let mut v = 0usize;
+                    let mut scale = 1usize;
+                    for i in 0..n_in {
+                        let (prep, w) = WEIGHTS[(a >> (2 * i)) & 3][(choice >> i) & 1];
+                        weight *= w;
+                        v += prep * scale;
+                        scale *= NUM_PREPS;
+                    }
+                    for (b, &x) in vals[v].iter().enumerate() {
+                        tensor[a * dim_out + b] += weight * x;
+                    }
+                }
+            }
+            summaries.push(FragmentBlockSummary {
+                fragment: fi,
+                width: frag.width(),
+                incoming: n_in,
+                outgoing: n_out,
+                variants: num_variants,
+            });
+            blocks.push(FragmentBlock {
+                in_slots: in_slots.into_iter().map(|(k, _)| k).collect(),
+                out_slots: out_slots.into_iter().map(|(k, _)| k).collect(),
+                tensor,
+            });
+        }
+        Self {
+            blocks,
+            transfers,
+            groups_at_source,
+            summaries,
+            backend,
+        }
+    }
+
+    /// Term counts per group, aligned with the plan's group order.
+    pub fn group_lens(&self) -> Vec<usize> {
+        self.transfers.iter().map(|t| t.num_terms()).collect()
+    }
+
+    /// Backend aggregation over every compiled fragment variant (the
+    /// contracted analogue of the monolithic per-term report).
+    pub fn backend_report(&self) -> BackendReport {
+        self.backend
+    }
+
+    /// Per-fragment compilation summaries.
+    pub fn summaries(&self) -> &[FragmentBlockSummary] {
+        &self.summaries
+    }
+
+    /// Exact expectation of one product term: `pick[g]` selects group
+    /// `g`'s QPD term. Pure contraction — no circuit simulation.
+    pub fn term_value(&self, pick: &[usize]) -> f64 {
+        assert_eq!(pick.len(), self.transfers.len());
+        let mut keys: Vec<(usize, usize)> = Vec::new();
+        let mut vals = vec![1.0f64];
+        for (fi, block) in self.blocks.iter().enumerate() {
+            absorb_block(&mut keys, &mut vals, block);
+            for &gi in &self.groups_at_source[fi] {
+                match &self.transfers[gi] {
+                    GroupTransfer::PerWire { wires, per_term } => {
+                        let nt = per_term.len();
+                        let mut rem = pick[gi];
+                        let mut idx = vec![0usize; *wires];
+                        // Last wire fastest — ParallelWireCut order.
+                        for slot in (0..*wires).rev() {
+                            idx[slot] = rem % nt;
+                            rem /= nt;
+                        }
+                        for (slot, &ti) in idx.iter().enumerate() {
+                            let p = axis_of(&keys, (gi, slot));
+                            apply_axis_4(&mut vals, p, &per_term[ti]);
+                        }
+                    }
+                    GroupTransfer::Dense { wires, ptms } => {
+                        let axes: Vec<usize> =
+                            (0..*wires).map(|slot| axis_of(&keys, (gi, slot))).collect();
+                        apply_axes_dense(&mut vals, &axes, &ptms[pick[gi]]);
+                    }
+                }
+            }
+        }
+        assert!(keys.is_empty(), "unconsumed cut axes after contraction");
+        vals[0]
+    }
+}
+
+/// Position of a cut slot in the frontier's axis list.
+fn axis_of(keys: &[(usize, usize)], key: (usize, usize)) -> usize {
+    keys.iter()
+        .position(|&k| k == key)
+        .expect("cut slot missing from contraction frontier")
+}
+
+/// Contracts one fragment block into the frontier: sums out the
+/// fragment's incoming axes against the frontier and appends its
+/// outgoing axes. Frontier index: axis `k` is base-4 digit `k`.
+fn absorb_block(keys: &mut Vec<(usize, usize)>, vals: &mut Vec<f64>, block: &FragmentBlock) {
+    let in_pos: Vec<usize> = block.in_slots.iter().map(|&k| axis_of(keys, k)).collect();
+    let n_out = block.out_slots.len();
+    let dim_out = 1usize << (2 * n_out);
+    let rest_pos: Vec<usize> = (0..keys.len()).filter(|p| !in_pos.contains(p)).collect();
+    let n_rest = rest_pos.len();
+    let mut next = vec![0.0f64; 1usize << (2 * (n_rest + n_out))];
+    for (o, &v) in vals.iter().enumerate() {
+        if v == 0.0 {
+            continue;
+        }
+        let mut a = 0usize;
+        for (slot, &p) in in_pos.iter().enumerate() {
+            a |= ((o >> (2 * p)) & 3) << (2 * slot);
+        }
+        let mut rest = 0usize;
+        for (r, &p) in rest_pos.iter().enumerate() {
+            rest |= ((o >> (2 * p)) & 3) << (2 * r);
+        }
+        for b in 0..dim_out {
+            let t = block.tensor[a * dim_out + b];
+            if t != 0.0 {
+                next[rest | (b << (2 * n_rest))] += t * v;
+            }
+        }
+    }
+    let mut next_keys: Vec<(usize, usize)> = rest_pos.iter().map(|&p| keys[p]).collect();
+    next_keys.extend(block.out_slots.iter().copied());
+    *keys = next_keys;
+    *vals = next;
+}
+
+/// In-place single-axis PTM application: `val'[.., a, ..] =
+/// Σ_b m[a][b]·val[.., b, ..]` on base-4 axis `axis`.
+fn apply_axis_4(vals: &mut [f64], axis: usize, m: &[[f64; 4]; 4]) {
+    let stride = 1usize << (2 * axis);
+    let mut base = 0;
+    while base < vals.len() {
+        for low in base..base + stride {
+            let x = [
+                vals[low],
+                vals[low + stride],
+                vals[low + 2 * stride],
+                vals[low + 3 * stride],
+            ];
+            for (a, row) in m.iter().enumerate() {
+                vals[low + a * stride] =
+                    row[0] * x[0] + row[1] * x[1] + row[2] * x[2] + row[3] * x[3];
+            }
+        }
+        base += 4 * stride;
+    }
+}
+
+/// Dense multi-axis PTM application over the listed axes (`axes[k]` is
+/// base-4 digit `k` of the transfer index).
+fn apply_axes_dense(vals: &mut Vec<f64>, axes: &[usize], r: &[f64]) {
+    let dim = 1usize << (2 * axes.len());
+    debug_assert_eq!(r.len(), dim * dim);
+    let mut next = vec![0.0f64; vals.len()];
+    for (o, &v) in vals.iter().enumerate() {
+        if v == 0.0 {
+            continue;
+        }
+        let mut bidx = 0usize;
+        let mut base = o;
+        for (k, &p) in axes.iter().enumerate() {
+            bidx |= ((o >> (2 * p)) & 3) << (2 * k);
+            base &= !(3usize << (2 * p));
+        }
+        for a in 0..dim {
+            let coeff = r[a * dim + bidx];
+            if coeff == 0.0 {
+                continue;
+            }
+            let mut target = base;
+            for (k, &p) in axes.iter().enumerate() {
+                target |= ((a >> (2 * k)) & 3) << (2 * p);
+            }
+            next[target] += coeff * v;
+        }
+    }
+    *vals = next;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::CutPlanner;
+
+    fn ladder(n: usize) -> Circuit {
+        let mut c = Circuit::new(n, 0);
+        c.ry(0.4, 0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c
+    }
+
+    #[test]
+    fn nme_teleport_ptm_is_identity_at_full_overlap() {
+        // f = 1 ⇒ the NME family's signed PTM sum must be exactly 1 on
+        // each term-family member weighted by coefficients... simplest
+        // invariant: Σ cᵢ·Rᵢ = I for the single-wire cut.
+        let cut = NmeCut::new(1.0);
+        let terms = cut.terms();
+        let mut sum = [[0.0f64; 4]; 4];
+        for t in &terms {
+            let r = ptm_1q(&term_channel(t));
+            for a in 0..4 {
+                for b in 0..4 {
+                    sum[a][b] += t.coefficient * r[a][b];
+                }
+            }
+        }
+        for (a, row) in sum.iter().enumerate() {
+            for (b, &entry) in row.iter().enumerate() {
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((entry - expect).abs() < 1e-9, "Σ cᵢ·R[{a}][{b}] = {entry}");
+            }
+        }
+    }
+
+    #[test]
+    fn joint_transfer_sums_to_identity() {
+        for n in 1..=2usize {
+            let group = CutGroup {
+                cuts: (0..n)
+                    .map(|w| crate::planner::PlannedCut {
+                        wire: w,
+                        source_fragment: 0,
+                        dest_fragment: 1,
+                    })
+                    .collect(),
+                protocol: Protocol::JointMub,
+                kappa: JointWireCut::new(n).kappa(),
+            };
+            let spec = group.spec();
+            let transfer = group_transfer(&group);
+            let GroupTransfer::Dense { ptms, .. } = transfer else {
+                panic!("joint group must build a dense transfer");
+            };
+            let dim4 = 1usize << (2 * n);
+            for a in 0..dim4 {
+                for b in 0..dim4 {
+                    let sum: f64 = ptms
+                        .iter()
+                        .zip(spec.terms().iter())
+                        .map(|(r, t)| t.coefficient * r[a * dim4 + b])
+                        .sum();
+                    let expect = if a == b { 1.0 } else { 0.0 };
+                    assert!(
+                        (sum - expect).abs() < 1e-9,
+                        "n={n}: Σ cᵢ·R[{a}][{b}] = {sum}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contracted_terms_match_uncut_on_a_ladder() {
+        let c = ladder(4);
+        let obs = PauliString::from_label("ZZZZ");
+        let plan = CutPlanner::new(2).with_overlap(0.8).plan(&c);
+        assert!(supports_contraction(&plan));
+        let blocks = FragmentBlocks::build(&plan, &obs);
+        let lens = blocks.group_lens();
+        let total: usize = lens.iter().product();
+        // Σ cᵢ·termᵢ over the full odometer must equal the uncut value.
+        let spec = qpd::QpdSpec::product(&plan.groups.iter().map(|g| g.spec()).collect::<Vec<_>>());
+        assert_eq!(spec.len(), total);
+        let mut value = 0.0;
+        for combo in 0..total {
+            let mut rem = combo;
+            let mut pick = vec![0usize; lens.len()];
+            for g in (0..lens.len()).rev() {
+                pick[g] = rem % lens[g];
+                rem /= lens[g];
+            }
+            value += spec.terms()[combo].coefficient * blocks.term_value(&pick);
+        }
+        let uncut = crate::planner::uncut_plan_expectation(&c, &obs);
+        assert!(
+            (value - uncut).abs() < 1e-8,
+            "contracted {value} vs uncut {uncut}"
+        );
+    }
+
+    #[test]
+    fn measurement_circuits_fall_back_to_monolithic() {
+        let mut c = Circuit::new(3, 1);
+        c.ry(0.4, 0).cx(0, 1).cx(1, 2).measure(2, 0);
+        let plan = CutPlanner::new(2).plan(&c);
+        assert!(!supports_contraction(&plan));
+    }
+
+    #[test]
+    fn uncut_plans_fall_back_to_monolithic() {
+        let c = ladder(3);
+        let plan = CutPlanner::new(3).plan(&c);
+        assert!(plan.groups.is_empty());
+        assert!(!supports_contraction(&plan));
+    }
+}

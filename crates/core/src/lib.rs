@@ -33,6 +33,11 @@
 //!   fragmentation, multi-cut derivation (subsequent wires, repeated
 //!   cuts), κ-crossover NME-vs-MUB protocol choice, and compilation into
 //!   one product-QPD execution plan on the batched samplers.
+//! * [`contract`] — per-fragment tensor-block compilation: each fragment
+//!   compiles once per local boundary-role variant and product terms are
+//!   evaluated by Pauli-transfer contraction (`Σ variants` circuits
+//!   instead of `Π terms`), the planner's default backend for unitary
+//!   plans.
 //! * [`service`] — cutting as a service: an estimation-job engine with a
 //!   content-addressed compiled-plan cache ([`planner::PlanKey`]),
 //!   streaming per-batch partial estimates, sequential
@@ -42,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod contract;
 pub mod executor;
 pub mod gatecut;
 pub mod harada;
@@ -58,6 +64,7 @@ pub mod teleport;
 pub mod term;
 pub mod theory;
 
+pub use contract::{supports_contraction, FragmentBlockSummary, FragmentBlocks};
 pub use executor::{uncut_expectation, PreparedCut, PreparedTerm};
 pub use harada::HaradaCut;
 pub use joint::JointWireCut;
@@ -66,8 +73,8 @@ pub use mixed::{BellDiagonalCut, DistillThenCut, OverheadMetric};
 pub use nme::{NmeCut, TeleportationPassthrough};
 pub use peng::PengCut;
 pub use planner::{
-    uncut_plan_expectation, BackendReport, CompiledPlan, CutGroup, CutPlan, CutPlanner, PlanKey,
-    PlanReport, PlanTerm, PlannedCut, Protocol,
+    uncut_plan_expectation, BackendReport, CompiledPlan, CutGroup, CutPlan, CutPlanner,
+    PlanBackend, PlanKey, PlanReport, PlanTerm, PlannedCut, Protocol,
 };
 pub use service::{AllocationMode, BatchUpdate, CutService, EstimationJob, JobOutcome};
 pub use term::{identity_distance, reconstructed_channel, term_channel, CutTerm, WireCut};

@@ -20,20 +20,31 @@
 //!    (Theorem 2, `κ = γ(f)ⁿ`) win exactly when the available resource
 //!    overlap satisfies `f ≥ f*(n)`; otherwise the entanglement-free
 //!    joint MUB cut (`κ = 2^{n+1} − 1`, [`crate::joint`]) wins.
-//! 4. **Compilation** — [`CompiledPlan::compile`] stitches one monolithic
-//!    circuit per combination of per-group QPD terms (carrier-qubit
-//!    threading through [`Circuit::compose_mapped`]), reusing the
-//!    existing [`CompiledSampler`] branch-tree machinery and the batched
-//!    [`TermSampler`] estimate path. The plan-level coefficient structure
-//!    is the product QPD [`QpdSpec::product`], so `κ(plan) = Π κ(group)`
-//!    and the stock `qpd` allocators spread shots across all cuts at
-//!    once.
+//! 4. **Compilation** — [`CompiledPlan::compile`] picks between two
+//!    backends. The default, **contracted** path
+//!    ([`CompiledPlan::compile_contracted`], [`crate::contract`])
+//!    compiles each *fragment* once per local boundary-role variant and
+//!    evaluates every product term by tensor contraction — cost
+//!    `Σ variants(fragment)` instead of `Π terms(group)`, so plans with
+//!    6+ cuts compile where stitching blows up. The **monolithic** path
+//!    ([`CompiledPlan::compile_monolithic`]) stitches one circuit per
+//!    combination of per-group QPD terms (carrier-qubit threading
+//!    through [`Circuit::compose_mapped`]) and stays as the pristine
+//!    differential-testing reference, mirroring how `compile_dense`
+//!    fences the hybrid sampler. Both ride the [`CompiledSampler`]
+//!    branch-tree machinery and the batched [`TermSampler`] estimate
+//!    path; the plan-level coefficient structure is the product QPD
+//!    [`QpdSpec::product`], so `κ(plan) = Π κ(group)` and the stock
+//!    `qpd` allocators spread shots across all cuts at once.
 //!
-//! In debug/test builds every compilation re-verifies its joint-cut
-//! groups through [`JointWireCut::verify_deviation`] and re-validates the
-//! product spec, so malformed term products fail loudly on the compile
-//! path instead of only in dedicated tests.
+//! In debug/test builds every compilation re-verifies its cut groups
+//! once each through [`CompiledPlan::verify_groups`] (per-group spec
+//! validation plus [`JointWireCut::verify_deviation`] per distinct joint
+//! width), so malformed term products fail loudly on the compile path;
+//! the exhaustive product-spec check stays behind the test-only
+//! [`CompiledPlan::verify`] helper, whose cost grows as `Π terms`.
 
+use crate::contract::{supports_contraction, FragmentBlockSummary, FragmentBlocks};
 use crate::joint::JointWireCut;
 use crate::mub;
 use crate::multi::{MultiCutTerm, ParallelWireCut};
@@ -41,6 +52,7 @@ use crate::nme::NmeCut;
 use crate::term::WireCut;
 use qpd::{QpdSpec, TermSampler};
 use qsim::{fragments_by_width, Circuit, CompiledSampler, Fragment, Instruction, Op, PauliString};
+use rand::Rng;
 
 /// The crossover overlap `f*(n) = 2/((2^{n+1} − 1)^{1/n} + 1)`:
 /// independent `|Φ_k⟩` cuts beat (or tie) the joint MUB cut exactly when
@@ -104,10 +116,7 @@ impl CutGroup {
 
     /// The group's QPD coefficient structure.
     pub fn spec(&self) -> QpdSpec {
-        match self.protocol {
-            Protocol::Nme { k } => self.nme_cut(k).spec(),
-            Protocol::JointMub => JointWireCut::new(self.num_wires()).spec(),
-        }
+        protocol_spec(self.protocol, self.num_wires())
     }
 
     /// The group's QPD term circuits (multi-wire term layout shared with
@@ -125,6 +134,22 @@ impl CutGroup {
                 .map(|_| Box::new(NmeCut::new(k)) as Box<dyn WireCut>)
                 .collect(),
         )
+    }
+}
+
+/// The QPD coefficient structure of one `wires`-wide group running
+/// `protocol` — reconstructible from a [`GroupReport`] alone, which is
+/// what lets [`CompiledPlan::verify_groups`] re-validate each group at
+/// `Σ terms` cost without touching the `Π terms` product spec.
+fn protocol_spec(protocol: Protocol, wires: usize) -> QpdSpec {
+    match protocol {
+        Protocol::Nme { k } => ParallelWireCut::new(
+            (0..wires)
+                .map(|_| Box::new(NmeCut::new(k)) as Box<dyn WireCut>)
+                .collect(),
+        )
+        .spec(),
+        Protocol::JointMub => JointWireCut::new(wires).spec(),
     }
 }
 
@@ -461,69 +486,132 @@ impl CutPlanner {
     }
 }
 
-/// One compiled plan term: the stitched monolithic circuit for one
-/// combination of per-group QPD terms, with a diagonal parity observable
-/// over the final carrier qubits. Samples through the same branch-tree /
-/// batched-binomial path as [`crate::multi::PreparedMultiCut`].
+/// How one compiled plan term is evaluated.
+enum TermBody {
+    /// The stitched monolithic circuit for one combination of per-group
+    /// QPD terms, with a diagonal parity observable over the final
+    /// carrier qubits.
+    Stitched {
+        sampler: CompiledSampler,
+        z_mask: usize,
+        num_qubits: usize,
+    },
+    /// The term's exact expectation came from the per-fragment tensor
+    /// contraction; the ±1 parity draw is a Bernoulli over it. This is
+    /// *distributionally identical* to the stitched term: a stitched
+    /// draw is ±1 with `P(+1) = (1 + ⟨O⟩)/2` no matter how the branch
+    /// tree decomposes it (the sum of per-leaf binomials over a
+    /// multinomial collapses to one binomial).
+    Contracted,
+}
+
+/// One compiled plan term for one combination of per-group QPD terms.
+/// Samples through the same batched-binomial path as
+/// [`crate::multi::PreparedMultiCut`].
 pub struct PlanTerm {
-    sampler: CompiledSampler,
-    z_mask: usize,
+    body: TermBody,
     exact: f64,
-    num_qubits: usize,
 }
 
 impl PlanTerm {
-    /// Number of qubits of the stitched circuit.
-    pub fn num_qubits(&self) -> usize {
-        self.num_qubits
+    /// `true` when this term is evaluated by tensor contraction instead
+    /// of a stitched circuit.
+    pub fn is_contracted(&self) -> bool {
+        matches!(self.body, TermBody::Contracted)
+    }
+
+    /// Number of qubits of the stitched circuit (`None` for contracted
+    /// terms, which have no single circuit).
+    pub fn num_qubits(&self) -> Option<usize> {
+        match &self.body {
+            TermBody::Stitched { num_qubits, .. } => Some(*num_qubits),
+            TermBody::Contracted => None,
+        }
     }
 
     /// The Clifford prefix of this term's stitched circuit that compiled
     /// onto the stabilizer tableau (zero-length when the term ran
-    /// all-dense).
-    pub fn clifford_prefix(&self) -> qsim::CliffordPrefix {
-        self.sampler.clifford_prefix()
+    /// all-dense; `None` for contracted terms — their backend split is
+    /// aggregated per fragment variant in the plan's
+    /// [`CompiledPlan::backend_report`]).
+    pub fn clifford_prefix(&self) -> Option<qsim::CliffordPrefix> {
+        match &self.body {
+            TermBody::Stitched { sampler, .. } => Some(sampler.clifford_prefix()),
+            TermBody::Contracted => None,
+        }
     }
 
-    /// Single-qubit fusion summary for this term's dense portion.
-    pub fn fusion_stats(&self) -> qsim::FusionStats {
-        self.sampler.fusion_stats()
+    /// Single-qubit fusion summary for this term's dense portion
+    /// (`None` for contracted terms).
+    pub fn fusion_stats(&self) -> Option<qsim::FusionStats> {
+        match &self.body {
+            TermBody::Stitched { sampler, .. } => Some(sampler.fusion_stats()),
+            TermBody::Contracted => None,
+        }
     }
 }
 
 impl TermSampler for PlanTerm {
     fn sample_observable(&self, rng: &mut dyn rand::RngCore) -> f64 {
-        let leaf = self.sampler.sample_leaf(rng);
-        let idx = leaf.state.sample_z_basis(rng);
-        debug_assert!(idx < (1 << self.num_qubits));
-        if (idx & self.z_mask).count_ones().is_multiple_of(2) {
-            1.0
-        } else {
-            -1.0
+        match &self.body {
+            TermBody::Stitched {
+                sampler,
+                z_mask,
+                num_qubits,
+            } => {
+                let leaf = sampler.sample_leaf(rng);
+                let idx = leaf.state.sample_z_basis(rng);
+                debug_assert!(idx < (1 << num_qubits));
+                if (idx & z_mask).count_ones().is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            TermBody::Contracted => {
+                let p_plus = (1.0 + self.exact) / 2.0;
+                if rng.gen::<f64>() < p_plus {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
         }
     }
 
     fn sample_observable_sum(&self, shots: u64, rng: &mut dyn rand::RngCore) -> f64 {
-        // One multinomial over branch leaves, then a parity binomial per
-        // occupied leaf — identical to the multi-cut batched path.
-        let counts = self.sampler.sample_batch(shots, rng);
-        let mut sum = 0.0;
-        for (leaf, &n) in self.sampler.leaves().iter().zip(counts.iter()) {
-            if n == 0 {
-                continue;
+        match &self.body {
+            TermBody::Stitched {
+                sampler, z_mask, ..
+            } => {
+                // One multinomial over branch leaves, then a parity
+                // binomial per occupied leaf — identical to the
+                // multi-cut batched path.
+                let counts = sampler.sample_batch(shots, rng);
+                let mut sum = 0.0;
+                for (leaf, &n) in sampler.leaves().iter().zip(counts.iter()) {
+                    if n == 0 {
+                        continue;
+                    }
+                    let p_plus: f64 = leaf
+                        .state
+                        .probabilities()
+                        .iter()
+                        .enumerate()
+                        .filter(|(idx, _)| (idx & z_mask).count_ones().is_multiple_of(2))
+                        .map(|(_, p)| p)
+                        .sum();
+                    let plus = qsample::binomial(n, p_plus.clamp(0.0, 1.0), rng);
+                    sum += 2.0 * plus as f64 - n as f64;
+                }
+                sum
             }
-            let p_plus: f64 = leaf
-                .state
-                .probabilities()
-                .iter()
-                .enumerate()
-                .filter(|(idx, _)| (idx & self.z_mask).count_ones().is_multiple_of(2))
-                .map(|(_, p)| p)
-                .sum();
-            let plus = qsample::binomial(n, p_plus.clamp(0.0, 1.0), rng);
-            sum += 2.0 * plus as f64 - n as f64;
+            TermBody::Contracted => {
+                let p_plus = ((1.0 + self.exact) / 2.0).clamp(0.0, 1.0);
+                let plus = qsample::binomial(shots, p_plus, rng);
+                2.0 * plus as f64 - shots as f64
+            }
         }
-        sum
     }
 
     fn exact_expectation(&self) -> f64 {
@@ -531,16 +619,30 @@ impl TermSampler for PlanTerm {
     }
 }
 
-/// Which simulator backends a compiled plan's terms ride, aggregated
-/// over all stitched term circuits (see
-/// [`qsim::CompiledSampler::compile`]'s backend split).
+/// Which compilation strategy produced a [`CompiledPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanBackend {
+    /// One stitched monolithic circuit per product-term combination
+    /// (`Π terms(group)` compiled circuits) — the pristine
+    /// differential-testing reference.
+    Monolithic,
+    /// Per-fragment tensor blocks compiled once (`Σ variants(fragment)`
+    /// circuits) and contracted per term ([`crate::contract`]).
+    Contracted,
+}
+
+/// Which simulator backends a compiled plan's circuits ride, aggregated
+/// over all compiled circuit units (see
+/// [`qsim::CompiledSampler::compile`]'s backend split). A *unit* is one
+/// stitched term circuit on the monolithic path and one fragment prep
+/// variant on the contracted path.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BackendReport {
-    /// Compiled term count.
+    /// Compiled circuit units (stitched terms or fragment variants).
     pub terms: usize,
-    /// Terms whose stitched circuit had a tableau-executed prefix.
+    /// Units whose circuit had a tableau-executed prefix.
     pub hybrid_terms: usize,
-    /// Total instructions across all stitched term circuits.
+    /// Total instructions across all compiled circuit units.
     pub total_instructions: usize,
     /// Instructions executed on the stabilizer tableau.
     pub clifford_instructions: usize,
@@ -561,13 +663,16 @@ impl BackendReport {
 }
 
 /// A fully compiled execution plan: the product QPD spec across all cut
-/// groups plus one stitched [`PlanTerm`] per term combination, ready for
-/// the stock `qpd` estimators.
+/// groups plus one [`PlanTerm`] per term combination, ready for the
+/// stock `qpd` estimators.
 pub struct CompiledPlan {
     /// Product QPD coefficient structure (`κ = Π κ(group)`).
     pub spec: QpdSpec,
     terms: Vec<PlanTerm>,
     report: PlanReport,
+    backend: PlanBackend,
+    backend_report: BackendReport,
+    fragment_summaries: Vec<FragmentBlockSummary>,
 }
 
 impl CompiledPlan {
@@ -576,10 +681,82 @@ impl CompiledPlan {
     /// the planned circuit itself — workload preparation belongs in the
     /// circuit being planned.
     ///
-    /// In debug/test builds the compiled plan is verified on the spot
-    /// ([`CompiledPlan::verify`]), so malformed term products fail loudly
-    /// on the compile path.
+    /// Automatically selects the backend: the contracted fragment-block
+    /// path ([`CompiledPlan::compile_contracted`]) whenever the plan
+    /// supports it ([`supports_contraction`]), otherwise the monolithic
+    /// stitching path ([`CompiledPlan::compile_monolithic`]). Both are
+    /// exact, deterministic and sample-equivalent; they differ only in
+    /// compilation cost scaling.
+    ///
+    /// In debug/test builds the compiled plan's cut groups are verified
+    /// on the spot ([`CompiledPlan::verify_groups`]), so malformed term
+    /// products fail loudly on the compile path.
     pub fn compile(plan: &CutPlan, observable: &PauliString) -> Self {
+        if supports_contraction(plan) {
+            Self::compile_contracted(plan, observable)
+        } else {
+            Self::compile_monolithic(plan, observable)
+        }
+    }
+
+    /// The **contracted** backend: builds per-fragment tensor blocks
+    /// once ([`FragmentBlocks::build`], `Σ variants(fragment)` compiled
+    /// circuits) and evaluates each of the `Π terms(group)` product
+    /// terms by pure tensor contraction — no per-term circuit is ever
+    /// stitched or simulated.
+    ///
+    /// # Panics
+    /// Panics when `!supports_contraction(plan)`; use
+    /// [`CompiledPlan::compile`] for automatic fallback.
+    pub fn compile_contracted(plan: &CutPlan, observable: &PauliString) -> Self {
+        let blocks = FragmentBlocks::build(plan, observable);
+        let group_specs: Vec<QpdSpec> = plan.groups.iter().map(|g| g.spec()).collect();
+        let spec = QpdSpec::product(&group_specs);
+        let lens = blocks.group_lens();
+        for (len, gs) in lens.iter().zip(group_specs.iter()) {
+            assert_eq!(*len, gs.len(), "group transfer/spec term mismatch");
+        }
+        let total: usize = lens.iter().product();
+        assert_eq!(spec.len(), total);
+        let mut terms = Vec::with_capacity(total);
+        // Row-major enumeration, last group fastest — the same order
+        // `QpdSpec::product` uses, so coefficients line up.
+        for combo_idx in 0..total {
+            let mut rem = combo_idx;
+            let mut pick = vec![0usize; lens.len()];
+            for g in (0..lens.len()).rev() {
+                pick[g] = rem % lens[g];
+                rem /= lens[g];
+            }
+            terms.push(PlanTerm {
+                body: TermBody::Contracted,
+                exact: blocks.term_value(&pick),
+            });
+        }
+        let compiled = Self {
+            spec,
+            terms,
+            report: plan.report(),
+            backend: PlanBackend::Contracted,
+            backend_report: blocks.backend_report(),
+            fragment_summaries: blocks.summaries().to_vec(),
+        };
+        if cfg!(debug_assertions) {
+            compiled
+                .verify_groups(1e-8)
+                .expect("compiled plan failed group verification");
+        }
+        compiled
+    }
+
+    /// The **monolithic** backend: stitches one carrier-threaded circuit
+    /// per combination of per-group QPD terms. Compilation cost grows as
+    /// `Π terms(group)` — intractable past ~4 cuts — so this path exists
+    /// as the pristine differential-testing reference for the contracted
+    /// backend (`tests/fragment_contraction.rs`) and as the fallback for
+    /// plans the contraction does not support (non-unitary circuits,
+    /// oversized groups).
+    pub fn compile_monolithic(plan: &CutPlan, observable: &PauliString) -> Self {
         let circuit = plan.circuit();
         assert_eq!(
             observable.num_qubits(),
@@ -590,15 +767,11 @@ impl CompiledPlan {
             observable.is_diagonal(),
             "plan estimator supports diagonal (Z/I) observables"
         );
-        let compiled = if plan.groups.is_empty() {
+        let (spec, terms) = if plan.groups.is_empty() {
             // Nothing to cut: a single unit-coefficient term.
             let spec = QpdSpec::from_parts(&[(1.0, "uncut", 0.0)]);
             let terms = vec![compile_combo(plan, &[], observable)];
-            Self {
-                spec,
-                terms,
-                report: plan.report(),
-            }
+            (spec, terms)
         } else {
             let group_terms: Vec<Vec<MultiCutTerm>> =
                 plan.groups.iter().map(|g| g.terms()).collect();
@@ -619,16 +792,33 @@ impl CompiledPlan {
                 }
                 terms.push(compile_combo(plan, &picked, observable));
             }
-            Self {
-                spec,
-                terms,
-                report: plan.report(),
+            (spec, terms)
+        };
+        let mut backend_report = BackendReport {
+            terms: terms.len(),
+            ..BackendReport::default()
+        };
+        for t in &terms {
+            let p = t.clifford_prefix().expect("stitched term has a circuit");
+            if p.prefix_len > 0 {
+                backend_report.hybrid_terms += 1;
             }
+            backend_report.total_instructions += p.total;
+            backend_report.clifford_instructions += p.prefix_len;
+            backend_report.gates_fused += t.fusion_stats().expect("stitched term").gates_fused;
+        }
+        let compiled = Self {
+            spec,
+            terms,
+            report: plan.report(),
+            backend: PlanBackend::Monolithic,
+            backend_report,
+            fragment_summaries: Vec::new(),
         };
         if cfg!(debug_assertions) {
             compiled
-                .verify(1e-8)
-                .expect("compiled plan failed verification");
+                .verify_groups(1e-8)
+                .expect("compiled plan failed group verification");
         }
         compiled
     }
@@ -659,44 +849,47 @@ impl CompiledPlan {
         &self.report
     }
 
-    /// Aggregates which simulator backend the plan's terms actually
-    /// compiled onto — the fast-path visibility the service surfaces per
-    /// job.
-    pub fn backend_report(&self) -> BackendReport {
-        let mut r = BackendReport {
-            terms: self.terms.len(),
-            ..BackendReport::default()
-        };
-        for t in &self.terms {
-            let p = t.clifford_prefix();
-            if p.prefix_len > 0 {
-                r.hybrid_terms += 1;
-            }
-            r.total_instructions += p.total;
-            r.clifford_instructions += p.prefix_len;
-            r.gates_fused += t.fusion_stats().gates_fused;
-        }
-        r
+    /// Which compilation backend produced this plan.
+    pub fn backend(&self) -> PlanBackend {
+        self.backend
     }
 
-    /// Structural verification of the compiled plan: the product spec's
-    /// coefficients sum to 1, its κ matches the per-group product, and
-    /// every joint-MUB group's channel reconstruction deviates from the
-    /// identity by less than `tol` ([`JointWireCut::verify_deviation`] on
-    /// the compile path — the satellite fix for the latent verify gap).
-    pub fn verify(&self, tol: f64) -> Result<(), String> {
-        self.spec
-            .validate(tol.max(1e-9))
-            .map_err(|e| format!("plan spec invalid: {e}"))?;
-        if (self.spec.kappa() - self.report.kappa).abs() > 1e-9 * self.report.kappa.max(1.0) {
-            return Err(format!(
-                "plan κ {} disagrees with per-group product {}",
-                self.spec.kappa(),
-                self.report.kappa
-            ));
-        }
+    /// Which simulator backends the plan's compiled circuits actually
+    /// rode — the fast-path visibility the service surfaces per job.
+    /// Aggregated over stitched term circuits (monolithic) or fragment
+    /// prep variants (contracted), and captured at compile time.
+    pub fn backend_report(&self) -> BackendReport {
+        self.backend_report
+    }
+
+    /// Per-fragment compilation summaries — one per plan fragment on the
+    /// contracted backend, empty on the monolithic backend.
+    pub fn fragment_summaries(&self) -> &[FragmentBlockSummary] {
+        &self.fragment_summaries
+    }
+
+    /// Per-group verification at `Σ terms(group)` cost — the check that
+    /// runs on every debug/test-build compile. Each cut group's own QPD
+    /// spec must validate (coefficients sum to 1), the per-group κ
+    /// product must match the plan report, and every joint-MUB width
+    /// must pass [`JointWireCut::verify_deviation`] **once** — never per
+    /// term combination, which would explode as `Π terms` at 4+ cuts.
+    pub fn verify_groups(&self, tol: f64) -> Result<(), String> {
+        let mut kappa_product = 1.0f64;
         let mut verified_widths: Vec<usize> = Vec::new();
         for g in &self.report.groups {
+            let spec = protocol_spec(g.protocol, g.wires);
+            spec.validate(tol.max(1e-9))
+                .map_err(|e| format!("{}-wire group spec invalid: {e}", g.wires))?;
+            if (spec.kappa() - g.kappa).abs() > 1e-9 * g.kappa.max(1.0) {
+                return Err(format!(
+                    "{}-wire group κ {} disagrees with report {}",
+                    g.wires,
+                    spec.kappa(),
+                    g.kappa
+                ));
+            }
+            kappa_product *= spec.kappa();
             if g.protocol == Protocol::JointMub && !verified_widths.contains(&g.wires) {
                 let dev = JointWireCut::new(g.wires).verify_deviation();
                 if dev > tol {
@@ -707,6 +900,34 @@ impl CompiledPlan {
                 }
                 verified_widths.push(g.wires);
             }
+        }
+        if (kappa_product - self.report.kappa).abs() > 1e-9 * self.report.kappa.max(1.0) {
+            return Err(format!(
+                "per-group κ product {} disagrees with plan report {}",
+                kappa_product, self.report.kappa
+            ));
+        }
+        Ok(())
+    }
+
+    /// **Exhaustive** structural verification — [`verify_groups`]
+    /// (per-group checks) plus validation of the full `Π terms` product
+    /// spec and its κ. The product-spec walk makes this exponential in
+    /// the cut count, so it belongs in tests and differential suites,
+    /// not on the compile path.
+    ///
+    /// [`verify_groups`]: CompiledPlan::verify_groups
+    pub fn verify(&self, tol: f64) -> Result<(), String> {
+        self.verify_groups(tol)?;
+        self.spec
+            .validate(tol.max(1e-9))
+            .map_err(|e| format!("plan spec invalid: {e}"))?;
+        if (self.spec.kappa() - self.report.kappa).abs() > 1e-9 * self.report.kappa.max(1.0) {
+            return Err(format!(
+                "plan κ {} disagrees with per-group product {}",
+                self.spec.kappa(),
+                self.report.kappa
+            ));
         }
         Ok(())
     }
@@ -781,10 +1002,12 @@ fn compile_combo(plan: &CutPlan, picked: &[&MultiCutTerm], observable: &PauliStr
         })
         .sum();
     PlanTerm {
-        sampler,
-        z_mask,
+        body: TermBody::Stitched {
+            sampler,
+            z_mask,
+            num_qubits: total_qubits,
+        },
         exact,
-        num_qubits: total_qubits,
     }
 }
 
@@ -970,7 +1193,8 @@ mod tests {
         let c = ladder(4);
         let obs = PauliString::from_label("ZZZZ");
         let plan = CutPlanner::new(2).with_overlap(0.8).plan(&c);
-        let compiled = CompiledPlan::compile(&plan, &obs);
+        let compiled = CompiledPlan::compile_monolithic(&plan, &obs);
+        assert_eq!(compiled.backend(), PlanBackend::Monolithic);
         let r = compiled.backend_report();
         assert_eq!(r.terms, compiled.plan_terms().len());
         assert!(r.total_instructions > 0);
@@ -978,7 +1202,7 @@ mod tests {
         let prefix_sum: usize = compiled
             .plan_terms()
             .iter()
-            .map(|t| t.clifford_prefix().prefix_len)
+            .map(|t| t.clifford_prefix().unwrap().prefix_len)
             .sum();
         assert_eq!(prefix_sum, r.clifford_instructions);
         // An all-Clifford circuit compiles to a plan whose uncut single
@@ -1094,6 +1318,51 @@ mod tests {
         let mut c = Circuit::new(2, 1);
         c.x_if(0, 0);
         assert_ne!(planner.plan_key(&a, &obs), planner.plan_key(&c, &obs));
+    }
+
+    #[test]
+    fn auto_compile_selects_the_backend_by_plan_shape() {
+        // Unitary cut plan ⇒ contracted; per-term exacts must agree with
+        // the monolithic reference to 1e-8 (QPD bookkeeping aligned).
+        let c = ladder(4);
+        let obs = PauliString::from_label("ZZZZ");
+        let plan = CutPlanner::new(2).with_overlap(0.8).plan(&c);
+        let auto = CompiledPlan::compile(&plan, &obs);
+        assert_eq!(auto.backend(), PlanBackend::Contracted);
+        assert_eq!(auto.fragment_summaries().len(), plan.fragments.len());
+        assert!(auto.plan_terms().iter().all(|t| t.is_contracted()));
+        let mono = CompiledPlan::compile_monolithic(&plan, &obs);
+        assert_eq!(auto.spec.len(), mono.spec.len());
+        for (a, m) in auto.exact_terms().iter().zip(mono.exact_terms()) {
+            assert!((a - m).abs() < 1e-8, "contracted {a} vs monolithic {m}");
+        }
+        // Measurement in the circuit ⇒ monolithic fallback.
+        let mut mc = Circuit::new(3, 1);
+        mc.ry(0.4, 0).cx(0, 1).cx(1, 2).measure(2, 0);
+        let plan = CutPlanner::new(2).plan(&mc);
+        assert!(!plan.groups.is_empty());
+        let compiled = CompiledPlan::compile(&plan, &PauliString::from_label("ZZI"));
+        assert_eq!(compiled.backend(), PlanBackend::Monolithic);
+        assert!(compiled.fragment_summaries().is_empty());
+    }
+
+    #[test]
+    fn contracted_backend_report_counts_fragment_variants() {
+        let c = ladder(4);
+        let obs = PauliString::from_label("ZZZZ");
+        let plan = CutPlanner::new(2).with_overlap(0.8).plan(&c);
+        let compiled = CompiledPlan::compile_contracted(&plan, &obs);
+        let r = compiled.backend_report();
+        let variants: usize = compiled
+            .fragment_summaries()
+            .iter()
+            .map(|s| s.variants)
+            .sum();
+        assert_eq!(r.terms, variants);
+        assert!(r.total_instructions > 0);
+        // Σ 6^incoming is far below the Π terms the monolithic path
+        // would compile once the plan has a few cuts.
+        assert!(variants >= plan.fragments.len());
     }
 
     #[test]

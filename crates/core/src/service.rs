@@ -50,7 +50,7 @@
 //! deterministic outputs. `tests/service_determinism.rs` pins the whole
 //! contract.
 
-use crate::planner::{CompiledPlan, CutPlanner, PlanKey};
+use crate::planner::{CompiledPlan, CutPlanner, PlanBackend, PlanKey};
 use parking_lot::Mutex;
 use qpd::{Allocator, SequentialAllocator};
 use qsample::{GridKey, KeyHasher, ShardedGrid, StreamRng};
@@ -170,10 +170,19 @@ pub struct JobOutcome {
     pub updates: Vec<BatchUpdate>,
     /// Pooled per-term shot counts (sums to `shots`).
     pub allocation: Vec<u64>,
-    /// Fraction of the plan's stitched instructions that compiled onto
-    /// the stabilizer fast path (see
+    /// Fraction of the plan's compiled instructions that landed on the
+    /// stabilizer fast path (see
     /// [`crate::planner::BackendReport::clifford_fraction`]).
     pub clifford_fraction: f64,
+    /// Which compilation backend the plan rode — contracted
+    /// fragment-block compilation or the monolithic stitching reference
+    /// (see [`crate::planner::PlanBackend`]).
+    pub backend: PlanBackend,
+    /// Circuit units the backend compiled: stitched term circuits
+    /// (monolithic) or fragment prep variants (contracted). The
+    /// contracted count is `Σ variants(fragment)` and stays flat in the
+    /// cut count where the monolithic `Π terms(group)` explodes.
+    pub compiled_units: usize,
 }
 
 /// A job tagged with its plan key for grid scheduling.
@@ -337,6 +346,8 @@ impl CutService {
             updates,
             allocation: (0..num_terms).map(|i| seq.count(i)).collect(),
             clifford_fraction: plan.backend_report().clifford_fraction(),
+            backend: plan.backend(),
+            compiled_units: plan.backend_report().terms,
         }
     }
 

@@ -17,11 +17,17 @@
 //! Circuits ride a circuit-index-keyed shared stream so every overlap
 //! plans the **same** circuit family (paired design), and the whole
 //! `(f, circuit)` grid is sharded by [`crate::grid::ShardedGrid`] — the
-//! CSV is byte-identical for any thread count. Because stitched-term
-//! simulation cost grows exponentially in the cut count, circuits are
-//! deterministically resampled until the plan lands in the tractable
-//! 1–3 cut band (the resampling happens inside the shared stream, so it
-//! is itself thread-invariant).
+//! CSV is byte-identical for any thread count. Unitary plans compile
+//! through the **contracted fragment-block backend**
+//! (`wirecut::contract`, cost `Σ variants(fragment)`), so the cut count
+//! no longer drives an exponential stitching bill; circuits are still
+//! deterministically resampled into a bounded cut band so the sweep's κ
+//! (and hence its shot noise) stays comparable across rows (the
+//! resampling happens inside the shared stream, so it is itself
+//! thread-invariant). The trailing `clifford_fraction` /
+//! `contracted_share` columns surface [`CompiledPlan::backend_report`]:
+//! how much of the compiled work rode the stabilizer fast path, and
+//! which backend compiled each cell.
 //!
 //! Run via `cargo run --release -p experiments --bin plan_cut`
 //! (writes `results/plan_cut.csv`).
@@ -71,7 +77,7 @@ impl Default for PlanCutConfig {
             gates: 6,
             width_budget: 3,
             overlaps: vec![0.52, 0.62, 0.75, 0.9, 1.0],
-            max_cuts: 3,
+            max_cuts: 4,
             shots: 2048,
             num_circuits: 6,
             repetitions: 16,
@@ -83,9 +89,11 @@ impl Default for PlanCutConfig {
 }
 
 /// Draws random unitary circuits from `rng` until the planner produces a
-/// plan with `1..=max_cuts` cuts (exponential stitched-term cost makes
-/// larger cut sets intractable for a sweep cell). Deterministic given
-/// the stream: the accepted circuit is a pure function of the draws.
+/// plan with `1..=max_cuts` cuts (keeping κ — and with it the sweep's
+/// shot noise — in a comparable band across cells; compilation itself is
+/// no longer the binding constraint since the contracted backend).
+/// Deterministic given the stream: the accepted circuit is a pure
+/// function of the draws.
 pub fn tractable_random_circuit<R: rand::Rng>(
     num_qubits: usize,
     gates: usize,
@@ -113,11 +121,14 @@ struct PlanCutCell {
     mean_abs_error: f64,
     band_halfwidth: f64,
     covered_fraction: f64,
+    clifford_fraction: f64,
+    contracted: f64,
 }
 
 /// Runs the sweep. Columns: `(f, fragments, cuts, joint_share, kappa,
-/// plan_exact_dev, mean_abs_error, wilson_halfwidth, band_coverage)`,
-/// one row per overlap, averaged over the shared circuit family.
+/// plan_exact_dev, mean_abs_error, wilson_halfwidth, band_coverage,
+/// clifford_fraction, contracted_share)`, one row per overlap, averaged
+/// over the shared circuit family.
 pub fn run(config: &PlanCutConfig) -> Table {
     let mut t = Table::new(&[
         "f",
@@ -129,6 +140,8 @@ pub fn run(config: &PlanCutConfig) -> Table {
         "mean_abs_error",
         "wilson_halfwidth",
         "band_coverage",
+        "clifford_fraction",
+        "contracted_share",
     ]);
     assert!(config.width_budget < config.num_qubits);
     let label: String = "Z".repeat(config.num_qubits);
@@ -171,6 +184,7 @@ pub fn run(config: &PlanCutConfig) -> Table {
                     covered += 1;
                 }
             }
+            let backend = compiled.backend_report();
             PlanCutCell {
                 fragments: report.num_fragments as f64,
                 cuts: report.num_cuts as f64,
@@ -185,6 +199,11 @@ pub fn run(config: &PlanCutConfig) -> Table {
                 mean_abs_error: err.mean(),
                 band_halfwidth: band,
                 covered_fraction: covered as f64 / config.repetitions as f64,
+                clifford_fraction: backend.clifford_fraction(),
+                contracted: match compiled.backend() {
+                    wirecut::planner::PlanBackend::Contracted => 1.0,
+                    wirecut::planner::PlanBackend::Monolithic => 0.0,
+                },
             }
         });
     for (fi, &f) in config.overlaps.iter().enumerate() {
@@ -195,6 +214,8 @@ pub fn run(config: &PlanCutConfig) -> Table {
         let mut err = RunningStats::new();
         let mut band = RunningStats::new();
         let mut cov = RunningStats::new();
+        let mut cliff = RunningStats::new();
+        let mut contracted = RunningStats::new();
         let mut dev = 0.0f64;
         let (mut joint, mut total) = (0.0, 0.0);
         for cell in block {
@@ -204,6 +225,8 @@ pub fn run(config: &PlanCutConfig) -> Table {
             err.push(cell.mean_abs_error);
             band.push(cell.band_halfwidth);
             cov.push(cell.covered_fraction);
+            cliff.push(cell.clifford_fraction);
+            contracted.push(cell.contracted);
             dev = dev.max(cell.exact_dev);
             joint += cell.joint_groups;
             total += cell.total_groups;
@@ -218,6 +241,8 @@ pub fn run(config: &PlanCutConfig) -> Table {
             err.mean(),
             band.mean(),
             cov.mean(),
+            cliff.mean(),
+            contracted.mean(),
         ]);
     }
     t
@@ -268,6 +293,29 @@ mod tests {
         for row in t.rows() {
             assert!(row[8] > 0.95, "coverage {} at f={}", row[8], row[0]);
             assert!(row[7] > 0.0, "degenerate band at f={}", row[0]);
+        }
+    }
+
+    #[test]
+    fn backend_columns_report_the_contracted_lift() {
+        // Every sweep cell plans a unitary circuit, so every plan must
+        // ride the contracted fragment-block backend, and the
+        // clifford_fraction column (from `backend_report()`) must be a
+        // valid fraction.
+        let t = run(&small());
+        for row in t.rows() {
+            assert!(
+                (row[10] - 1.0).abs() < 1e-12,
+                "contracted_share {} at f={}",
+                row[10],
+                row[0]
+            );
+            assert!(
+                (0.0..=1.0).contains(&row[9]),
+                "clifford_fraction {} at f={}",
+                row[9],
+                row[0]
+            );
         }
     }
 

@@ -134,8 +134,13 @@ pub fn build_jobs(config: &ServiceLoadConfig) -> Vec<EstimationJob> {
 }
 
 /// Runs the experiment. Columns: `(circuit, cuts, kappa, exact,
-/// static_mean_err, static_var, seq_mean_err, seq_var, var_ratio)` —
-/// one row per circuit, statistics over the job repetitions.
+/// static_mean_err, static_var, seq_mean_err, seq_var, var_ratio,
+/// contracted, compiled_units)` — one row per circuit, statistics over
+/// the job repetitions. The trailing pair surfaces the plan's
+/// compilation backend per [`wirecut::service::JobOutcome`]: whether the
+/// cached plan rode the contracted fragment-block path, and how many
+/// circuit units it compiled (`Σ variants(fragment)` when contracted —
+/// the quantity the compiled-plan cache amortises across the fleet).
 pub fn run(config: &ServiceLoadConfig) -> Table {
     let mut t = Table::new(&[
         "circuit",
@@ -147,6 +152,8 @@ pub fn run(config: &ServiceLoadConfig) -> Table {
         "seq_mean_err",
         "seq_var",
         "var_ratio",
+        "contracted",
+        "compiled_units",
     ]);
     let service =
         CutService::new(CutPlanner::new(config.width_budget).with_overlap(config.overlap));
@@ -188,6 +195,11 @@ pub fn run(config: &ServiceLoadConfig) -> Table {
             seq_err.mean(),
             qv,
             if sv > 0.0 { qv / sv } else { 1.0 },
+            match block[0].backend {
+                wirecut::planner::PlanBackend::Contracted => 1.0,
+                wirecut::planner::PlanBackend::Monolithic => 0.0,
+            },
+            block[0].compiled_units as f64,
         ]);
     }
     t
@@ -218,6 +230,9 @@ mod tests {
         for row in t.rows() {
             assert!((1.0..=2.0).contains(&row[1]), "cuts {row:?}");
             assert!(row[2] >= 1.0, "kappa {row:?}");
+            // Unitary random circuits ⇒ contracted backend everywhere.
+            assert!((row[9] - 1.0).abs() < 1e-12, "backend {row:?}");
+            assert!(row[10] >= 1.0, "compiled units {row:?}");
             assert!(row[4] >= 0.0 && row[6] >= 0.0, "errors {row:?}");
             assert!(row[5] > 0.0 && row[7] > 0.0, "variances {row:?}");
             // Realised errors stay within a few κ/√shots of exact.

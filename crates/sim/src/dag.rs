@@ -179,12 +179,17 @@ impl CircuitDag {
     }
 }
 
-/// A maximal consecutive instruction run whose active wires fit the
-/// width budget.
+/// An instruction run whose active wires fit the width budget.
+///
+/// Greedy packing produces consecutive runs; the merge post-pass of
+/// [`fragments_by_width`] may splice a later independent run into an
+/// earlier fragment, so `instructions` is ascending but not necessarily
+/// consecutive. Fragment-by-fragment concatenation is always a valid
+/// topological order of the circuit DAG
+/// ([`CircuitDag::is_topological_order`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Fragment {
-    /// Instruction indices into the original circuit (consecutive,
-    /// ascending).
+    /// Instruction indices into the original circuit (ascending).
     pub instructions: Vec<usize>,
     /// Distinct wires touched by the fragment's instructions, ascending.
     pub wires: Vec<usize>,
@@ -202,6 +207,12 @@ impl Fragment {
 /// wire set past `budget`, then close it and start a new fragment.
 /// Barriers never open a fragment on their own and carry no wires.
 ///
+/// A **merge post-pass** ([`merge_fragments`]) then hoists later
+/// fragments back into earlier ones when their combined wires still fit
+/// the budget and every fragment in between is independent of the
+/// hoisted one — greedy packing alone can leave one wire cut across
+/// three fragments where two suffice, inflating plan κ for nothing.
+///
 /// Returns at least one fragment for a non-empty circuit; every
 /// fragment's width is ≤ `budget`.
 ///
@@ -210,6 +221,14 @@ impl Fragment {
 /// (such a gate cannot execute on a `budget`-wide device at all) or if
 /// `budget` is 0.
 pub fn fragments_by_width(circuit: &Circuit, budget: usize) -> Vec<Fragment> {
+    assert!(budget >= 1, "width budget must be at least 1");
+    merge_fragments(circuit, greedy_fragments(circuit, budget), budget)
+}
+
+/// The greedy pass of [`fragments_by_width`], without the merge
+/// post-pass — kept separate so the merge pass is differentially
+/// testable against the pure program-order packing.
+pub fn greedy_fragments(circuit: &Circuit, budget: usize) -> Vec<Fragment> {
     assert!(budget >= 1, "width budget must be at least 1");
     let mut fragments = Vec::new();
     let mut current: Vec<usize> = Vec::new();
@@ -242,6 +261,75 @@ pub fn fragments_by_width(circuit: &Circuit, budget: usize) -> Vec<Fragment> {
             instructions: current,
             wires,
         });
+    }
+    fragments
+}
+
+/// The merge post-pass: hoists fragment `j` into an earlier fragment `i`
+/// whenever (a) their merged wire set still fits `budget` and (b) every
+/// fragment strictly between them is independent of `j` — disjoint
+/// qubits *and* classical bits, so no dependency edge can point from the
+/// skipped fragments into `j` and the hoist is a valid topological
+/// reordering of the circuit DAG. Repeats to a fixed point.
+///
+/// Adjacent greedy fragments can never merge (the greedy pass only
+/// closes a fragment when the next instruction would overflow the
+/// budget), so every merge here removes a *repeated* cut — a wire routed
+/// through three fragments where two suffice.
+pub fn merge_fragments(
+    circuit: &Circuit,
+    mut fragments: Vec<Fragment>,
+    budget: usize,
+) -> Vec<Fragment> {
+    let instrs = circuit.instructions();
+    let footprint = |f: &Fragment| -> (Vec<usize>, Vec<usize>) {
+        let mut clbits: Vec<usize> = f
+            .instructions
+            .iter()
+            .flat_map(|&i| instruction_clbits(&instrs[i]))
+            .collect();
+        clbits.sort_unstable();
+        clbits.dedup();
+        (f.wires.clone(), clbits)
+    };
+    let mut prints: Vec<(Vec<usize>, Vec<usize>)> = fragments.iter().map(footprint).collect();
+    let disjoint = |a: &[usize], b: &[usize]| a.iter().all(|x| !b.contains(x));
+    'scan: loop {
+        for i in 0..fragments.len() {
+            for j in i + 1..fragments.len() {
+                let merged_width = prints[i]
+                    .0
+                    .iter()
+                    .chain(prints[j].0.iter())
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len();
+                if merged_width > budget {
+                    continue;
+                }
+                let independent = (i + 1..j).all(|k| {
+                    disjoint(&prints[k].0, &prints[j].0) && disjoint(&prints[k].1, &prints[j].1)
+                });
+                if !independent {
+                    continue;
+                }
+                let Fragment {
+                    instructions,
+                    wires,
+                } = fragments.remove(j);
+                prints.remove(j);
+                fragments[i].instructions.extend(instructions);
+                // Keep ascending program order inside the merged fragment
+                // (a prior merge may have left later indices in `i`), so
+                // intra-fragment dependencies stay respected.
+                fragments[i].instructions.sort_unstable();
+                fragments[i].wires.extend(wires);
+                fragments[i].wires.sort_unstable();
+                fragments[i].wires.dedup();
+                prints[i] = footprint(&fragments[i]);
+                continue 'scan;
+            }
+        }
+        break;
     }
     fragments
 }
@@ -401,6 +489,79 @@ mod tests {
             let sub = fragment_circuit(&c, f);
             assert!(CircuitDag::new(&sub).is_acyclic());
             assert_eq!(sub.num_qubits(), f.width());
+        }
+    }
+
+    #[test]
+    fn merge_pass_reunites_a_wire_split_across_three_fragments() {
+        // g(0,1); g(2,3); g(0,1): greedy at budget 2 puts the two (0,1)
+        // gates in fragments 0 and 2 — wires 0 and 1 would each be cut
+        // even though both (0,1) gates fit one 2-wide fragment. The merge
+        // pass hoists fragment 2 past the independent (2,3) fragment.
+        let mut c = Circuit::new(4, 0);
+        c.cx(0, 1).cx(2, 3).cx(0, 1);
+        let greedy = greedy_fragments(&c, 2);
+        assert_eq!(greedy.len(), 3, "{greedy:?}");
+        let frags = fragments_by_width(&c, 2);
+        assert_eq!(frags.len(), 2, "{frags:?}");
+        assert_eq!(frags[0].instructions, vec![0, 2]);
+        assert_eq!(frags[0].wires, vec![0, 1]);
+        assert_eq!(frags[1].instructions, vec![1]);
+        // No wire appears in more than one fragment ⇒ zero cuts.
+        for w in 0..4 {
+            let visits = frags.iter().filter(|f| f.wires.contains(&w)).count();
+            assert!(visits <= 1, "wire {w} still split: {frags:?}");
+        }
+        // The merged concatenation is a valid topological order.
+        let dag = CircuitDag::new(&c);
+        let order: Vec<usize> = frags.iter().flat_map(|f| f.instructions.clone()).collect();
+        assert!(dag.is_topological_order(&order));
+    }
+
+    #[test]
+    fn merge_pass_respects_dependencies_through_shared_wires() {
+        // cx(0,1); cx(1,2); cx(0,2): fragment 2 shares wire 2 with
+        // fragment 1, so it must NOT hoist past it.
+        let mut c = Circuit::new(3, 0);
+        c.cx(0, 1).cx(1, 2).cx(0, 2);
+        let frags = fragments_by_width(&c, 2);
+        assert_eq!(frags, greedy_fragments(&c, 2));
+    }
+
+    #[test]
+    fn merge_pass_respects_classical_dependencies() {
+        // Fragment 1 measures into bit 0; fragment 2's gate is
+        // conditioned on bit 0 — qubit-disjoint but classically chained,
+        // so no hoist.
+        let mut c = Circuit::new(4, 1);
+        c.cx(0, 1)
+            .h(2)
+            .measure(2, 0)
+            .gate_if(crate::gate::Gate::X, &[3], 0, true);
+        c.cx(0, 1);
+        let frags = fragments_by_width(&c, 2);
+        let dag = CircuitDag::new(&c);
+        let order: Vec<usize> = frags.iter().flat_map(|f| f.instructions.clone()).collect();
+        assert!(dag.is_topological_order(&order));
+        // The final cx(0,1) may only merge backwards into the first
+        // fragment (qubit-disjoint from the measure block) — never past
+        // a fragment it depends on.
+        for f in &frags {
+            assert!(f.width() <= 2);
+        }
+    }
+
+    #[test]
+    fn merged_fragment_circuits_stay_consistent() {
+        let mut c = Circuit::new(4, 0);
+        c.cx(0, 1).cx(2, 3).cx(0, 1).cx(2, 3).cx(0, 1);
+        let frags = fragments_by_width(&c, 2);
+        let total: usize = frags.iter().map(|f| f.instructions.len()).sum();
+        assert_eq!(total, c.len());
+        for f in &frags {
+            let sub = fragment_circuit(&c, f);
+            assert_eq!(sub.len(), f.instructions.len());
+            assert!(CircuitDag::new(&sub).is_acyclic());
         }
     }
 

@@ -473,6 +473,26 @@ fn tableau_branches(
     branches
 }
 
+/// `Some(i)` when `sv` is *exactly* the computational basis state `|i⟩`
+/// — one amplitude exactly `1 + 0i`, every other exactly zero. The check
+/// is bit-strict on purpose: only then is the tableau-seeded hybrid
+/// compilation byte-identical to the dense path on the same input, which
+/// the compiled-plan determinism contract relies on.
+pub fn computational_basis_index(sv: &StateVector) -> Option<usize> {
+    let mut idx = None;
+    for (i, a) in sv.amplitudes().iter().enumerate() {
+        if a.re == 0.0 && a.im == 0.0 {
+            continue;
+        }
+        if a.re == 1.0 && a.im == 0.0 && idx.is_none() {
+            idx = Some(i);
+        } else {
+            return None;
+        }
+    }
+    idx
+}
+
 /// Pre-enumerated measurement branch tree for a circuit and fixed input.
 ///
 /// Compiling costs one statevector simulation per measurement branch
@@ -482,7 +502,8 @@ fn tableau_branches(
 ///
 /// # Backends
 ///
-/// [`compile`](Self::compile) is a hybrid: starting from `|0…0⟩`, the
+/// [`compile`](Self::compile) is a hybrid: starting from `|0…0⟩` or any
+/// exact computational-basis input ([`computational_basis_index`]), the
 /// maximal Clifford prefix of the circuit rides a stabilizer
 /// [`Tableau`] (`O(n²)` per gate, exact dyadic branch probabilities)
 /// and is converted to a dense state only at the first non-Clifford
@@ -507,12 +528,29 @@ impl CompiledSampler {
 
     /// Enumerates all measurement branches of `circuit` on `input`,
     /// choosing the backend per the type-level docs.
+    ///
+    /// The hybrid tableau path accepts `None` **and** any exact
+    /// computational-basis `input` (one amplitude exactly `1 + 0i`, the
+    /// rest exactly zero): basis states are stabilizer states, seeded by
+    /// X gates on the tableau. Cut-planner term circuits start their
+    /// carriers in `|0…0⟩` or a prep basis state, so refusing every
+    /// supplied input (the old behaviour) silently forced those plans
+    /// dense.
     pub fn compile(circuit: &Circuit, input: Option<&StateVector>) -> Self {
         assert!(circuit.num_clbits() <= 64);
-        if input.is_none() && circuit.num_qubits() <= 30 {
-            let prefix = CliffordPrefix::split(circuit);
-            if prefix.prefix_len >= Self::HYBRID_THRESHOLD {
-                return Self::compile_hybrid(circuit, prefix);
+        let basis = match input {
+            None => Some(0usize),
+            Some(sv) => {
+                assert_eq!(sv.num_qubits(), circuit.num_qubits());
+                computational_basis_index(sv)
+            }
+        };
+        if circuit.num_qubits() <= 30 {
+            if let Some(idx) = basis {
+                let prefix = CliffordPrefix::split(circuit);
+                if prefix.prefix_len >= Self::HYBRID_THRESHOLD {
+                    return Self::compile_hybrid(circuit, prefix, idx);
+                }
             }
         }
         let init = match input {
@@ -576,16 +614,23 @@ impl CompiledSampler {
     }
 
     /// Clifford prefix on the tableau, fused dense suffix from the
-    /// converted branch states.
-    fn compile_hybrid(circuit: &Circuit, prefix: CliffordPrefix) -> Self {
+    /// converted branch states. `basis` is the computational input state
+    /// `|basis⟩`, seeded onto the tableau as X gates.
+    fn compile_hybrid(circuit: &Circuit, prefix: CliffordPrefix, basis: usize) -> Self {
         let n = circuit.num_qubits();
         let instrs = circuit.instructions();
+        let mut tab = Tableau::new(n);
+        for q in 0..n {
+            if (basis >> q) & 1 == 1 {
+                tab.apply_x(q);
+            }
+        }
         let tb = tableau_branches(
             &instrs[..prefix.prefix_len],
             vec![TableauBranch {
                 p: 1.0,
                 clbits: 0,
-                tab: Tableau::new(n),
+                tab,
             }],
         );
         let mut suffix = Circuit::new(n, circuit.num_clbits());
@@ -1044,5 +1089,70 @@ mod tests {
         let n = 40_000;
         let mean: f64 = (0..n).map(|_| sampler.sample_z(0, &mut rng)).sum::<f64>() / n as f64;
         assert!((mean - exact).abs() < 0.02);
+    }
+
+    fn basis_state(n: usize, idx: usize) -> StateVector {
+        let mut amps = vec![qlinalg::c64(0.0, 0.0); 1 << n];
+        amps[idx] = qlinalg::c64(1.0, 0.0);
+        StateVector::from_amplitudes(n, amps)
+    }
+
+    #[test]
+    fn basis_index_detects_exact_basis_states_only() {
+        assert_eq!(computational_basis_index(&StateVector::new(3)), Some(0));
+        assert_eq!(computational_basis_index(&basis_state(3, 5)), Some(5));
+        let mut plus = StateVector::new(1);
+        plus.apply_gate(&Gate::H, &[0]);
+        assert_eq!(computational_basis_index(&plus), None);
+        // A global phase disqualifies: not bit-exactly 1 + 0i.
+        let mut phased = StateVector::new(1);
+        phased.apply_gate(&Gate::X, &[0]);
+        phased.apply_gate(&Gate::Z, &[0]);
+        phased.apply_gate(&Gate::X, &[0]);
+        assert_eq!(computational_basis_index(&phased), None);
+    }
+
+    #[test]
+    fn basis_inputs_ride_the_hybrid_path() {
+        // A Clifford-heavy circuit with a basis input: before the fix
+        // any supplied input forced the dense path.
+        let mut c = Circuit::new(3, 1);
+        c.h(0).cx(0, 1).cx(1, 2).s(2).measure(2, 0);
+        for idx in 0..8usize {
+            let input = basis_state(3, idx);
+            let hybrid = CompiledSampler::compile(&c, Some(&input));
+            assert!(
+                hybrid.clifford_prefix().prefix_len >= 4,
+                "basis input |{idx}⟩ compiled dense"
+            );
+            let dense = CompiledSampler::compile_dense(&c, Some(&input));
+            assert_eq!(hybrid.leaves().len(), dense.leaves().len());
+            for (h, d) in hybrid.leaves().iter().zip(dense.leaves().iter()) {
+                assert_eq!(h.clbits, d.clbits);
+                assert!((h.probability - d.probability).abs() < 1e-12);
+                let fidelity: f64 = h
+                    .state
+                    .amplitudes()
+                    .iter()
+                    .zip(d.state.amplitudes().iter())
+                    .map(|(a, b)| a.conj() * *b)
+                    .fold(qlinalg::c64(0.0, 0.0), |acc, z| acc + z)
+                    .abs();
+                assert!(
+                    (fidelity - 1.0).abs() < 1e-10,
+                    "leaf state mismatch on |{idx}⟩: fidelity {fidelity}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_basis_inputs_still_compile_dense() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).cx(0, 1).s(1).cx(1, 0);
+        let mut input = StateVector::new(2);
+        input.apply_gate(&Gate::H, &[0]);
+        let sampler = CompiledSampler::compile(&c, Some(&input));
+        assert_eq!(sampler.clifford_prefix().prefix_len, 0);
     }
 }

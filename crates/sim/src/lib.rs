@@ -42,11 +42,14 @@ pub mod statevector;
 
 pub use channel::Superoperator;
 pub use circuit::{embed_unitary, Circuit, Condition, Instruction, Op};
-pub use dag::{fragment_circuit, fragments_by_width, CircuitDag, Fragment, WireLifetime};
+pub use dag::{
+    fragment_circuit, fragments_by_width, greedy_fragments, merge_fragments, CircuitDag, Fragment,
+    WireLifetime,
+};
 pub use density::DensityMatrix;
 pub use executor::{
-    execute_density, execute_density_branches, run_shot, run_shots, BranchLeaf, CompiledSampler,
-    Counts, DensityBranch, Shot,
+    computational_basis_index, execute_density, execute_density_branches, run_shot, run_shots,
+    BranchLeaf, CompiledSampler, Counts, DensityBranch, Shot,
 };
 pub use fuse::{fuse_single_qubit_runs, FusionStats};
 pub use gate::Gate;

@@ -103,7 +103,7 @@ fn sequential_variance_beats_static_proportional_on_asymmetric_workload() {
     let obs = PauliString::from_label("ZZZZ");
     let circuit = asymmetric_circuit();
     let shots = 1600u64;
-    let reps = 200u64;
+    let reps = 2000u64;
     let run = |mode: AllocationMode| -> (f64, f64) {
         let mut sum = 0.0;
         let mut sumsq = 0.0;
@@ -134,8 +134,11 @@ fn sequential_variance_beats_static_proportional_on_asymmetric_workload() {
         "sequential biased: {mean_seq} vs {exact}"
     );
     // …and sequential realises strictly less variance here (the
-    // measured ratio is ≈ 0.81; everything is deterministic, so this is
-    // a fixed number, not a flaky statistic).
+    // measured ratio is ≈ 0.89 through the contracted backend;
+    // everything is deterministic, so this is a fixed number, not a
+    // flaky statistic — 2000 repetitions keep it clear of the
+    // variance-estimator noise floor that a draw-sequence change could
+    // otherwise flip).
     assert!(
         var_seq < var_static,
         "sequential variance {var_seq} not below static {var_static}"
