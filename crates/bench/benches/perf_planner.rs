@@ -18,6 +18,7 @@ use qpd::Allocator;
 use qsim::{Circuit, PauliString};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use wirecut::contract::FragmentBlocks;
 use wirecut::planner::{CompiledPlan, CutPlanner};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -85,18 +86,24 @@ fn compiled_plan_sampling(c: &mut Criterion) {
 }
 
 /// Compilation cost vs cut count, contracted fragment blocks against
-/// monolithic stitching. A CX ladder on `k + 2` qubits planned at width
-/// budget 2 yields exactly `k` single-wire NME cuts, so the monolithic
-/// backend stitches `3^k` product circuits while the contracted backend
+/// monolithic stitching, plus the prefix-cache payoff on the term
+/// sweep. A CX ladder on `k + 2` qubits planned at width budget 2
+/// yields exactly `k` single-wire NME cuts, so the monolithic backend
+/// stitches `3^k` product circuits while the contracted backend
 /// compiles `Σ 6^incoming` fragment variants (linear in `k` here).
 /// Monolithic is capped at 4 cuts — past that its exponential bill
 /// dominates the whole bench run, which is precisely the regression the
-/// contracted series guards against.
+/// contracted series guards against. The `sweep_cached` /
+/// `sweep_uncached` pair isolates term evaluation over the full `3^k`
+/// odometer on prebuilt fragment blocks: cached rides the prefix stack
+/// (amortized one fused multiplication per term), uncached re-contracts
+/// every frontier from scratch — the `perf-diff` series that tracks the
+/// cache payoff on every PR.
 fn cut_count_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf_planner/cut_scaling");
     group.sample_size(10);
     let planner = CutPlanner::new(2).with_overlap(0.8);
-    for cuts in 1..=6usize {
+    for cuts in 1..=8usize {
         let n = cuts + 2;
         let mut circuit = Circuit::new(n, 0);
         circuit.ry(0.4, 0);
@@ -122,6 +129,35 @@ fn cut_count_scaling(c: &mut Criterion) {
                 })
             });
         }
+        let blocks = FragmentBlocks::build(&plan, &observable);
+        let lens = blocks.group_lens();
+        let total: usize = lens.iter().product();
+        let picks: Vec<Vec<usize>> = (0..total)
+            .map(|combo| {
+                let mut rem = combo;
+                let mut pick = vec![0usize; lens.len()];
+                for g in (0..lens.len()).rev() {
+                    pick[g] = rem % lens[g];
+                    rem /= lens[g];
+                }
+                pick
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("sweep_cached", cuts),
+            &picks,
+            |b, picks| {
+                b.iter(|| {
+                    let mut sweep = blocks.sweep();
+                    picks.iter().map(|p| sweep.term_value(p)).sum::<f64>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sweep_uncached", cuts),
+            &picks,
+            |b, picks| b.iter(|| picks.iter().map(|p| blocks.term_value(p)).sum::<f64>()),
+        );
     }
     group.finish();
 }

@@ -11,10 +11,15 @@
 //!
 //! * **Group transfer matrices** — each cut group's term `t` realises a
 //!   channel `C_t` on the cut wires; its Pauli transfer matrix
-//!   `R_t[a, b] = Tr[P_a · C_t(P_b)] / d` is computed once per group
-//!   (per *wire* for NME groups, whose channels factorise; via the
-//!   sparse MUB appliers [`crate::joint::apply_basis_term`] /
-//!   [`crate::joint::apply_flip_term`] for joint groups).
+//!   `R_t[a, b] = Tr[P_a · C_t(P_b)] / d` is computed once per group.
+//!   NME groups factorise per wire (`[[f64; 4]; 4]` per term); joint-MUB
+//!   terms are dephasing-type channels whose PTM is **diagonal** in the
+//!   Pauli basis, so the nominal `4ⁿ × 4ⁿ` transfer collapses to its
+//!   `4ⁿ` diagonal, built directly from the GF(2ⁿ) Pauli-class structure
+//!   ([`crate::mub::mub_error_pauli`]) without ever materialising a
+//!   matrix. That sparse form is what lifts [`MAX_JOINT_WIRES`] to 6:
+//!   the dense transfer at `n = 6` alone would hold `16⁶ ≈ 1.7·10⁷`
+//!   entries per term and cost `O(d⁵)` tomography to build.
 //! * **Fragment blocks** — each fragment `F` is compiled once per local
 //!   *variant*: every incoming cut wire is prepared in each of the six
 //!   Pauli eigenstates (a basis input plus H/S Clifford prep, riding the
@@ -22,57 +27,187 @@
 //!   as a statevector, and all outgoing-Pauli ⊗ local-Z expectations are
 //!   read off with [`StateVector::expval_pauli`]. Eigenstate weights
 //!   fold the variants into the block tensor
-//!   `F[a_in, b_out] = Tr[(P_{b_out} ⊗ Z_local) · E_F(σ_{a_in}/2 ⊗ |0⟩⟨0|)]`.
-//! * **Per-term contraction** — a product term's exact expectation is
-//!   the frontier contraction `Σ F_dest[a] · R[a, b] · F_src[b]` chained
-//!   through the fragments in program order. No extra normalisation:
-//!   with `σ_a/2 = P_a/d` receiver inputs the block entries *are* Pauli
-//!   coefficients, and `C†(P_a) = Σ_b R[a, b] P_b`.
+//!   `F[a_in, b_out] = Tr[(P_{b_out} ⊗ Z_local) · E_F(σ_{a_in}/2 ⊗ |0⟩⟨0|)]`,
+//!   stored in **CSR form** over the incoming index `a` (Clifford-heavy
+//!   fragments have near-permutation Pauli-transfer rows, so most
+//!   entries vanish). Fragments containing mid-circuit **measurement or
+//!   feed-forward** are admitted: the channel `E_F` then branches over
+//!   classical outcomes, and the block entry is the
+//!   outcome-probability-weighted sum over the sampler's branch leaves —
+//!   one sub-block per outcome, folded on the spot. Only a classical bit
+//!   *shared between fragments* breaks fragment independence and forces
+//!   the monolithic fallback ([`contraction_ineligibility`]).
+//! * **Prefix-cached frontier contraction** — a product term's exact
+//!   expectation is the frontier contraction `Σ F_dest[a] · R[a, b] ·
+//!   F_src[b]` chained through the fragments in program order. The walk
+//!   is precompiled into a pick-independent **schedule** of
+//!   absorb/apply steps (frontier axis bookkeeping is the same for
+//!   every term; only the applied transfer entries depend on the
+//!   odometer pick). Because [`qpd::QpdSpec::product`] enumerates terms
+//!   row-major with the **last group fastest**, consecutive terms share
+//!   all but the fastest-varying group's frontier: [`FrontierSweep`]
+//!   snapshots the frontier before each group's apply step and resumes
+//!   each term at its first odometer digit that differs from the
+//!   previous term, turning a full sweep from `O(terms × groups)`
+//!   frontier multiplications into amortized `O(terms)`. The
+//!   pick-independent tail *after* the last group's apply is folded
+//!   into one precomputed vector per last-group term, so the hot path —
+//!   only the fastest digit changed — is a single dot product.
+//!   Hit/rebuild and frontier-op counters surface through
+//!   [`crate::planner::BackendReport`].
 //!
-//! Total cost is `Σ_F 6^{in(F)}` fragment simulations plus a cheap
-//! tensor contraction per term — `Σ variants(fragment)` instead of
-//! `Π terms(group)` — so plans with 6+ cuts compile where the monolithic
-//! path blows up. The monolithic compiler stays as the pristine
-//! differential-testing reference (`tests/fragment_contraction.rs`),
-//! mirroring how `compile_dense` fences the hybrid sampler.
+//! Total cost is `Σ_F 6^{in(F)}` fragment simulations plus an amortized
+//! O(1) frontier contraction per term — `Σ variants(fragment)` instead
+//! of `Π terms(group)` — so plans with 6+ cuts compile where the
+//! monolithic path blows up. The monolithic compiler stays as the
+//! pristine differential-testing reference
+//! (`tests/fragment_contraction.rs`), mirroring how `compile_dense`
+//! fences the hybrid sampler.
 
-use crate::joint::{apply_basis_term, apply_flip_term, JointWireCut};
+use crate::mub::{mub_error_pauli, MubField};
 use crate::nme::NmeCut;
 use crate::planner::{BackendReport, CutGroup, CutPlan, Protocol};
 use crate::term::{term_channel, WireCut};
 use qlinalg::Matrix;
 use qsim::{
-    fragment_circuit, Circuit, CompiledSampler, Pauli, PauliString, StateVector, Superoperator,
+    fragment_circuit, Circuit, CompiledSampler, Op, Pauli, PauliString, StateVector, Superoperator,
 };
 
 /// Hard cap on incoming cut wires per fragment for the contracted path
 /// (`6^incoming` prep variants per fragment).
-pub const MAX_INCOMING: usize = 5;
+pub const MAX_INCOMING: usize = 8;
 
-/// Hard cap on joint-MUB group width for the contracted path (the dense
-/// group transfer matrix is `4^n × 4^n`).
-pub const MAX_JOINT_WIRES: usize = 4;
+/// Hard cap on joint-MUB group width for the contracted path. The
+/// diagonal sparse transfer is `4ⁿ` per term, so the binding cost at
+/// `n = 6` is the flip-term ancilla simulation, not the transfer.
+pub const MAX_JOINT_WIRES: usize = 6;
+
+/// Magnitude below which a folded block-tensor entry is dropped when
+/// sparsifying to CSR. Well under every differential tolerance in the
+/// suite (1e−8 against monolithic, 1e−12 cached-vs-uncached) and above
+/// the ~1e−16 float noise of exactly-zero entries, so sparsification
+/// never moves a term value observably.
+const SPARSE_CUTOFF: f64 = 1e-14;
+
+/// Six Pauli eigenstate preps per incoming wire, indexed `0..6`:
+/// `|0⟩, |1⟩, |+⟩, |−⟩, |+i⟩, |−i⟩`. Odd indices set the input basis
+/// bit; `{2,3}` append H; `{4,5}` append H then S (`S·H|1⟩ = |−i⟩`).
+const NUM_PREPS: usize = 6;
+
+/// `σ_a/2` expanded over eigenstate preps: `WEIGHTS[a]` lists the two
+/// `(prep, weight)` entries with `σ_a/2 = Σ w·|s⟩⟨s|`.
+const WEIGHTS: [[(usize, f64); 2]; 4] = [
+    [(0, 0.5), (1, 0.5)],  // I/2
+    [(2, 0.5), (3, -0.5)], // X/2
+    [(4, 0.5), (5, -0.5)], // Y/2
+    [(0, 0.5), (1, -0.5)], // Z/2
+];
 
 /// `true` when `plan` can compile through the contracted fragment-block
-/// path: at least one cut, a purely unitary planned circuit (measurement
-/// or feed-forward would thread classical bits *between* fragments,
-/// breaking their independence), and the variant/transfer size caps.
+/// path — see [`contraction_ineligibility`] for the full rule set and
+/// the named reason when it cannot.
 pub fn supports_contraction(plan: &CutPlan) -> bool {
-    if plan.groups.is_empty() || !plan.circuit().is_unitary() {
-        return false;
+    contraction_ineligibility(plan).is_none()
+}
+
+/// Why `plan` cannot ride the contracted fragment-block path, or `None`
+/// when it can. The checks, in order:
+///
+/// 1. at least one cut (an uncut plan has nothing to contract);
+/// 2. **classical locality** — measurement and feed-forward are fine
+///    *within* a fragment (the block sums over outcome branches), but a
+///    classical bit measured in one fragment and read (or re-measured)
+///    in another threads a side channel the independent per-fragment
+///    blocks cannot express;
+/// 3. joint-MUB group width ≤ [`MAX_JOINT_WIRES`];
+/// 4. incoming cut wires per fragment ≤ [`MAX_INCOMING`], with the
+///    `6^incoming` variant count computed via `checked_pow` so a wide
+///    fragment is rejected by name instead of wrapping in release
+///    builds;
+/// 5. per-group term counts and their running product stay inside
+///    `usize` (same `checked_pow`/`checked_mul` discipline — the
+///    odometer sweep indexes `Π terms(group)` combinations).
+pub fn contraction_ineligibility(plan: &CutPlan) -> Option<String> {
+    if plan.groups.is_empty() {
+        return Some("plan has no cuts — nothing to contract".to_string());
     }
-    if plan
-        .groups
-        .iter()
-        .any(|g| g.protocol == Protocol::JointMub && g.num_wires() > MAX_JOINT_WIRES)
-    {
-        return false;
+    let circuit = plan.circuit();
+    let mut owner: Vec<Option<usize>> = vec![None; circuit.num_clbits()];
+    for (fi, frag) in plan.fragments.iter().enumerate() {
+        for &idx in &frag.instructions {
+            let instr = &circuit.instructions()[idx];
+            let measured = match instr.op {
+                Op::Measure { clbit, .. } => Some(clbit),
+                _ => None,
+            };
+            let read = instr.condition.map(|c| c.bit);
+            for clbit in measured.into_iter().chain(read) {
+                match owner[clbit] {
+                    Some(prev) if prev != fi => {
+                        return Some(format!(
+                            "classical bit {clbit} is shared between fragments {prev} and \
+                             {fi} — cross-fragment feed-forward cannot contract"
+                        ));
+                    }
+                    _ => owner[clbit] = Some(fi),
+                }
+            }
+        }
+    }
+    for (gi, g) in plan.groups.iter().enumerate() {
+        if g.protocol == Protocol::JointMub && g.num_wires() > MAX_JOINT_WIRES {
+            return Some(format!(
+                "group {gi} cuts {} wires jointly, above the MAX_JOINT_WIRES = \
+                 {MAX_JOINT_WIRES} transfer cap",
+                g.num_wires()
+            ));
+        }
     }
     let mut incoming = vec![0usize; plan.fragments.len()];
     for g in &plan.groups {
         incoming[g.cuts[0].dest_fragment] += g.num_wires();
     }
-    incoming.iter().all(|&c| c <= MAX_INCOMING)
+    for (fi, &n_in) in incoming.iter().enumerate() {
+        if n_in > MAX_INCOMING {
+            return Some(format!(
+                "fragment {fi} receives {n_in} cut wires, above the MAX_INCOMING = \
+                 {MAX_INCOMING} variant cap"
+            ));
+        }
+        if NUM_PREPS.checked_pow(n_in as u32).is_none() {
+            return Some(format!(
+                "fragment {fi}: prep variant count {NUM_PREPS}^{n_in} overflows usize"
+            ));
+        }
+    }
+    let mut total = 1usize;
+    for (gi, g) in plan.groups.iter().enumerate() {
+        let n = g.num_wires();
+        let len = match g.protocol {
+            Protocol::Nme { k } => {
+                let per_wire = NmeCut::new(k).terms().len();
+                match per_wire.checked_pow(n as u32) {
+                    Some(len) => len,
+                    None => {
+                        return Some(format!(
+                            "group {gi}: NME term count {per_wire}^{n} overflows usize"
+                        ))
+                    }
+                }
+            }
+            Protocol::JointMub => (1usize << n) + 1,
+        };
+        total = match total.checked_mul(len) {
+            Some(t) => t,
+            None => {
+                return Some(format!(
+                    "product term count overflows usize at group {gi} \
+                     ({total} terms so far × {len})"
+                ))
+            }
+        };
+    }
+    None
 }
 
 /// One cut group's Pauli transfer matrices, one per QPD term, in the
@@ -86,16 +221,22 @@ enum GroupTransfer {
         wires: usize,
         per_term: Vec<[[f64; 4]; 4]>,
     },
-    /// Joint-MUB groups: a dense `4^n × 4^n` PTM per term (row-major,
-    /// `r[a * 4^n + b]`; slot 0 = least-significant base-4 digit).
-    Dense { wires: usize, ptms: Vec<Vec<f64>> },
+    /// Joint-MUB groups: every term is a dephasing-type channel, whose
+    /// PTM is diagonal in the Pauli basis — `diags[t][a]` is the
+    /// eigenvalue of Pauli `a` under term `t` (slot 0 = least
+    /// significant base-4 digit). The diagonal *is* the fully sparse
+    /// form of the `4ⁿ × 4ⁿ` transfer: `16ⁿ` entries collapse to `4ⁿ`.
+    Joint { diags: Vec<Vec<f64>> },
 }
 
 impl GroupTransfer {
     fn num_terms(&self) -> usize {
         match self {
-            GroupTransfer::PerWire { wires, per_term } => per_term.len().pow(*wires as u32),
-            GroupTransfer::Dense { ptms, .. } => ptms.len(),
+            GroupTransfer::PerWire { wires, per_term } => per_term
+                .len()
+                .checked_pow(*wires as u32)
+                .expect("per-wire term count overflows usize — eligibility admitted a plan it must reject"),
+            GroupTransfer::Joint { diags, .. } => diags.len(),
         }
     }
 }
@@ -113,17 +254,54 @@ fn ptm_1q(ch: &Superoperator) -> [[f64; 4]; 4] {
     r
 }
 
-/// Dense PTM of an `n`-wire channel given its sparse applier.
-fn ptm_dense(apply: impl Fn(&Matrix) -> Matrix, paulis: &[Matrix], d: usize) -> Vec<f64> {
-    let dim4 = paulis.len();
-    let mut r = vec![0.0; dim4 * dim4];
-    for (b, pb) in paulis.iter().enumerate() {
-        let image = apply(pb);
-        for (a, pa) in paulis.iter().enumerate() {
-            r[a * dim4 + b] = pa.matmul(&image).trace().re / d as f64;
-        }
+/// Base-4 Pauli code of a symplectic `(x, z)` pair: slot `q`'s digit is
+/// `I/X/Y/Z = 0/1/2/3` from the bit pair `(x_q, z_q)` — the
+/// [`qsim::pauli::pauli_string_from_code`] convention.
+fn pauli_code(p: (u64, u64), n: usize) -> usize {
+    let (x, z) = p;
+    let mut code = 0usize;
+    for q in 0..n {
+        let digit = match ((x >> q) & 1, (z >> q) & 1) {
+            (0, 0) => 0,
+            (1, 0) => 1,
+            (1, 1) => 2,
+            _ => 3,
+        };
+        code |= digit << (2 * q);
     }
-    r
+    code
+}
+
+/// The diagonal PTMs of the `d + 1` joint-MUB QPD terms over `n` wires,
+/// in [`crate::joint::JointWireCut::terms`] order. Dephasing in MUB `b`
+/// fixes exactly the Paulis of its stabilizer class `{U_b Z^z U_b†}`
+/// (eigenvalue 1) and annihilates every Pauli that anticommutes with
+/// some class member — which is every other non-identity Pauli, the
+/// class being maximal abelian. The flip term maps `I ↦ I`, each
+/// Z-string to `−1/(d−1)` times itself, and kills all off-diagonal
+/// Paulis. Built from the GF(2ⁿ) class structure — `O((d+1)·d)` integer
+/// work, no `d × d` matrix and no dense `16ⁿ`-entry tomography — and
+/// pinned against the dense [`ptm_dense`] reference for `n ≤ 2` in
+/// tests.
+fn joint_transfer_diagonals(n: usize) -> Vec<Vec<f64>> {
+    let field = MubField::new(n);
+    let d = 1usize << n;
+    let dim4 = 1usize << (2 * n);
+    let mut diags = Vec::with_capacity(d + 1);
+    for b in 1..=d {
+        let mut diag = vec![0.0f64; dim4];
+        for z in 0..d as u64 {
+            diag[pauli_code(mub_error_pauli(&field, b, z), n)] = 1.0;
+        }
+        diags.push(diag);
+    }
+    let mut flip = vec![0.0f64; dim4];
+    flip[0] = 1.0;
+    for z in 1..d as u64 {
+        flip[pauli_code((0, z), n)] = -1.0 / (d - 1) as f64;
+    }
+    diags.push(flip);
+    diags
 }
 
 /// Builds one group's transfer matrices from its protocol.
@@ -140,34 +318,28 @@ fn group_transfer(group: &CutGroup) -> GroupTransfer {
                 per_term,
             }
         }
-        Protocol::JointMub => {
-            let n = group.num_wires();
-            let jw = JointWireCut::new(n);
-            let d = 1usize << n;
-            let dim4 = 1usize << (2 * n);
-            let paulis: Vec<Matrix> = (0..dim4)
-                .map(|code| qsim::pauli::pauli_string_from_code(code, n).matrix())
-                .collect();
-            let mut ptms = Vec::with_capacity(d + 1);
-            for u in jw.bases().iter().skip(1) {
-                ptms.push(ptm_dense(|p| apply_basis_term(u, p), &paulis, d));
-            }
-            ptms.push(ptm_dense(apply_flip_term, &paulis, d));
-            GroupTransfer::Dense { wires: n, ptms }
-        }
+        Protocol::JointMub => GroupTransfer::Joint {
+            diags: joint_transfer_diagonals(group.num_wires()),
+        },
     }
 }
 
-/// One fragment's compiled expectation block.
+/// One fragment's compiled expectation block, in CSR form over the
+/// incoming index `a`: row `a` lists the surviving `(b_out, value)`
+/// pairs of `F[a, b]`.
 struct FragmentBlock {
     /// Incoming cut slots `(group, slot)`, ascending; slot `i` is the
-    /// `i`-th base-4 digit of the tensor's `a` index.
+    /// `i`-th base-4 digit of the row index `a`.
     in_slots: Vec<(usize, usize)>,
     /// Outgoing cut slots, ascending; slot `i` is the `i`-th base-4
-    /// digit of the tensor's `b` index.
+    /// digit of the column index `b`.
     out_slots: Vec<(usize, usize)>,
-    /// `tensor[a * 4^out + b]`.
-    tensor: Vec<f64>,
+    /// CSR row offsets, length `4^in + 1`.
+    row_ptr: Vec<usize>,
+    /// Column (outgoing) indices of the stored entries.
+    cols: Vec<u32>,
+    /// Stored entry values.
+    vals: Vec<f64>,
 }
 
 /// Public per-fragment compilation summary (introspection for the
@@ -184,6 +356,70 @@ pub struct FragmentBlockSummary {
     pub outgoing: usize,
     /// Compiled prep variants (`6^incoming`).
     pub variants: usize,
+    /// Entries surviving CSR sparsification, out of `4^(in+out)`.
+    pub nnz: usize,
+    /// Largest classical-outcome branch count across variants (1 for a
+    /// unitary fragment; measurement fragments block over each outcome).
+    pub outcome_branches: usize,
+}
+
+/// One step of the precompiled contraction schedule. The frontier's
+/// axis bookkeeping is pick-independent — every product term runs the
+/// same ops in the same order; only the transfer entries picked inside
+/// an `Apply` vary — which is what makes prefix caching sound.
+enum SweepOp {
+    /// Contract fragment `fragment`'s block into the frontier.
+    Absorb {
+        fragment: usize,
+        /// Frontier axis of each incoming slot at this walk position.
+        in_pos: Vec<usize>,
+        /// Surviving (non-incoming) frontier axes, in order.
+        rest_pos: Vec<usize>,
+    },
+    /// Apply cut group `group`'s picked term to the frontier.
+    Apply {
+        group: usize,
+        /// Frontier axis of each of the group's slots.
+        axes: Vec<usize>,
+    },
+}
+
+/// The precompiled contraction schedule plus the fused tail (see
+/// [`FrontierSweep`]).
+struct Schedule {
+    ops: Vec<SweepOp>,
+    /// `ops` index of each group's `Apply`, ascending in both.
+    group_op: Vec<usize>,
+    /// Frontier multiplications of one from-scratch, unfused term
+    /// evaluation: 1 per absorb, 1 per wire of a per-wire apply, 1 per
+    /// joint apply.
+    ops_per_term: usize,
+    /// For the last (fastest-varying) group: the pick-independent tail
+    /// after its apply — all remaining absorbs — folded through each of
+    /// its terms' (transposed) transfers. `fused_tail[t]` dotted with
+    /// the frontier before the last apply is the term value, so the hot
+    /// path of the sweep is one multiplication. `None` when the fold
+    /// would be larger than the work it saves.
+    fused_tail: Option<Vec<Vec<f64>>>,
+}
+
+/// Prefix-cache hit/op counters of one [`FrontierSweep`] (mirrored into
+/// [`BackendReport`] by the contracted compile path).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Terms evaluated.
+    pub terms: usize,
+    /// Frontier matrix multiplications actually performed.
+    pub frontier_ops: usize,
+    /// Frontier multiplications a cache-disabled evaluation of the same
+    /// terms would perform (`ops_per_term × terms`).
+    pub frontier_ops_uncached: usize,
+    /// Σ resume depths: odometer digits whose partial frontier was
+    /// served from the prefix stack.
+    pub prefix_hits: usize,
+    /// Σ re-applied groups: odometer digits whose partial frontier had
+    /// to be rebuilt.
+    pub prefix_rebuilds: usize,
 }
 
 /// All per-fragment blocks and per-group transfer matrices of one plan —
@@ -194,25 +430,12 @@ pub struct FragmentBlockSummary {
 pub struct FragmentBlocks {
     blocks: Vec<FragmentBlock>,
     transfers: Vec<GroupTransfer>,
-    /// Per fragment: indices of groups whose source is that fragment.
-    groups_at_source: Vec<Vec<usize>>,
+    /// Per group: member wire ids, slot-aligned (diagnostics).
+    group_wires: Vec<Vec<usize>>,
+    schedule: Schedule,
     summaries: Vec<FragmentBlockSummary>,
     backend: BackendReport,
 }
-
-/// Six Pauli eigenstate preps per incoming wire, indexed `0..6`:
-/// `|0⟩, |1⟩, |+⟩, |−⟩, |+i⟩, |−i⟩`. Odd indices set the input basis
-/// bit; `{2,3}` append H; `{4,5}` append H then S (`S·H|1⟩ = |−i⟩`).
-const NUM_PREPS: usize = 6;
-
-/// `σ_a/2` expanded over eigenstate preps: `WEIGHTS[a]` lists the two
-/// `(prep, weight)` entries with `σ_a/2 = Σ w·|s⟩⟨s|`.
-const WEIGHTS: [[(usize, f64); 2]; 4] = [
-    [(0, 0.5), (1, 0.5)],  // I/2
-    [(2, 0.5), (3, -0.5)], // X/2
-    [(4, 0.5), (5, -0.5)], // Y/2
-    [(0, 0.5), (1, -0.5)], // Z/2
-];
 
 impl FragmentBlocks {
     /// Compiles every fragment variant and every group transfer matrix
@@ -220,17 +443,22 @@ impl FragmentBlocks {
     /// identical plans produce bit-identical blocks.
     ///
     /// # Panics
-    /// Panics when `!supports_contraction(plan)` or the observable does
-    /// not match the planned circuit.
+    /// Panics when `!supports_contraction(plan)` (with the
+    /// [`contraction_ineligibility`] reason) or the observable does not
+    /// match the planned circuit.
     pub fn build(plan: &CutPlan, observable: &PauliString) -> Self {
-        assert!(
-            supports_contraction(plan),
-            "plan does not support contracted compilation"
-        );
+        if let Some(reason) = contraction_ineligibility(plan) {
+            panic!("plan does not support contracted compilation: {reason}");
+        }
         let circuit = plan.circuit();
         assert_eq!(observable.num_qubits(), circuit.num_qubits());
         assert!(observable.is_diagonal());
         let transfers: Vec<GroupTransfer> = plan.groups.iter().map(group_transfer).collect();
+        let group_wires: Vec<Vec<usize>> = plan
+            .groups
+            .iter()
+            .map(|g| g.cuts.iter().map(|c| c.wire).collect())
+            .collect();
         let mut groups_at_source = vec![Vec::new(); plan.fragments.len()];
         for (gi, g) in plan.groups.iter().enumerate() {
             groups_at_source[g.cuts[0].source_fragment].push(gi);
@@ -271,7 +499,10 @@ impl FragmentBlocks {
             let n_in = in_slots.len();
             let n_out = out_slots.len();
             let dim_out = 1usize << (2 * n_out);
-            let num_variants = NUM_PREPS.pow(n_in as u32);
+            let num_variants = NUM_PREPS.checked_pow(n_in as u32).expect(
+                "variant count overflows usize — eligibility admitted a plan it must reject",
+            );
+            let mut outcome_branches = 1usize;
             let mut vals = vec![vec![0.0f64; dim_out]; num_variants];
             for (v, val) in vals.iter_mut().enumerate() {
                 let mut c = Circuit::new(width, base.num_clbits());
@@ -307,12 +538,12 @@ impl FragmentBlocks {
                 backend.total_instructions += prefix.total;
                 backend.clifford_instructions += prefix.prefix_len;
                 backend.gates_fused += sampler.fusion_stats().gates_fused;
-                debug_assert_eq!(
-                    sampler.leaves().len(),
-                    1,
-                    "unitary fragment must not branch"
-                );
-                let state = &sampler.leaves()[0].state;
+                // Measurement fragments branch over classical outcomes;
+                // the channel expectation is the probability-weighted
+                // sum over the branch leaves (one sub-block per
+                // outcome). A unitary fragment has exactly one leaf.
+                let leaves = sampler.leaves();
+                outcome_branches = outcome_branches.max(leaves.len());
                 for (b, slot) in val.iter_mut().enumerate() {
                     let mut ops = vec![Pauli::I; width];
                     for &q in &z_locals {
@@ -321,12 +552,23 @@ impl FragmentBlocks {
                     for (i, &(_, q)) in out_slots.iter().enumerate() {
                         ops[q] = Pauli::from_index((b >> (2 * i)) & 3);
                     }
-                    *slot = state.expval_pauli(&PauliString::new(ops));
+                    let obs = PauliString::new(ops);
+                    *slot = leaves
+                        .iter()
+                        .map(|l| l.probability * l.state.expval_pauli(&obs))
+                        .sum();
                 }
             }
-            // Fold eigenstate weights into the block tensor.
-            let mut tensor = vec![0.0f64; (1usize << (2 * n_in)) * dim_out];
-            for a in 0..(1usize << (2 * n_in)) {
+            // Fold eigenstate weights into CSR rows, one incoming index
+            // `a` at a time (never materialising the dense tensor).
+            let dim_in = 1usize << (2 * n_in);
+            let mut row_ptr = Vec::with_capacity(dim_in + 1);
+            let mut cols: Vec<u32> = Vec::new();
+            let mut csr_vals: Vec<f64> = Vec::new();
+            row_ptr.push(0);
+            let mut row = vec![0.0f64; dim_out];
+            for a in 0..dim_in {
+                row.fill(0.0);
                 for choice in 0..(1usize << n_in) {
                     let mut weight = 1.0f64;
                     let mut v = 0usize;
@@ -338,9 +580,16 @@ impl FragmentBlocks {
                         scale *= NUM_PREPS;
                     }
                     for (b, &x) in vals[v].iter().enumerate() {
-                        tensor[a * dim_out + b] += weight * x;
+                        row[b] += weight * x;
                     }
                 }
+                for (b, &x) in row.iter().enumerate() {
+                    if x.abs() > SPARSE_CUTOFF {
+                        cols.push(b as u32);
+                        csr_vals.push(x);
+                    }
+                }
+                row_ptr.push(cols.len());
             }
             summaries.push(FragmentBlockSummary {
                 fragment: fi,
@@ -348,17 +597,23 @@ impl FragmentBlocks {
                 incoming: n_in,
                 outgoing: n_out,
                 variants: num_variants,
+                nnz: cols.len(),
+                outcome_branches,
             });
             blocks.push(FragmentBlock {
                 in_slots: in_slots.into_iter().map(|(k, _)| k).collect(),
                 out_slots: out_slots.into_iter().map(|(k, _)| k).collect(),
-                tensor,
+                row_ptr,
+                cols,
+                vals: csr_vals,
             });
         }
+        let schedule = build_schedule(&blocks, &transfers, &groups_at_source, &group_wires);
         Self {
             blocks,
             transfers,
-            groups_at_source,
+            group_wires,
+            schedule,
             summaries,
             backend,
         }
@@ -370,7 +625,9 @@ impl FragmentBlocks {
     }
 
     /// Backend aggregation over every compiled fragment variant (the
-    /// contracted analogue of the monolithic per-term report).
+    /// contracted analogue of the monolithic per-term report). Frontier
+    /// and prefix-cache counters stay zero here — they belong to the
+    /// sweep that actually evaluates terms ([`FrontierSweep::stats`]).
     pub fn backend_report(&self) -> BackendReport {
         self.backend
     }
@@ -381,57 +638,340 @@ impl FragmentBlocks {
     }
 
     /// Exact expectation of one product term: `pick[g]` selects group
-    /// `g`'s QPD term. Pure contraction — no circuit simulation.
+    /// `g`'s QPD term. Pure contraction — no circuit simulation, no
+    /// prefix cache, no fused tail: every op of the schedule runs from
+    /// scratch. This is the cache-disabled reference the differential
+    /// suite holds [`FrontierSweep`] against.
     pub fn term_value(&self, pick: &[usize]) -> f64 {
         assert_eq!(pick.len(), self.transfers.len());
-        let mut keys: Vec<(usize, usize)> = Vec::new();
         let mut vals = vec![1.0f64];
-        for (fi, block) in self.blocks.iter().enumerate() {
-            absorb_block(&mut keys, &mut vals, block);
-            for &gi in &self.groups_at_source[fi] {
-                match &self.transfers[gi] {
-                    GroupTransfer::PerWire { wires, per_term } => {
-                        let nt = per_term.len();
-                        let mut rem = pick[gi];
-                        let mut idx = vec![0usize; *wires];
-                        // Last wire fastest — ParallelWireCut order.
-                        for slot in (0..*wires).rev() {
-                            idx[slot] = rem % nt;
-                            rem /= nt;
-                        }
-                        for (slot, &ti) in idx.iter().enumerate() {
-                            let p = axis_of(&keys, (gi, slot));
-                            apply_axis_4(&mut vals, p, &per_term[ti]);
-                        }
-                    }
-                    GroupTransfer::Dense { wires, ptms } => {
-                        let axes: Vec<usize> =
-                            (0..*wires).map(|slot| axis_of(&keys, (gi, slot))).collect();
-                        apply_axes_dense(&mut vals, &axes, &ptms[pick[gi]]);
-                    }
+        for op in &self.schedule.ops {
+            self.exec_op(op, pick, &mut vals);
+        }
+        debug_assert_eq!(vals.len(), 1);
+        vals[0]
+    }
+
+    /// A fresh prefix-cached sweep over this plan's product terms. Feed
+    /// it picks in [`qpd::QpdSpec::product`] odometer order (last group
+    /// fastest) for amortized O(1) frontier work per term; any order is
+    /// correct, just slower.
+    pub fn sweep(&self) -> FrontierSweep<'_> {
+        FrontierSweep {
+            blocks: self,
+            last_pick: vec![0; self.transfers.len()],
+            has_pick: false,
+            snapshots: vec![Vec::new(); self.transfers.len()],
+            stats: SweepStats::default(),
+        }
+    }
+
+    /// Executes one schedule op against the frontier, returning the
+    /// frontier multiplications performed.
+    fn exec_op(&self, op: &SweepOp, pick: &[usize], vals: &mut Vec<f64>) -> usize {
+        match op {
+            SweepOp::Absorb {
+                fragment,
+                in_pos,
+                rest_pos,
+            } => {
+                absorb_sparse(&self.blocks[*fragment], in_pos, rest_pos, vals);
+                1
+            }
+            SweepOp::Apply { group, axes } => self.apply_group(*group, pick, axes, vals),
+        }
+    }
+
+    /// Applies group `gi`'s picked term along the frontier axes.
+    fn apply_group(&self, gi: usize, pick: &[usize], axes: &[usize], vals: &mut [f64]) -> usize {
+        let t = pick[gi];
+        let nt = self.transfers[gi].num_terms();
+        assert!(
+            t < nt,
+            "odometer pick {pick:?} selects term {t} for group {gi} (wires {:?}), \
+             which has only {nt} terms",
+            self.group_wires[gi]
+        );
+        match &self.transfers[gi] {
+            GroupTransfer::PerWire { wires, per_term } => {
+                let n = per_term.len();
+                let mut rem = t;
+                let mut idx = vec![0usize; *wires];
+                // Last wire fastest — ParallelWireCut order.
+                for slot in (0..*wires).rev() {
+                    idx[slot] = rem % n;
+                    rem /= n;
                 }
+                for (slot, &ti) in idx.iter().enumerate() {
+                    apply_axis_4(vals, axes[slot], &per_term[ti]);
+                }
+                *wires
+            }
+            GroupTransfer::Joint { diags, .. } => {
+                apply_joint_diag(vals, axes, &diags[t]);
+                1
             }
         }
-        assert!(keys.is_empty(), "unconsumed cut axes after contraction");
-        vals[0]
     }
 }
 
-/// Position of a cut slot in the frontier's axis list.
-fn axis_of(keys: &[(usize, usize)], key: (usize, usize)) -> usize {
-    keys.iter()
-        .position(|&k| k == key)
-        .expect("cut slot missing from contraction frontier")
+/// A prefix-cached evaluator over one plan's product terms.
+///
+/// [`qpd::QpdSpec::product`] enumerates terms row-major with the last
+/// group's digit varying fastest, so consecutive picks share a long
+/// odometer prefix. The sweep keeps one frontier snapshot per group —
+/// the state just before that group's apply step, a pure function of
+/// the digits *before* it — and evaluates each term by resuming at its
+/// first digit that differs from the previous pick. The
+/// pick-independent tail after the last apply is pre-folded into a
+/// per-term dot table, so the common case (only the fastest
+/// digit moved) is a single dot product against the last snapshot.
+pub struct FrontierSweep<'a> {
+    blocks: &'a FragmentBlocks,
+    last_pick: Vec<usize>,
+    has_pick: bool,
+    /// `snapshots[g]`: frontier values before group `g`'s apply, valid
+    /// for the current `last_pick` prefix of length `g`.
+    snapshots: Vec<Vec<f64>>,
+    stats: SweepStats,
 }
 
-/// Contracts one fragment block into the frontier: sums out the
+impl FrontierSweep<'_> {
+    /// Exact expectation of one product term, reusing every partial
+    /// frontier shared with the previous pick. Bit-for-bit
+    /// deterministic: the value depends only on `pick`, never on the
+    /// call sequence (resumed and from-scratch evaluations run the
+    /// identical op sequence on identical snapshots).
+    pub fn term_value(&mut self, pick: &[usize]) -> f64 {
+        let sched = &self.blocks.schedule;
+        let num_groups = self.blocks.transfers.len();
+        assert_eq!(pick.len(), num_groups);
+        let last = num_groups - 1;
+        // Resume at the first differing digit; snapshots[r] depends
+        // only on pick[0..r], so a common prefix of length ≥ r keeps it
+        // valid. Identical picks re-run just the fastest digit.
+        let resume = if self.has_pick {
+            let mut c = 0;
+            while c < num_groups && pick[c] == self.last_pick[c] {
+                c += 1;
+            }
+            c.min(last)
+        } else {
+            0
+        };
+        self.stats.terms += 1;
+        self.stats.prefix_hits += resume;
+        self.stats.prefix_rebuilds += num_groups - resume;
+        self.stats.frontier_ops_uncached += sched.ops_per_term;
+        let from_scratch = !self.has_pick;
+        let (mut vals, start_op) = if from_scratch {
+            (vec![1.0f64], 0)
+        } else {
+            (self.snapshots[resume].clone(), sched.group_op[resume])
+        };
+        // Replay ops up to (excluding) the last group's apply,
+        // refreshing the snapshots the new digits invalidated.
+        let end_op = sched.group_op[last];
+        for op_i in start_op..end_op {
+            let op = &sched.ops[op_i];
+            if let SweepOp::Apply { group, .. } = op {
+                if *group > resume || from_scratch {
+                    self.snapshots[*group] = vals.clone();
+                }
+            }
+            self.stats.frontier_ops += self.blocks.exec_op(op, pick, &mut vals);
+        }
+        if last > resume || from_scratch {
+            self.snapshots[last] = vals.clone();
+        }
+        self.last_pick.copy_from_slice(pick);
+        self.has_pick = true;
+        let before_last = &self.snapshots[last];
+        if let Some(fused) = &sched.fused_tail {
+            self.stats.frontier_ops += 1;
+            fused[pick[last]]
+                .iter()
+                .zip(before_last)
+                .map(|(w, v)| w * v)
+                .sum()
+        } else {
+            // Tail too large to fuse: run the last apply and the
+            // trailing absorbs on a scratch frontier.
+            let mut tail = before_last.clone();
+            for op in &sched.ops[end_op..] {
+                self.stats.frontier_ops += self.blocks.exec_op(op, pick, &mut tail);
+            }
+            debug_assert_eq!(tail.len(), 1);
+            tail[0]
+        }
+    }
+
+    /// The sweep's hit/op counters so far.
+    pub fn stats(&self) -> SweepStats {
+        self.stats
+    }
+}
+
+/// Cap on the fused-tail fold: skip fusing when the frontier before the
+/// last apply or the per-term fold table would outgrow the work saved.
+const MAX_FUSED_DIM: usize = 1 << 16;
+const MAX_FUSED_TABLE: usize = 1 << 22;
+
+/// Precompiles the contraction walk: simulates the frontier's axis
+/// bookkeeping once (it is pick-independent) and records one op per
+/// fragment absorb and per group apply, in program order. Structural
+/// frontier corruption — a cut slot consumed before its source produced
+/// it, or never consumed at all — panics here, naming the fragment,
+/// group, slot and wire involved.
+fn build_schedule(
+    blocks: &[FragmentBlock],
+    transfers: &[GroupTransfer],
+    groups_at_source: &[Vec<usize>],
+    group_wires: &[Vec<usize>],
+) -> Schedule {
+    let mut keys: Vec<(usize, usize)> = Vec::new();
+    let mut ops = Vec::new();
+    let mut group_op = vec![usize::MAX; transfers.len()];
+    let mut ops_per_term = 0usize;
+    let mut tail_dim = 1usize;
+    for (fi, block) in blocks.iter().enumerate() {
+        let in_pos: Vec<usize> = block
+            .in_slots
+            .iter()
+            .map(|&(gi, si)| {
+                keys.iter().position(|&k| k == (gi, si)).unwrap_or_else(|| {
+                    panic!(
+                        "contraction frontier corrupt: fragment {fi} consumes slot {si} of \
+                         group {gi} (wire {}), which is not on the frontier {keys:?}",
+                        group_wires[gi][si]
+                    )
+                })
+            })
+            .collect();
+        let rest_pos: Vec<usize> = (0..keys.len()).filter(|p| !in_pos.contains(p)).collect();
+        keys = rest_pos.iter().map(|&p| keys[p]).collect();
+        keys.extend(block.out_slots.iter().copied());
+        ops.push(SweepOp::Absorb {
+            fragment: fi,
+            in_pos,
+            rest_pos,
+        });
+        ops_per_term += 1;
+        for &gi in &groups_at_source[fi] {
+            let axes: Vec<usize> = (0..group_wires[gi].len())
+                .map(|si| {
+                    keys.iter().position(|&k| k == (gi, si)).unwrap_or_else(|| {
+                        panic!(
+                            "contraction frontier corrupt: slot {si} of group {gi} (wire {}) \
+                             missing from the frontier {keys:?} after absorbing fragment {fi}",
+                            group_wires[gi][si]
+                        )
+                    })
+                })
+                .collect();
+            group_op[gi] = ops.len();
+            tail_dim = 1usize << (2 * keys.len());
+            ops.push(SweepOp::Apply { group: gi, axes });
+            ops_per_term += match &transfers[gi] {
+                GroupTransfer::PerWire { wires, .. } => *wires,
+                GroupTransfer::Joint { .. } => 1,
+            };
+        }
+    }
+    assert!(
+        keys.is_empty(),
+        "unconsumed cut axes after contraction: {keys:?}"
+    );
+    debug_assert!(group_op.windows(2).all(|w| w[0] < w[1]));
+    let fused_tail = build_fused_tail(blocks, transfers, &ops, &group_op, tail_dim);
+    Schedule {
+        ops,
+        group_op,
+        ops_per_term,
+        fused_tail,
+    }
+}
+
+/// Folds the pick-independent tail after the last group's apply — all
+/// remaining fragment absorbs, a linear functional `L` on the frontier —
+/// through each last-group term's transposed transfer:
+/// `⟨L, M_t·v⟩ = ⟨M_tᵀ·L, v⟩`, so each table row dotted with the
+/// frontier before the last apply yields the term value in one
+/// multiplication.
+fn build_fused_tail(
+    blocks: &[FragmentBlock],
+    transfers: &[GroupTransfer],
+    ops: &[SweepOp],
+    group_op: &[usize],
+    dim: usize,
+) -> Option<Vec<Vec<f64>>> {
+    let last = transfers.len() - 1;
+    let nt = transfers[last].num_terms();
+    if dim > MAX_FUSED_DIM || nt.saturating_mul(dim) > MAX_FUSED_TABLE {
+        return None;
+    }
+    let apply_i = group_op[last];
+    let SweepOp::Apply { axes, .. } = &ops[apply_i] else {
+        unreachable!("group_op indexes an Apply op");
+    };
+    // The tail functional: run the trailing absorbs on each basis
+    // vector of the frontier before the last apply.
+    let mut tail = vec![0.0f64; dim];
+    for (e, out) in tail.iter_mut().enumerate() {
+        let mut vals = vec![0.0f64; dim];
+        vals[e] = 1.0;
+        for op in &ops[apply_i + 1..] {
+            let SweepOp::Absorb {
+                fragment,
+                in_pos,
+                rest_pos,
+            } = op
+            else {
+                unreachable!("the last apply is the schedule's final Apply op");
+            };
+            absorb_sparse(&blocks[*fragment], in_pos, rest_pos, &mut vals);
+        }
+        debug_assert_eq!(vals.len(), 1);
+        *out = vals[0];
+    }
+    let mut table = Vec::with_capacity(nt);
+    for t in 0..nt {
+        let mut w = tail.clone();
+        match &transfers[last] {
+            GroupTransfer::PerWire { wires, per_term } => {
+                let n = per_term.len();
+                let mut rem = t;
+                let mut idx = vec![0usize; *wires];
+                for slot in (0..*wires).rev() {
+                    idx[slot] = rem % n;
+                    rem /= n;
+                }
+                for (slot, &ti) in idx.iter().enumerate() {
+                    let m = &per_term[ti];
+                    let mut mt = [[0.0f64; 4]; 4];
+                    for (a, row) in m.iter().enumerate() {
+                        for (b, &x) in row.iter().enumerate() {
+                            mt[b][a] = x;
+                        }
+                    }
+                    apply_axis_4(&mut w, axes[slot], &mt);
+                }
+            }
+            GroupTransfer::Joint { diags, .. } => {
+                // Diagonal transfers are their own transpose.
+                apply_joint_diag(&mut w, axes, &diags[t]);
+            }
+        }
+        table.push(w);
+    }
+    Some(table)
+}
+
+/// Contracts one fragment's CSR block into the frontier: sums out the
 /// fragment's incoming axes against the frontier and appends its
 /// outgoing axes. Frontier index: axis `k` is base-4 digit `k`.
-fn absorb_block(keys: &mut Vec<(usize, usize)>, vals: &mut Vec<f64>, block: &FragmentBlock) {
-    let in_pos: Vec<usize> = block.in_slots.iter().map(|&k| axis_of(keys, k)).collect();
+fn absorb_sparse(block: &FragmentBlock, in_pos: &[usize], rest_pos: &[usize], vals: &mut Vec<f64>) {
     let n_out = block.out_slots.len();
-    let dim_out = 1usize << (2 * n_out);
-    let rest_pos: Vec<usize> = (0..keys.len()).filter(|p| !in_pos.contains(p)).collect();
     let n_rest = rest_pos.len();
     let mut next = vec![0.0f64; 1usize << (2 * (n_rest + n_out))];
     for (o, &v) in vals.iter().enumerate() {
@@ -446,16 +986,10 @@ fn absorb_block(keys: &mut Vec<(usize, usize)>, vals: &mut Vec<f64>, block: &Fra
         for (r, &p) in rest_pos.iter().enumerate() {
             rest |= ((o >> (2 * p)) & 3) << (2 * r);
         }
-        for b in 0..dim_out {
-            let t = block.tensor[a * dim_out + b];
-            if t != 0.0 {
-                next[rest | (b << (2 * n_rest))] += t * v;
-            }
+        for k in block.row_ptr[a]..block.row_ptr[a + 1] {
+            next[rest | ((block.cols[k] as usize) << (2 * n_rest))] += block.vals[k] * v;
         }
     }
-    let mut next_keys: Vec<(usize, usize)> = rest_pos.iter().map(|&p| keys[p]).collect();
-    next_keys.extend(block.out_slots.iter().copied());
-    *keys = next_keys;
     *vals = next;
 }
 
@@ -481,40 +1015,23 @@ fn apply_axis_4(vals: &mut [f64], axis: usize, m: &[[f64; 4]; 4]) {
     }
 }
 
-/// Dense multi-axis PTM application over the listed axes (`axes[k]` is
-/// base-4 digit `k` of the transfer index).
-fn apply_axes_dense(vals: &mut Vec<f64>, axes: &[usize], r: &[f64]) {
-    let dim = 1usize << (2 * axes.len());
-    debug_assert_eq!(r.len(), dim * dim);
-    let mut next = vec![0.0f64; vals.len()];
-    for (o, &v) in vals.iter().enumerate() {
-        if v == 0.0 {
-            continue;
-        }
+/// In-place diagonal multi-axis transfer application: every frontier
+/// entry is scaled by the diagonal eigenvalue of the Pauli its group
+/// digits spell (`axes[k]` is base-4 digit `k` of the diagonal index).
+fn apply_joint_diag(vals: &mut [f64], axes: &[usize], diag: &[f64]) {
+    for (o, v) in vals.iter_mut().enumerate() {
         let mut bidx = 0usize;
-        let mut base = o;
         for (k, &p) in axes.iter().enumerate() {
             bidx |= ((o >> (2 * p)) & 3) << (2 * k);
-            base &= !(3usize << (2 * p));
         }
-        for a in 0..dim {
-            let coeff = r[a * dim + bidx];
-            if coeff == 0.0 {
-                continue;
-            }
-            let mut target = base;
-            for (k, &p) in axes.iter().enumerate() {
-                target |= ((a >> (2 * k)) & 3) << (2 * p);
-            }
-            next[target] += coeff * v;
-        }
+        *v *= diag[bidx];
     }
-    *vals = next;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::joint::{apply_basis_term, apply_flip_term, JointWireCut};
     use crate::planner::CutPlanner;
 
     fn ladder(n: usize) -> Circuit {
@@ -524,6 +1041,20 @@ mod tests {
             c.cx(q, q + 1);
         }
         c
+    }
+
+    /// Dense PTM of an `n`-wire channel given its sparse applier — the
+    /// tomography reference the sparse diagonals are pinned against.
+    fn ptm_dense(apply: impl Fn(&Matrix) -> Matrix, paulis: &[Matrix], d: usize) -> Vec<f64> {
+        let dim4 = paulis.len();
+        let mut r = vec![0.0; dim4 * dim4];
+        for (b, pb) in paulis.iter().enumerate() {
+            let image = apply(pb);
+            for (a, pa) in paulis.iter().enumerate() {
+                r[a * dim4 + b] = pa.matmul(&image).trace().re / d as f64;
+            }
+        }
+        r
     }
 
     #[test]
@@ -551,8 +1082,44 @@ mod tests {
     }
 
     #[test]
-    fn joint_transfer_sums_to_identity() {
+    fn sparse_joint_diagonals_match_dense_tomography() {
+        // The class-structure construction must agree entry-for-entry
+        // with full dense PTM tomography of the actual term channels —
+        // including that every off-diagonal entry is exactly zero.
         for n in 1..=2usize {
+            let jw = JointWireCut::new(n);
+            let d = 1usize << n;
+            let dim4 = 1usize << (2 * n);
+            let paulis: Vec<Matrix> = (0..dim4)
+                .map(|code| qsim::pauli::pauli_string_from_code(code, n).matrix())
+                .collect();
+            let diags = joint_transfer_diagonals(n);
+            assert_eq!(diags.len(), d + 1);
+            let mut dense: Vec<Vec<f64>> = jw
+                .bases()
+                .iter()
+                .skip(1)
+                .map(|u| ptm_dense(|p| apply_basis_term(u, p), &paulis, d))
+                .collect();
+            dense.push(ptm_dense(apply_flip_term, &paulis, d));
+            for (t, (diag, full)) in diags.iter().zip(dense.iter()).enumerate() {
+                for a in 0..dim4 {
+                    for b in 0..dim4 {
+                        let expect = if a == b { diag[a] } else { 0.0 };
+                        assert!(
+                            (full[a * dim4 + b] - expect).abs() < 1e-9,
+                            "n={n} term {t}: R[{a}][{b}] = {} vs sparse {expect}",
+                            full[a * dim4 + b]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn joint_transfer_sums_to_identity() {
+        for n in 1..=3usize {
             let group = CutGroup {
                 cuts: (0..n)
                     .map(|w| crate::planner::PlannedCut {
@@ -565,24 +1132,17 @@ mod tests {
                 kappa: JointWireCut::new(n).kappa(),
             };
             let spec = group.spec();
-            let transfer = group_transfer(&group);
-            let GroupTransfer::Dense { ptms, .. } = transfer else {
-                panic!("joint group must build a dense transfer");
+            let GroupTransfer::Joint { diags, .. } = group_transfer(&group) else {
+                panic!("joint group must build a diagonal transfer");
             };
             let dim4 = 1usize << (2 * n);
             for a in 0..dim4 {
-                for b in 0..dim4 {
-                    let sum: f64 = ptms
-                        .iter()
-                        .zip(spec.terms().iter())
-                        .map(|(r, t)| t.coefficient * r[a * dim4 + b])
-                        .sum();
-                    let expect = if a == b { 1.0 } else { 0.0 };
-                    assert!(
-                        (sum - expect).abs() < 1e-9,
-                        "n={n}: Σ cᵢ·R[{a}][{b}] = {sum}"
-                    );
-                }
+                let sum: f64 = diags
+                    .iter()
+                    .zip(spec.terms().iter())
+                    .map(|(diag, t)| t.coefficient * diag[a])
+                    .sum();
+                assert!((sum - 1.0).abs() < 1e-9, "n={n}: Σ cᵢ·diag[{a}] = {sum}");
             }
         }
     }
@@ -617,10 +1177,30 @@ mod tests {
     }
 
     #[test]
-    fn measurement_circuits_fall_back_to_monolithic() {
+    fn measurement_fragments_are_eligible_when_clbits_stay_local() {
+        // Measurement at the end of the last fragment: the clbit never
+        // crosses a fragment boundary, so the plan contracts (ISSUE 10's
+        // behaviour change — this used to force the monolithic path).
         let mut c = Circuit::new(3, 1);
         c.ry(0.4, 0).cx(0, 1).cx(1, 2).measure(2, 0);
         let plan = CutPlanner::new(2).plan(&c);
+        assert!(!plan.groups.is_empty());
+        assert_eq!(contraction_ineligibility(&plan), None);
+    }
+
+    #[test]
+    fn cross_fragment_feedforward_falls_back_to_monolithic() {
+        // Measure in one fragment, condition in a later one: the shared
+        // classical bit threads a side channel between fragments.
+        let mut c = Circuit::new(3, 1);
+        c.ry(0.4, 0).cx(0, 1).measure(1, 0).cx(1, 2).x_if(2, 0);
+        let plan = CutPlanner::new(2).plan(&c);
+        assert!(!plan.groups.is_empty());
+        let reason = contraction_ineligibility(&plan).expect("cross-fragment clbit must block");
+        assert!(
+            reason.contains("classical bit 0"),
+            "reason does not name the shared bit: {reason}"
+        );
         assert!(!supports_contraction(&plan));
     }
 
@@ -630,5 +1210,41 @@ mod tests {
         let plan = CutPlanner::new(3).plan(&c);
         assert!(plan.groups.is_empty());
         assert!(!supports_contraction(&plan));
+        let reason = contraction_ineligibility(&plan).unwrap();
+        assert!(reason.contains("no cuts"), "{reason}");
+    }
+
+    #[test]
+    fn sweep_matches_uncached_evaluation_on_a_ladder() {
+        let c = ladder(5);
+        let obs = PauliString::from_label("ZZZZZ");
+        let plan = CutPlanner::new(2).with_overlap(0.8).plan(&c);
+        let blocks = FragmentBlocks::build(&plan, &obs);
+        let lens = blocks.group_lens();
+        let total: usize = lens.iter().product();
+        let mut sweep = blocks.sweep();
+        for combo in 0..total {
+            let mut rem = combo;
+            let mut pick = vec![0usize; lens.len()];
+            for g in (0..lens.len()).rev() {
+                pick[g] = rem % lens[g];
+                rem /= lens[g];
+            }
+            let cached = sweep.term_value(&pick);
+            let fresh = blocks.term_value(&pick);
+            assert!(
+                (cached - fresh).abs() < 1e-12,
+                "combo {combo}: cached {cached} vs fresh {fresh}"
+            );
+        }
+        let s = sweep.stats();
+        assert_eq!(s.terms, total);
+        assert!(s.prefix_hits > 0, "odometer sweep never hit the cache");
+        assert!(
+            s.frontier_ops < s.frontier_ops_uncached,
+            "cache did not save work: {} vs {}",
+            s.frontier_ops,
+            s.frontier_ops_uncached
+        );
     }
 }

@@ -64,7 +64,10 @@ pub mod teleport;
 pub mod term;
 pub mod theory;
 
-pub use contract::{supports_contraction, FragmentBlockSummary, FragmentBlocks};
+pub use contract::{
+    contraction_ineligibility, supports_contraction, FragmentBlockSummary, FragmentBlocks,
+    FrontierSweep, SweepStats, MAX_INCOMING, MAX_JOINT_WIRES,
+};
 pub use executor::{uncut_expectation, PreparedCut, PreparedTerm};
 pub use harada::HaradaCut;
 pub use joint::JointWireCut;

@@ -44,7 +44,7 @@
 //! the exhaustive product-spec check stays behind the test-only
 //! [`CompiledPlan::verify`] helper, whose cost grows as `Π terms`.
 
-use crate::contract::{supports_contraction, FragmentBlockSummary, FragmentBlocks};
+use crate::contract::{contraction_ineligibility, FragmentBlockSummary, FragmentBlocks};
 use crate::joint::JointWireCut;
 use crate::mub;
 use crate::multi::{MultiCutTerm, ParallelWireCut};
@@ -648,6 +648,20 @@ pub struct BackendReport {
     pub clifford_instructions: usize,
     /// Single-qubit gates absorbed by fusion in the dense portions.
     pub gates_fused: usize,
+    /// Frontier matrix multiplications performed by the contracted
+    /// backend's prefix-cached odometer sweep (0 on the monolithic
+    /// path, which never contracts a frontier).
+    pub frontier_ops: usize,
+    /// Frontier multiplications a cache-disabled sweep over the same
+    /// terms would have performed — the denominator of the prefix-cache
+    /// payoff (`frontier_ops_uncached / frontier_ops`).
+    pub frontier_ops_uncached: usize,
+    /// Σ over terms of the resume depth: odometer digits whose partial
+    /// frontier contraction was served from the prefix cache.
+    pub prefix_hits: usize,
+    /// Σ over terms of the rebuilt digits: odometer digits whose
+    /// partial frontier had to be recomputed.
+    pub prefix_rebuilds: usize,
 }
 
 impl BackendReport {
@@ -673,6 +687,7 @@ pub struct CompiledPlan {
     backend: PlanBackend,
     backend_report: BackendReport,
     fragment_summaries: Vec<FragmentBlockSummary>,
+    fallback_reason: Option<String>,
 }
 
 impl CompiledPlan {
@@ -683,7 +698,8 @@ impl CompiledPlan {
     ///
     /// Automatically selects the backend: the contracted fragment-block
     /// path ([`CompiledPlan::compile_contracted`]) whenever the plan
-    /// supports it ([`supports_contraction`]), otherwise the monolithic
+    /// supports it ([`crate::contract::supports_contraction`]),
+    /// otherwise the monolithic
     /// stitching path ([`CompiledPlan::compile_monolithic`]). Both are
     /// exact, deterministic and sample-equivalent; they differ only in
     /// compilation cost scaling.
@@ -692,18 +708,24 @@ impl CompiledPlan {
     /// on the spot ([`CompiledPlan::verify_groups`]), so malformed term
     /// products fail loudly on the compile path.
     pub fn compile(plan: &CutPlan, observable: &PauliString) -> Self {
-        if supports_contraction(plan) {
-            Self::compile_contracted(plan, observable)
-        } else {
-            Self::compile_monolithic(plan, observable)
+        match contraction_ineligibility(plan) {
+            None => Self::compile_contracted(plan, observable),
+            Some(reason) => {
+                let mut compiled = Self::compile_monolithic(plan, observable);
+                compiled.fallback_reason = Some(reason);
+                compiled
+            }
         }
     }
 
     /// The **contracted** backend: builds per-fragment tensor blocks
     /// once ([`FragmentBlocks::build`], `Σ variants(fragment)` compiled
     /// circuits) and evaluates each of the `Π terms(group)` product
-    /// terms by pure tensor contraction — no per-term circuit is ever
-    /// stitched or simulated.
+    /// terms through the prefix-cached frontier sweep
+    /// ([`FragmentBlocks::sweep`]) — no per-term circuit is ever
+    /// stitched or simulated, and terms sharing an odometer prefix
+    /// share their partial frontier contractions. The sweep's hit/op
+    /// counters land in the [`BackendReport`].
     ///
     /// # Panics
     /// Panics when `!supports_contraction(plan)`; use
@@ -719,8 +741,10 @@ impl CompiledPlan {
         let total: usize = lens.iter().product();
         assert_eq!(spec.len(), total);
         let mut terms = Vec::with_capacity(total);
+        let mut sweep = blocks.sweep();
         // Row-major enumeration, last group fastest — the same order
-        // `QpdSpec::product` uses, so coefficients line up.
+        // `QpdSpec::product` uses, so coefficients line up and every
+        // consecutive pair of picks shares the longest possible prefix.
         for combo_idx in 0..total {
             let mut rem = combo_idx;
             let mut pick = vec![0usize; lens.len()];
@@ -730,16 +754,23 @@ impl CompiledPlan {
             }
             terms.push(PlanTerm {
                 body: TermBody::Contracted,
-                exact: blocks.term_value(&pick),
+                exact: sweep.term_value(&pick),
             });
         }
+        let stats = sweep.stats();
+        let mut backend_report = blocks.backend_report();
+        backend_report.frontier_ops = stats.frontier_ops;
+        backend_report.frontier_ops_uncached = stats.frontier_ops_uncached;
+        backend_report.prefix_hits = stats.prefix_hits;
+        backend_report.prefix_rebuilds = stats.prefix_rebuilds;
         let compiled = Self {
             spec,
             terms,
             report: plan.report(),
             backend: PlanBackend::Contracted,
-            backend_report: blocks.backend_report(),
+            backend_report,
             fragment_summaries: blocks.summaries().to_vec(),
+            fallback_reason: None,
         };
         if cfg!(debug_assertions) {
             compiled
@@ -754,8 +785,9 @@ impl CompiledPlan {
     /// `Π terms(group)` — intractable past ~4 cuts — so this path exists
     /// as the pristine differential-testing reference for the contracted
     /// backend (`tests/fragment_contraction.rs`) and as the fallback for
-    /// plans the contraction does not support (non-unitary circuits,
-    /// oversized groups).
+    /// plans the contraction does not support (cross-fragment
+    /// feed-forward, oversized groups — see
+    /// [`contraction_ineligibility`]).
     pub fn compile_monolithic(plan: &CutPlan, observable: &PauliString) -> Self {
         let circuit = plan.circuit();
         assert_eq!(
@@ -814,6 +846,7 @@ impl CompiledPlan {
             backend: PlanBackend::Monolithic,
             backend_report,
             fragment_summaries: Vec::new(),
+            fallback_reason: None,
         };
         if cfg!(debug_assertions) {
             compiled
@@ -866,6 +899,14 @@ impl CompiledPlan {
     /// contracted backend, empty on the monolithic backend.
     pub fn fragment_summaries(&self) -> &[FragmentBlockSummary] {
         &self.fragment_summaries
+    }
+
+    /// Why [`CompiledPlan::compile`] fell back to the monolithic
+    /// backend (the [`contraction_ineligibility`] reason), `None` on
+    /// the contracted path or when a monolithic compile was requested
+    /// explicitly.
+    pub fn fallback_reason(&self) -> Option<&str> {
+        self.fallback_reason.as_deref()
     }
 
     /// Per-group verification at `Σ terms(group)` cost — the check that
@@ -1336,14 +1377,32 @@ mod tests {
         for (a, m) in auto.exact_terms().iter().zip(mono.exact_terms()) {
             assert!((a - m).abs() < 1e-8, "contracted {a} vs monolithic {m}");
         }
-        // Measurement in the circuit ⇒ monolithic fallback.
+        assert_eq!(auto.fallback_reason(), None);
+        // Measurement with a fragment-local clbit ⇒ still contracted:
+        // the block sums over the outcome branches, and the per-term
+        // exacts must match the monolithic reference.
         let mut mc = Circuit::new(3, 1);
         mc.ry(0.4, 0).cx(0, 1).cx(1, 2).measure(2, 0);
         let plan = CutPlanner::new(2).plan(&mc);
         assert!(!plan.groups.is_empty());
+        let mobs = PauliString::from_label("ZZI");
+        let compiled = CompiledPlan::compile(&plan, &mobs);
+        assert_eq!(compiled.backend(), PlanBackend::Contracted);
+        let mono = CompiledPlan::compile_monolithic(&plan, &mobs);
+        for (a, m) in compiled.exact_terms().iter().zip(mono.exact_terms()) {
+            assert!((a - m).abs() < 1e-8, "contracted {a} vs monolithic {m}");
+        }
+        // A clbit shared between fragments ⇒ monolithic fallback, with
+        // the ineligibility reason surfaced on the compiled plan.
+        let mut ff = Circuit::new(3, 1);
+        ff.ry(0.4, 0).cx(0, 1).measure(1, 0).cx(1, 2).x_if(2, 0);
+        let plan = CutPlanner::new(2).plan(&ff);
+        assert!(!plan.groups.is_empty());
         let compiled = CompiledPlan::compile(&plan, &PauliString::from_label("ZZI"));
         assert_eq!(compiled.backend(), PlanBackend::Monolithic);
         assert!(compiled.fragment_summaries().is_empty());
+        let reason = compiled.fallback_reason().expect("fallback must be named");
+        assert!(reason.contains("classical bit"), "{reason}");
     }
 
     #[test]

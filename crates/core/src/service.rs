@@ -183,6 +183,14 @@ pub struct JobOutcome {
     /// contracted count is `Σ variants(fragment)` and stays flat in the
     /// cut count where the monolithic `Π terms(group)` explodes.
     pub compiled_units: usize,
+    /// Prefix-cache hits of the contracted backend's odometer sweep —
+    /// Σ over terms of the resume depth (0 on the monolithic path).
+    pub prefix_hits: usize,
+    /// Frontier matrix multiplications the contracted sweep performed.
+    pub frontier_ops: usize,
+    /// Frontier multiplications a cache-disabled sweep would have
+    /// performed (see [`crate::planner::BackendReport`]).
+    pub frontier_ops_uncached: usize,
 }
 
 /// A job tagged with its plan key for grid scheduling.
@@ -348,6 +356,9 @@ impl CutService {
             clifford_fraction: plan.backend_report().clifford_fraction(),
             backend: plan.backend(),
             compiled_units: plan.backend_report().terms,
+            prefix_hits: plan.backend_report().prefix_hits,
+            frontier_ops: plan.backend_report().frontier_ops,
+            frontier_ops_uncached: plan.backend_report().frontier_ops_uncached,
         }
     }
 

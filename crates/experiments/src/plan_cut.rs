@@ -25,9 +25,11 @@
 //! (and hence its shot noise) stays comparable across rows (the
 //! resampling happens inside the shared stream, so it is itself
 //! thread-invariant). The trailing `clifford_fraction` /
-//! `contracted_share` columns surface [`CompiledPlan::backend_report`]:
-//! how much of the compiled work rode the stabilizer fast path, and
-//! which backend compiled each cell.
+//! `contracted_share` / `prefix_hit_rate` / `frontier_savings` columns
+//! surface [`CompiledPlan::backend_report`]: how much of the compiled
+//! work rode the stabilizer fast path, which backend compiled each
+//! cell, and how much frontier work the contracted backend's
+//! prefix-cached odometer sweep saved over a cache-disabled evaluation.
 //!
 //! Run via `cargo run --release -p experiments --bin plan_cut`
 //! (writes `results/plan_cut.csv`).
@@ -123,12 +125,18 @@ struct PlanCutCell {
     covered_fraction: f64,
     clifford_fraction: f64,
     contracted: f64,
+    prefix_hit_rate: f64,
+    frontier_savings: f64,
 }
 
 /// Runs the sweep. Columns: `(f, fragments, cuts, joint_share, kappa,
 /// plan_exact_dev, mean_abs_error, wilson_halfwidth, band_coverage,
-/// clifford_fraction, contracted_share)`, one row per overlap, averaged
-/// over the shared circuit family.
+/// clifford_fraction, contracted_share, prefix_hit_rate,
+/// frontier_savings)`, one row per overlap, averaged over the shared
+/// circuit family. `prefix_hit_rate` is the fraction of odometer digits
+/// whose partial frontier the contracted sweep served from the prefix
+/// cache, and `frontier_savings` the resulting
+/// `frontier_ops_uncached / frontier_ops` payoff factor.
 pub fn run(config: &PlanCutConfig) -> Table {
     let mut t = Table::new(&[
         "f",
@@ -142,6 +150,8 @@ pub fn run(config: &PlanCutConfig) -> Table {
         "band_coverage",
         "clifford_fraction",
         "contracted_share",
+        "prefix_hit_rate",
+        "frontier_savings",
     ]);
     assert!(config.width_budget < config.num_qubits);
     let label: String = "Z".repeat(config.num_qubits);
@@ -204,6 +214,19 @@ pub fn run(config: &PlanCutConfig) -> Table {
                     wirecut::planner::PlanBackend::Contracted => 1.0,
                     wirecut::planner::PlanBackend::Monolithic => 0.0,
                 },
+                prefix_hit_rate: {
+                    let touched = backend.prefix_hits + backend.prefix_rebuilds;
+                    if touched == 0 {
+                        0.0
+                    } else {
+                        backend.prefix_hits as f64 / touched as f64
+                    }
+                },
+                frontier_savings: if backend.frontier_ops == 0 {
+                    1.0
+                } else {
+                    backend.frontier_ops_uncached as f64 / backend.frontier_ops as f64
+                },
             }
         });
     for (fi, &f) in config.overlaps.iter().enumerate() {
@@ -216,6 +239,8 @@ pub fn run(config: &PlanCutConfig) -> Table {
         let mut cov = RunningStats::new();
         let mut cliff = RunningStats::new();
         let mut contracted = RunningStats::new();
+        let mut hit_rate = RunningStats::new();
+        let mut savings = RunningStats::new();
         let mut dev = 0.0f64;
         let (mut joint, mut total) = (0.0, 0.0);
         for cell in block {
@@ -227,6 +252,8 @@ pub fn run(config: &PlanCutConfig) -> Table {
             cov.push(cell.covered_fraction);
             cliff.push(cell.clifford_fraction);
             contracted.push(cell.contracted);
+            hit_rate.push(cell.prefix_hit_rate);
+            savings.push(cell.frontier_savings);
             dev = dev.max(cell.exact_dev);
             joint += cell.joint_groups;
             total += cell.total_groups;
@@ -243,6 +270,8 @@ pub fn run(config: &PlanCutConfig) -> Table {
             cov.mean(),
             cliff.mean(),
             contracted.mean(),
+            hit_rate.mean(),
+            savings.mean(),
         ]);
     }
     t
@@ -314,6 +343,18 @@ mod tests {
                 (0.0..=1.0).contains(&row[9]),
                 "clifford_fraction {} at f={}",
                 row[9],
+                row[0]
+            );
+            assert!(
+                (0.0..=1.0).contains(&row[11]),
+                "prefix_hit_rate {} at f={}",
+                row[11],
+                row[0]
+            );
+            assert!(
+                row[12] >= 1.0,
+                "frontier_savings {} at f={}",
+                row[12],
                 row[0]
             );
         }

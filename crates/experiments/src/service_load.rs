@@ -135,12 +135,16 @@ pub fn build_jobs(config: &ServiceLoadConfig) -> Vec<EstimationJob> {
 
 /// Runs the experiment. Columns: `(circuit, cuts, kappa, exact,
 /// static_mean_err, static_var, seq_mean_err, seq_var, var_ratio,
-/// contracted, compiled_units)` — one row per circuit, statistics over
-/// the job repetitions. The trailing pair surfaces the plan's
-/// compilation backend per [`wirecut::service::JobOutcome`]: whether the
-/// cached plan rode the contracted fragment-block path, and how many
-/// circuit units it compiled (`Σ variants(fragment)` when contracted —
-/// the quantity the compiled-plan cache amortises across the fleet).
+/// contracted, compiled_units, prefix_hit_rate, frontier_savings)` —
+/// one row per circuit, statistics over the job repetitions. The
+/// trailing columns surface the plan's compilation backend per
+/// [`wirecut::service::JobOutcome`]: whether the cached plan rode the
+/// contracted fragment-block path, how many circuit units it compiled
+/// (`Σ variants(fragment)` when contracted — the quantity the
+/// compiled-plan cache amortises across the fleet), what fraction of
+/// odometer digits its prefix-cached sweep served from the partial
+/// frontier stack, and the resulting frontier-multiplication payoff
+/// over a cache-disabled evaluation.
 pub fn run(config: &ServiceLoadConfig) -> Table {
     let mut t = Table::new(&[
         "circuit",
@@ -154,6 +158,8 @@ pub fn run(config: &ServiceLoadConfig) -> Table {
         "var_ratio",
         "contracted",
         "compiled_units",
+        "prefix_hit_rate",
+        "frontier_savings",
     ]);
     let service =
         CutService::new(CutPlanner::new(config.width_budget).with_overlap(config.overlap));
@@ -200,6 +206,20 @@ pub fn run(config: &ServiceLoadConfig) -> Table {
                 wirecut::planner::PlanBackend::Monolithic => 0.0,
             },
             block[0].compiled_units as f64,
+            {
+                let rebuilds = plan.backend_report().prefix_rebuilds;
+                let touched = block[0].prefix_hits + rebuilds;
+                if touched == 0 {
+                    0.0
+                } else {
+                    block[0].prefix_hits as f64 / touched as f64
+                }
+            },
+            if block[0].frontier_ops == 0 {
+                1.0
+            } else {
+                block[0].frontier_ops_uncached as f64 / block[0].frontier_ops as f64
+            },
         ]);
     }
     t
@@ -233,6 +253,8 @@ mod tests {
             // Unitary random circuits ⇒ contracted backend everywhere.
             assert!((row[9] - 1.0).abs() < 1e-12, "backend {row:?}");
             assert!(row[10] >= 1.0, "compiled units {row:?}");
+            assert!((0.0..=1.0).contains(&row[11]), "prefix_hit_rate {row:?}");
+            assert!(row[12] >= 1.0, "frontier_savings {row:?}");
             assert!(row[4] >= 0.0 && row[6] >= 0.0, "errors {row:?}");
             assert!(row[5] > 0.0 && row[7] > 0.0, "variances {row:?}");
             // Realised errors stay within a few κ/√shots of exact.

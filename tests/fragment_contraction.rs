@@ -21,7 +21,8 @@ use nme_wire_cutting::qpd::{estimate_allocated, Allocator};
 use nme_wire_cutting::qsim::{greedy_fragments, random_unitary_circuit, Circuit, PauliString};
 use nme_wire_cutting::wirecut::service::{CutService, EstimationJob};
 use nme_wire_cutting::wirecut::{
-    supports_contraction, uncut_plan_expectation, CompiledPlan, CutPlanner, PlanBackend, Protocol,
+    contraction_ineligibility, supports_contraction, uncut_plan_expectation, CompiledPlan,
+    CutPlanner, FragmentBlocks, PlanBackend, Protocol, MAX_INCOMING, MAX_JOINT_WIRES,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -147,6 +148,21 @@ fn six_cut_plan_compiles_and_estimates_through_contraction() {
         "6-cut exact {} vs uncut {uncut}",
         compiled.exact_value()
     );
+    // The prefix-cached sweep must have saved frontier work over a
+    // cache-disabled evaluation (the ≥5× bar is pinned on the
+    // deterministic ladder shape below; random plans with fat groups
+    // resume shallower).
+    let backend = compiled.backend_report();
+    assert!(
+        backend.prefix_hits > 0,
+        "sweep never resumed from the cache"
+    );
+    assert!(
+        backend.frontier_ops < backend.frontier_ops_uncached,
+        "prefix cache saved nothing: {} vs {}",
+        backend.frontier_ops,
+        backend.frontier_ops_uncached
+    );
     let shots = 1 << 16;
     let band = qpd_wilson_band(&compiled.spec, &compiled.exact_terms(), shots, 5.0);
     let est = estimate_allocated(
@@ -235,4 +251,241 @@ fn merge_pass_reduces_cut_overhead_on_the_regression_circuit() {
     let obs = PauliString::from_label("ZZZZ");
     let compiled = CompiledPlan::compile(&plan, &obs);
     assert!((compiled.exact_value() - uncut_plan_expectation(&c, &obs)).abs() < 1e-10);
+}
+
+/// The CX ladder on `cuts + 2` qubits at width budget 2: exactly `cuts`
+/// single-wire NME cuts in a chain of two-wire fragments — the
+/// deterministic shape the prefix-cache payoff is pinned on.
+fn cx_ladder(cuts: usize) -> Circuit {
+    let n = cuts + 2;
+    let mut c = Circuit::new(n, 0);
+    c.ry(0.4, 0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+#[test]
+fn six_cut_ladder_prefix_cache_saves_5x_frontier_ops() {
+    // ISSUE 10's acceptance bar: on a 6-cut plan's full odometer sweep
+    // (3^6 = 729 product terms), the prefix cache must perform ≥ 5×
+    // fewer frontier matrix multiplications than cache-disabled
+    // evaluation, as reported by the BackendReport counters. On the
+    // ladder the resumes are maximally deep (single-wire groups), so
+    // the amortized cost per term approaches a single fused dot.
+    let circuit = cx_ladder(6);
+    let plan = CutPlanner::new(2).with_overlap(0.8).plan(&circuit);
+    assert_eq!(plan.num_cuts(), 6, "ladder plan shape drifted");
+    let observable = PauliString::from_label(&"Z".repeat(8));
+    let compiled = CompiledPlan::compile(&plan, &observable);
+    assert_eq!(compiled.backend(), PlanBackend::Contracted);
+    let backend = compiled.backend_report();
+    assert!(backend.frontier_ops > 0);
+    assert!(
+        backend.frontier_ops_uncached >= 5 * backend.frontier_ops,
+        "prefix cache payoff below 5×: {} cached vs {} uncached",
+        backend.frontier_ops,
+        backend.frontier_ops_uncached
+    );
+    // And the cached sweep is still the exact decomposition.
+    let uncut = uncut_plan_expectation(&circuit, &observable);
+    assert!((compiled.exact_value() - uncut).abs() < 1e-8);
+}
+
+#[test]
+fn prefix_cached_sweep_matches_uncached_evaluation_per_term() {
+    // Differential fence for the cache itself: over full odometer
+    // sweeps of mixed NME/joint plans, every prefix-cached term value
+    // must match the cache-disabled from-scratch contraction to 1e−12.
+    let mut saw_multi_group = false;
+    for (n, budget, f, seed) in [
+        (4usize, 2usize, 0.52f64, 3100u64),
+        (5, 3, 0.7, 3101),
+        (6, 4, 0.52, 3102),
+    ] {
+        let planner = CutPlanner::new(budget).with_overlap(f);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, plan) = tractable_random_circuit(n, 6, &planner, 4, &mut rng);
+        let observable = PauliString::from_label(&"Z".repeat(n));
+        let blocks = FragmentBlocks::build(&plan, &observable);
+        let lens = blocks.group_lens();
+        let total: usize = lens.iter().product();
+        let mut sweep = blocks.sweep();
+        for combo in 0..total {
+            let mut rem = combo;
+            let mut pick = vec![0usize; lens.len()];
+            for g in (0..lens.len()).rev() {
+                pick[g] = rem % lens[g];
+                rem /= lens[g];
+            }
+            let cached = sweep.term_value(&pick);
+            let fresh = blocks.term_value(&pick);
+            assert!(
+                (cached - fresh).abs() < 1e-12,
+                "n={n} f={f} seed={seed} combo {combo}: cached {cached} vs fresh {fresh}"
+            );
+        }
+        let stats = sweep.stats();
+        assert_eq!(stats.terms, total);
+        // A single-group plan has no prefix to share (every term is a
+        // fresh fastest-digit evaluation); only multi-group odometers
+        // must resume from the cache.
+        if lens.len() > 1 {
+            saw_multi_group = true;
+            assert!(stats.prefix_hits > 0, "n={n}: sweep never hit the cache");
+        }
+    }
+    assert!(
+        saw_multi_group,
+        "workloads never produced a multi-group plan"
+    );
+}
+
+/// Builds a three-fragment chain on `2·budget − 1` qubits whose final
+/// fragment has exactly `budget` incoming cut wires and whose widest
+/// multi-wire group has `budget − 1` wires. Fragment 0 fills the budget
+/// on wires `0..budget`; fragment 1 carries wire `budget − 1` through
+/// the fresh wires up to `2·budget − 2`; fragment 2 re-enters wires
+/// `0..budget − 1` plus fragment 1's last wire. The shared wires block
+/// the merge pass (fragment 1 is not independent of fragment 2, and
+/// `frag0 ∪ frag2` exceeds the budget), so the plan keeps one
+/// `(budget − 1)`-wire group (0 → 2) and two single-wire groups.
+fn reentrant_chain(budget: usize) -> Circuit {
+    let n = 2 * budget - 1;
+    let mut c = Circuit::new(n, 0);
+    c.ry(0.4, 0);
+    for q in 0..budget - 1 {
+        c.cx(q, q + 1);
+    }
+    for q in budget - 1..2 * budget - 2 {
+        c.cx(q, q + 1);
+    }
+    c.cx(2 * budget - 2, 0);
+    for q in 0..budget - 2 {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+#[test]
+fn incoming_cap_boundary_pins_eligibility() {
+    // Exactly MAX_INCOMING incoming wires on the final fragment ⇒
+    // eligible; one more ⇒ rejected with a named reason. The chain
+    // re-enters `budget - 1` of fragment 0's wires plus one of
+    // fragment 1's, so budget = MAX_INCOMING lands exactly on the cap.
+    let at_cap = reentrant_chain(MAX_INCOMING);
+    let plan = CutPlanner::new(MAX_INCOMING)
+        .with_overlap(0.8)
+        .plan(&at_cap);
+    let incoming = max_incoming(&plan);
+    assert_eq!(incoming, MAX_INCOMING, "construction drifted off the cap");
+    assert!(
+        supports_contraction(&plan),
+        "{:?}",
+        contraction_ineligibility(&plan)
+    );
+
+    let over_cap = reentrant_chain(MAX_INCOMING + 1);
+    let plan = CutPlanner::new(MAX_INCOMING + 1)
+        .with_overlap(0.8)
+        .plan(&over_cap);
+    assert_eq!(max_incoming(&plan), MAX_INCOMING + 1);
+    let reason = contraction_ineligibility(&plan).expect("over-cap plan must be rejected");
+    assert!(reason.contains("MAX_INCOMING"), "unnamed reason: {reason}");
+    assert!(!supports_contraction(&plan));
+}
+
+#[test]
+fn joint_width_boundary_pins_eligibility() {
+    // Exactly MAX_JOINT_WIRES wires in one joint-MUB group ⇒ eligible;
+    // one more ⇒ rejected with a named reason. Low overlap keeps every
+    // multi-wire group below the κ crossover, so the re-entrant group
+    // of `budget - 1` wires plans as a joint-MUB cut.
+    let at_cap = reentrant_chain(MAX_JOINT_WIRES + 1);
+    let plan = CutPlanner::new(MAX_JOINT_WIRES + 1)
+        .with_overlap(0.52)
+        .plan(&at_cap);
+    let widest = widest_joint(&plan);
+    assert_eq!(widest, MAX_JOINT_WIRES, "construction drifted off the cap");
+    assert!(
+        supports_contraction(&plan),
+        "{:?}",
+        contraction_ineligibility(&plan)
+    );
+
+    let over_cap = reentrant_chain(MAX_JOINT_WIRES + 2);
+    let plan = CutPlanner::new(MAX_JOINT_WIRES + 2)
+        .with_overlap(0.52)
+        .plan(&over_cap);
+    assert_eq!(widest_joint(&plan), MAX_JOINT_WIRES + 1);
+    let reason = contraction_ineligibility(&plan).expect("over-cap plan must be rejected");
+    assert!(reason.contains("jointly"), "unnamed reason: {reason}");
+    assert!(!supports_contraction(&plan));
+}
+
+fn max_incoming(plan: &nme_wire_cutting::wirecut::CutPlan) -> usize {
+    let mut incoming = vec![0usize; plan.fragments.len()];
+    for g in &plan.groups {
+        incoming[g.cuts[0].dest_fragment] += g.num_wires();
+    }
+    incoming.into_iter().max().unwrap_or(0)
+}
+
+fn widest_joint(plan: &nme_wire_cutting::wirecut::CutPlan) -> usize {
+    plan.groups
+        .iter()
+        .filter(|g| g.protocol == Protocol::JointMub)
+        .map(|g| g.num_wires())
+        .max()
+        .unwrap_or(0)
+}
+
+#[test]
+fn measurement_fragment_plan_contracts_and_matches_monolithic() {
+    // ISSUE 10's behaviour change: a measurement/feed-forward plan
+    // whose classical bits stay fragment-local used to force
+    // PlanBackend::Monolithic; it now contracts (the block sums over
+    // outcome branches) and its per-term values must match the
+    // monolithic reference to 1e−8.
+    let mut measured = Circuit::new(3, 1);
+    measured.ry(0.4, 0).cx(0, 1).cx(1, 2).measure(2, 0);
+    // Measure and the conditioned gate both live in the final {2, 3}
+    // fragment, so the classical bit never crosses a fragment boundary.
+    let mut feedforward = Circuit::new(4, 1);
+    feedforward
+        .ry(0.7, 0)
+        .cx(0, 1)
+        .cx(1, 2)
+        .cx(2, 3)
+        .measure(3, 0)
+        .x_if(2, 0);
+    for (circuit, label) in [(measured, "ZZI"), (feedforward, "ZZZZ")] {
+        let plan = CutPlanner::new(2).plan(&circuit);
+        assert!(!plan.groups.is_empty());
+        assert!(
+            supports_contraction(&plan),
+            "{:?}",
+            contraction_ineligibility(&plan)
+        );
+        let observable = PauliString::from_label(label);
+        let compiled = CompiledPlan::compile(&plan, &observable);
+        assert_eq!(compiled.backend(), PlanBackend::Contracted);
+        assert_eq!(compiled.fallback_reason(), None);
+        let mono = CompiledPlan::compile_monolithic(&plan, &observable);
+        let ct = compiled.exact_terms();
+        let mt = mono.exact_terms();
+        assert_eq!(ct.len(), mt.len());
+        for (i, (c, m)) in ct.iter().zip(mt.iter()).enumerate() {
+            assert!(
+                (c - m).abs() < 1e-8,
+                "{label} term {i}: contracted {c} vs monolithic {m}"
+            );
+        }
+        // Outcome branching is visible in the fragment summaries.
+        assert!(compiled
+            .fragment_summaries()
+            .iter()
+            .any(|s| s.outcome_branches > 1));
+    }
 }
